@@ -1,0 +1,60 @@
+package wantraffic
+
+// This file holds one benchmark per table/figure of the paper: each
+// BenchmarkX target regenerates the corresponding artifact via the
+// internal/experiments driver, so
+//
+//	go test -bench=. -benchmem
+//
+// re-runs the entire evaluation. The drivers are deterministic, so the
+// numbers printed by `go test -bench BenchmarkFig2 -v` match
+// EXPERIMENTS.md exactly.
+
+import (
+	"testing"
+
+	"wantraffic/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if out := exp.Run(); len(out) < 40 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)         { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkSec3X11(b *testing.B)      { benchExperiment(b, "sec3x11") }
+func BenchmarkSec3Weather(b *testing.B)  { benchExperiment(b, "sec3weather") }
+func BenchmarkFig3(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkSec4Mux(b *testing.B)      { benchExperiment(b, "sec4mux") }
+func BenchmarkFig5(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkSec6Tail(b *testing.B)     { benchExperiment(b, "sec6tail") }
+func BenchmarkFig12(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkFTPDyn(b *testing.B)       { benchExperiment(b, "ftpdyn") }
+func BenchmarkAppxC(b *testing.B)        { benchExperiment(b, "appxc") }
+func BenchmarkAppxDE(b *testing.B)       { benchExperiment(b, "appxde") }
+func BenchmarkModelCmp(b *testing.B)     { benchExperiment(b, "modelcmp") }
+func BenchmarkDelay(b *testing.B)        { benchExperiment(b, "delay") }
+func BenchmarkImplications(b *testing.B) { benchExperiment(b, "implications") }
+func BenchmarkResponder(b *testing.B)    { benchExperiment(b, "responder") }
+func BenchmarkAblation(b *testing.B)     { benchExperiment(b, "ablation") }

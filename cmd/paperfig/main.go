@@ -1,0 +1,65 @@
+// Command paperfig regenerates the tables and figures of Paxson &
+// Floyd, "Wide-Area Traffic: The Failure of Poisson Modeling".
+//
+// Usage:
+//
+//	paperfig -list           list experiment ids
+//	paperfig -exp fig2       run one experiment
+//	paperfig -exp all        run everything (the EXPERIMENTS.md corpus)
+//	paperfig -svgdir figs -exp ""   write the figures as SVG files only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wantraffic/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	svgDir := flag.String("svgdir", "", "also write the figures as SVG files into this directory")
+	flag.Parse()
+
+	if *svgDir != "" {
+		paths, err := experiments.WriteSVGs(*svgDir)
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		if *exp == "" {
+			return
+		}
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Get(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "paperfig: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(1)
+	}
+	run(e)
+}
+
+func run(e experiments.Experiment) {
+	start := time.Now()
+	out := e.Run()
+	fmt.Printf("### %s — %s (%.1fs)\n\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), out)
+}

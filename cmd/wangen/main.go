@@ -1,0 +1,99 @@
+// Command wangen generates synthetic wide-area traffic traces using
+// the paper's source models and writes them in the text trace format
+// read by wanstats.
+//
+// Usage:
+//
+//	wangen -list                          list built-in datasets
+//	wangen -dataset LBL-1 -o lbl1.conn    build a Table I analog
+//	wangen -dataset LBL-PKT-1 -o p1.pkt   build a Table II analog
+//	wangen -telnet 137 -hours 2 -o t.pkt  FULL-TEL packet trace
+//	wangen -ftp 400 -days 3 -o f.conn     FTP connection trace
+//
+// With no -o the trace is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"wantraffic/internal/datasets"
+	"wantraffic/internal/model"
+	"wantraffic/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wangen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list built-in dataset names")
+	dataset := flag.String("dataset", "", "built-in dataset name to generate")
+	telnet := flag.Float64("telnet", 0, "FULL-TEL connections per hour (packet trace)")
+	ftp := flag.Float64("ftp", 0, "FTP sessions per day (connection trace)")
+	hours := flag.Float64("hours", 1, "trace duration for -telnet")
+	days := flag.Int("days", 1, "trace duration for -ftp")
+	seed := flag.Int64("seed", 1, "random seed for -telnet/-ftp")
+	out := flag.String("o", "", "output file (default stdout)")
+	binaryOut := flag.Bool("binary", false, "write the compact binary trace format")
+	flag.Parse()
+	writeConn := trace.WriteConnTrace
+	writePkt := trace.WritePacketTrace
+	if *binaryOut {
+		writeConn = trace.WriteConnTraceBinary
+		writePkt = trace.WritePacketTraceBinary
+	}
+
+	if *list {
+		for _, s := range datasets.TableI() {
+			fmt.Printf("%-12s connection trace, %d days\n", s.Name, s.Days)
+		}
+		for _, s := range datasets.TableII() {
+			fmt.Printf("%-12s packet trace, %.0f h\n", s.Name, s.Hours)
+		}
+		return nil
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch {
+	case *dataset != "":
+		for _, s := range datasets.TableI() {
+			if s.Name == *dataset {
+				return writeConn(w, datasets.BuildConn(s))
+			}
+		}
+		for _, s := range datasets.TableII() {
+			if s.Name == *dataset {
+				return writePkt(w, datasets.BuildPacket(s))
+			}
+		}
+		return fmt.Errorf("unknown dataset %q (try -list)", *dataset)
+	case *telnet > 0:
+		rng := rand.New(rand.NewSource(*seed))
+		tr := model.FullTelnet(rng, "full-tel", *telnet, *hours*3600)
+		return writePkt(w, tr)
+	case *ftp > 0:
+		rng := rand.New(rand.NewSource(*seed))
+		conns := model.GenerateFTP(rng, model.DefaultFTPConfig(*ftp, *days))
+		tr := &trace.ConnTrace{Name: "ftp", Horizon: float64(*days) * 86400, Conns: conns}
+		tr.SortByStart()
+		return writeConn(w, tr)
+	default:
+		return fmt.Errorf("nothing to do: pass -dataset, -telnet or -ftp (see -h)")
+	}
+}

@@ -1,0 +1,69 @@
+package wantraffic_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wantraffic"
+)
+
+// ExampleTestPoissonArrivals tests a homogeneous Poisson arrival
+// process with the Appendix A methodology: it passes.
+func ExampleTestPoissonArrivals() {
+	rng := rand.New(rand.NewSource(8))
+	var times []float64
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * 20 // one arrival every ~20 s
+		if t >= 48*3600 {
+			break
+		}
+		times = append(times, t)
+	}
+	res := wantraffic.TestPoissonArrivals(times, 48*3600, 3600)
+	fmt.Println("judged Poisson:", res.Poisson)
+	// Output:
+	// judged Poisson: true
+}
+
+// ExampleExtractBursts groups FTPDATA connections into Section VI
+// bursts with the paper's 4 s rule.
+func ExampleExtractBursts() {
+	tr := &wantraffic.ConnTrace{
+		Horizon: 3600,
+		Conns: []wantraffic.Conn{
+			{Start: 10, Duration: 2, Proto: wantraffic.FTPData, BytesResp: 1000, SessionID: 1},
+			{Start: 13, Duration: 1, Proto: wantraffic.FTPData, BytesResp: 500, SessionID: 1},
+			{Start: 200, Duration: 5, Proto: wantraffic.FTPData, BytesResp: 80000, SessionID: 1},
+		},
+	}
+	bursts := wantraffic.ExtractBursts(tr, wantraffic.DefaultBurstCutoff)
+	fmt.Println("bursts:", len(bursts))
+	fmt.Println("first burst connections:", len(bursts[0].Conns))
+	fmt.Printf("top-half share: %.3f\n", wantraffic.TailShare(bursts, 0.5))
+	// Output:
+	// bursts: 2
+	// first burst connections: 2
+	// top-half share: 0.982
+}
+
+// ExampleEstimateHurst fits fractional Gaussian noise to a synthetic
+// series with known Hurst parameter.
+func ExampleEstimateHurst() {
+	rng := rand.New(rand.NewSource(4))
+	series := wantraffic.GenerateFGN(rng, 8192, 0.8, 1)
+	res := wantraffic.EstimateHurst(series)
+	fmt.Printf("H within [0.75, 0.85]: %v\n", res.H > 0.75 && res.H < 0.85)
+	fmt.Println("consistent with fGn:", res.GoodnessOK)
+	// Output:
+	// H within [0.75, 0.85]: true
+	// consistent with fGn: true
+}
+
+// ExampleTelnetInterarrivalQuantile shows the paper's pinned fact:
+// 15% of TELNET packet interarrivals exceed one second.
+func ExampleTelnetInterarrivalQuantile() {
+	fmt.Printf("q(0.85) = %.2f s\n", wantraffic.TelnetInterarrivalQuantile(0.85))
+	// Output:
+	// q(0.85) = 1.00 s
+}

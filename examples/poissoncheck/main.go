@@ -1,0 +1,97 @@
+// poissoncheck: apply the paper's Appendix A methodology to arrival
+// processes with different structure and see which pass. Optionally
+// reads arrival times (one float per line, seconds) from a file.
+//
+// Run with: go run ./examples/poissoncheck [times.txt]
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wantraffic"
+	"wantraffic/internal/model"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		checkFile(os.Args[1])
+		return
+	}
+	rng := rand.New(rand.NewSource(11))
+	const days = 8
+	horizon := float64(days) * 86400
+
+	fmt.Println("Appendix A Poisson tests, 1 h fixed-rate intervals")
+	fmt.Println("(pass = statistically indistinguishable from Poisson)")
+	fmt.Println()
+
+	// 1. User sessions: hourly-Poisson with a diurnal profile — passes.
+	sessions := model.HourlyPoissonArrivals(rng, model.TelnetProfile(), 800, days)
+	report("TELNET sessions (diurnal hourly-Poisson)", sessions, horizon)
+
+	// 2. Timer+flooding NNTP connections — fails.
+	var nntp []float64
+	for _, c := range model.GenerateNNTP(rng, model.DefaultNNTPConfig(2000, days)) {
+		nntp = append(nntp, c.Start)
+	}
+	sort.Float64s(nntp)
+	report("NNTP connections (timers + flooding)", nntp, horizon)
+
+	// 3. Clustered FTPDATA connections — fails badly.
+	var ftpdata []float64
+	for _, c := range model.GenerateFTP(rng, model.DefaultFTPConfig(400, days)) {
+		if c.Proto == wantraffic.FTPData {
+			ftpdata = append(ftpdata, c.Start)
+		}
+	}
+	sort.Float64s(ftpdata)
+	report("FTPDATA connections (bursts)", ftpdata, horizon)
+}
+
+func report(name string, times []float64, horizon float64) {
+	res := wantraffic.TestPoissonArrivals(times, horizon, 3600)
+	fmt.Printf("%-40s %v\n", name, res)
+}
+
+func checkFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poissoncheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var times []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "poissoncheck: bad line %q: %v\n", line, err)
+			os.Exit(1)
+		}
+		times = append(times, v)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "poissoncheck:", err)
+		os.Exit(1)
+	}
+	if len(times) < 20 {
+		fmt.Fprintln(os.Stderr, "poissoncheck: need at least 20 arrival times")
+		os.Exit(1)
+	}
+	sort.Float64s(times)
+	horizon := times[len(times)-1] + 1
+	for _, interval := range []float64{3600, 600} {
+		res := wantraffic.TestPoissonArrivals(times, horizon, interval)
+		fmt.Printf("%4.0f s intervals: %v\n", interval, res)
+	}
+}

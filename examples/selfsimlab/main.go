@@ -1,0 +1,59 @@
+// selfsimlab: a tour of the Section VII / Appendix C–E toolkit.
+// Generates the self-similar (and pseudo-self-similar) processes the
+// paper discusses and estimates their Hurst parameters three ways —
+// Whittle-fGn, Whittle-fARIMA, and R/S — with Beran goodness-of-fit
+// verdicts.
+//
+// Run with: go run ./examples/selfsimlab
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wantraffic/internal/dist"
+	"wantraffic/internal/selfsim"
+	"wantraffic/internal/stats"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	n := 8192
+
+	fmt.Println("process                         truth     Whittle-fGn  fARIMA  R/S    GPH    wavelet  VT-slope  fGn fit")
+	row := func(name, truth string, x []float64) {
+		fgn := selfsim.Whittle(x)
+		far := selfsim.WhittleFARIMA(x)
+		pts := stats.VarianceTime(x, 500, 5)
+		slope := stats.VTSlope(pts, 10, 500)
+		fit := "OK"
+		if !fgn.GoodnessOK {
+			fit = "rejected"
+		}
+		fmt.Printf("%-30s  %-8s  H=%.2f       H=%.2f  H=%.2f  H=%.2f  H=%.2f   %6.2f    %s\n",
+			name, truth, fgn.H, far.H, selfsim.HurstRS(x), selfsim.HurstGPH(x), selfsim.HurstWavelet(x), slope, fit)
+	}
+
+	row("white noise", "H=0.5", noise(rng, n))
+	row("fGn (Davies-Harte)", "H=0.8", selfsim.FGN(rng, n, 0.8, 1))
+	row("fARIMA(0,0.3,0) (Hosking)", "H=0.8", selfsim.FARIMA(rng, 4096, 0.3, 1))
+	row("M/G/inf, Pareto 1.4 lives", "H=0.8", selfsim.MGInfinity(rng, n, 5, dist.NewPareto(1, 1.4), n))
+	row("M/G/inf, log-normal lives", "not LRD", selfsim.MGInfinity(rng, n, 5, dist.NewLogNormal(0.5, 1), n))
+	row("50x ON/OFF Pareto 1.2", "LRD", selfsim.MultiplexOnOff(rng, 50, n, func(int) selfsim.OnOffSource {
+		return selfsim.OnOffSource{On: dist.NewPareto(1, 1.2), Off: dist.NewPareto(1, 1.2), Rate: 1}
+	}))
+	row("Pareto renewal beta=1 (AppxC)", "pseudo", selfsim.ParetoRenewalCounts(rng, n, 1, 1, 100))
+
+	fmt.Println("\nThe M/G/inf construction with heavy-tailed lifetimes and the ON/OFF")
+	fmt.Println("multiplex are genuinely long-range dependent; the Appendix C renewal")
+	fmt.Println("process merely *looks* self-similar over finite scales — exactly the")
+	fmt.Println("distinction the paper's appendices draw.")
+}
+
+func noise(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module wantraffic
+
+go 1.22

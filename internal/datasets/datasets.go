@@ -1,0 +1,210 @@
+// Package datasets synthesizes the analogs of the paper's Table I
+// connection traces and Table II packet traces.
+//
+// The originals (Bellcore, UCB, coNCert, UK–US, DEC, LBL) are
+// proprietary 1989–94 captures; per DESIGN.md's substitution rule each
+// dataset is regenerated from the paper's own fitted source models:
+// hourly-Poisson user sessions with diurnal profiles, the FULL-TEL
+// TELNET source, the FTP session→burst→connection hierarchy with
+// Pareto burst sizes, and the timer/flooding-driven machine protocols.
+// Durations and rates are scaled down from the originals (a month-long
+// 3.7M-connection LBL trace would add nothing but runtime to the shape
+// comparisons); the per-dataset scaling is recorded in EXPERIMENTS.md.
+//
+// Every builder derives its RNG seed deterministically from the
+// dataset name, so all experiments are reproducible bit-for-bit.
+package datasets
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"wantraffic/internal/model"
+	"wantraffic/internal/trace"
+)
+
+// BaseSeed offsets all dataset seeds; experiments use the default 0.
+var BaseSeed int64
+
+// rngFor derives a deterministic RNG for a dataset name.
+func rngFor(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(BaseSeed ^ int64(h.Sum64())))
+}
+
+// ConnSpec describes one synthetic Table I dataset.
+type ConnSpec struct {
+	Name string
+	Days int
+	// Per-day connection rates by protocol; zero disables a protocol.
+	TelnetPerDay float64
+	RloginPerDay float64
+	FTPPerDay    float64 // FTP sessions
+	SMTPPerDay   float64
+	NNTPPerDay   float64
+	WWWPerDay    float64
+	EastCoast    bool // SMTP diurnal profile shift (Bellcore)
+}
+
+// TableI lists the synthetic analogs of the paper's Table I datasets.
+// Month-long LBL traces are scaled to 10 days; rates are scaled so the
+// whole suite generates in seconds.
+func TableI() []ConnSpec {
+	lbl := func(name string, www float64) ConnSpec {
+		return ConnSpec{
+			Name: name, Days: 10,
+			TelnetPerDay: 600, RloginPerDay: 200, FTPPerDay: 400,
+			SMTPPerDay: 2500, NNTPPerDay: 1800, WWWPerDay: www,
+		}
+	}
+	return []ConnSpec{
+		{Name: "BC", Days: 7, TelnetPerDay: 150, FTPPerDay: 80, SMTPPerDay: 600, NNTPPerDay: 400, EastCoast: true},
+		{Name: "UCB", Days: 1, TelnetPerDay: 3000, RloginPerDay: 800, FTPPerDay: 2000, SMTPPerDay: 8000, NNTPPerDay: 5000},
+		{Name: "NC", Days: 1, TelnetPerDay: 800, FTPPerDay: 900, SMTPPerDay: 3000, NNTPPerDay: 2500},
+		{Name: "UK", Days: 1, TelnetPerDay: 500, FTPPerDay: 700, SMTPPerDay: 2000, NNTPPerDay: 1500},
+		{Name: "DEC-1", Days: 1, TelnetPerDay: 1200, FTPPerDay: 1500, SMTPPerDay: 6000, NNTPPerDay: 4000},
+		{Name: "DEC-2", Days: 1, TelnetPerDay: 1200, FTPPerDay: 1500, SMTPPerDay: 6000, NNTPPerDay: 4000},
+		{Name: "DEC-3", Days: 1, TelnetPerDay: 1200, FTPPerDay: 1500, SMTPPerDay: 6000, NNTPPerDay: 4000},
+		lbl("LBL-1", 0), lbl("LBL-2", 0), lbl("LBL-3", 300), lbl("LBL-4", 300),
+		lbl("LBL-5", 0), lbl("LBL-6", 0), lbl("LBL-7", 0),
+	}
+}
+
+// BuildConn generates the connection trace for a spec.
+func BuildConn(spec ConnSpec) *trace.ConnTrace {
+	rng := rngFor(spec.Name)
+	tr := &trace.ConnTrace{Name: spec.Name, Horizon: float64(spec.Days) * 86400}
+	if spec.TelnetPerDay > 0 {
+		tr.Conns = append(tr.Conns, model.TelnetConnections(rng, spec.TelnetPerDay, spec.Days, trace.Telnet)...)
+	}
+	if spec.RloginPerDay > 0 {
+		tr.Conns = append(tr.Conns, model.TelnetConnections(rng, spec.RloginPerDay, spec.Days, trace.Rlogin)...)
+	}
+	if spec.FTPPerDay > 0 {
+		tr.Conns = append(tr.Conns, model.GenerateFTP(rng, model.DefaultFTPConfig(spec.FTPPerDay, spec.Days))...)
+	}
+	if spec.SMTPPerDay > 0 {
+		cfg := model.DefaultSMTPConfig(spec.SMTPPerDay, spec.Days)
+		cfg.EastCoast = spec.EastCoast
+		tr.Conns = append(tr.Conns, model.GenerateSMTP(rng, cfg)...)
+	}
+	if spec.NNTPPerDay > 0 {
+		tr.Conns = append(tr.Conns, model.GenerateNNTP(rng, model.DefaultNNTPConfig(spec.NNTPPerDay, spec.Days))...)
+	}
+	if spec.WWWPerDay > 0 {
+		tr.Conns = append(tr.Conns, model.GenerateWWW(rng, model.DefaultWWWConfig(spec.WWWPerDay, spec.Days))...)
+	}
+	tr.SortByStart()
+	return tr
+}
+
+// Conn builds one Table I dataset by name; it panics on unknown names.
+func Conn(name string) *trace.ConnTrace {
+	for _, spec := range TableI() {
+		if spec.Name == name {
+			return BuildConn(spec)
+		}
+	}
+	panic("datasets: unknown connection dataset " + name)
+}
+
+// PacketSpec describes one synthetic Table II packet-trace dataset.
+type PacketSpec struct {
+	Name  string
+	Hours float64
+	// TCPOnly marks the LBL PKT-1..3 style traces (TCP packets only);
+	// otherwise all link-level packets are included (MBone/DNS-like
+	// non-TCP background is added).
+	TCPOnly bool
+	// TelnetConnsPerHour drives a FULL-TEL source.
+	TelnetConnsPerHour float64
+	// FTPSessionsPerHour drives the FTP hierarchy, expanded to packets.
+	FTPSessionsPerHour float64
+	// MailNewsPerHour drives light SMTP+NNTP background.
+	MailNewsPerHour float64
+	// NonTCPRate is the mean non-TCP background packet rate (pkts/s)
+	// for full link-level traces.
+	NonTCPRate float64
+}
+
+// TableII lists the synthetic analogs of the paper's Table II packet
+// traces: two-hour TCP traces (PKT-1..3), one-hour full link-level
+// traces (PKT-4, PKT-5), and the one-hour DEC WRL traces with their
+// heavier FTP volume.
+func TableII() []PacketSpec {
+	return []PacketSpec{
+		{Name: "LBL-PKT-1", Hours: 2, TCPOnly: true, TelnetConnsPerHour: 137, FTPSessionsPerHour: 30, MailNewsPerHour: 150},
+		{Name: "LBL-PKT-2", Hours: 2, TCPOnly: true, TelnetConnsPerHour: 137, FTPSessionsPerHour: 30, MailNewsPerHour: 150},
+		{Name: "LBL-PKT-3", Hours: 2, TCPOnly: true, TelnetConnsPerHour: 137, FTPSessionsPerHour: 30, MailNewsPerHour: 150},
+		{Name: "LBL-PKT-4", Hours: 1, TelnetConnsPerHour: 137, FTPSessionsPerHour: 35, MailNewsPerHour: 150, NonTCPRate: 40},
+		{Name: "LBL-PKT-5", Hours: 1, TelnetConnsPerHour: 137, FTPSessionsPerHour: 35, MailNewsPerHour: 150, NonTCPRate: 40},
+		{Name: "DEC-WRL-1", Hours: 1, TelnetConnsPerHour: 60, FTPSessionsPerHour: 120, MailNewsPerHour: 400, NonTCPRate: 30},
+		{Name: "DEC-WRL-2", Hours: 1, TelnetConnsPerHour: 60, FTPSessionsPerHour: 120, MailNewsPerHour: 400, NonTCPRate: 30},
+		{Name: "DEC-WRL-3", Hours: 1, TelnetConnsPerHour: 60, FTPSessionsPerHour: 120, MailNewsPerHour: 400, NonTCPRate: 30},
+		{Name: "DEC-WRL-4", Hours: 1, TelnetConnsPerHour: 60, FTPSessionsPerHour: 120, MailNewsPerHour: 400, NonTCPRate: 30},
+	}
+}
+
+// BuildPacket generates the packet trace for a spec.
+func BuildPacket(spec PacketSpec) *trace.PacketTrace {
+	rng := rngFor(spec.Name)
+	horizon := spec.Hours * 3600
+	days := int(spec.Hours/24) + 1
+	parts := []*trace.PacketTrace{}
+	if spec.TelnetConnsPerHour > 0 {
+		parts = append(parts, model.FullTelnet(rng, spec.Name+"/telnet", spec.TelnetConnsPerHour, horizon))
+	}
+	if spec.FTPSessionsPerHour > 0 {
+		cfg := model.DefaultFTPConfig(spec.FTPSessionsPerHour*24, days)
+		// Short traces can't amortize multi-GB bursts; cap the burst
+		// tail at ~200 MB as a 1994 wide-area hour plausibly would.
+		cfg.BurstBytes.Max = 2e8
+		conns := model.GenerateFTP(rng, cfg)
+		parts = append(parts, model.FTPDataPacketTrace(spec.Name+"/ftp", conns, 512, horizon))
+	}
+	if spec.MailNewsPerHour > 0 {
+		smtp := model.GenerateSMTP(rng, model.DefaultSMTPConfig(spec.MailNewsPerHour*12, days))
+		nntp := model.GenerateNNTP(rng, model.DefaultNNTPConfig(spec.MailNewsPerHour*12, days))
+		parts = append(parts,
+			model.Packetize(rng, spec.Name+"/smtp", smtp, 512, horizon),
+			model.Packetize(rng, spec.Name+"/nntp", nntp, 512, horizon))
+	}
+	if !spec.TCPOnly && spec.NonTCPRate > 0 {
+		parts = append(parts, nonTCPBackground(rng, spec.Name+"/other", spec.NonTCPRate, horizon))
+	}
+	tr := trace.Merge(spec.Name, parts...)
+	tr.Horizon = horizon
+	return tr
+}
+
+// Packet builds one Table II dataset by name; it panics on unknown names.
+func Packet(name string) *trace.PacketTrace {
+	for _, spec := range TableII() {
+		if spec.Name == name {
+			return BuildPacket(spec)
+		}
+	}
+	panic("datasets: unknown packet dataset " + name)
+}
+
+// nonTCPBackground models the paper's non-TCP link traffic: an
+// MBone-like constant-rate audio stream (UDP without congestion
+// control, Section VII-C2) plus Poisson DNS-like request/reply chatter.
+func nonTCPBackground(rng *rand.Rand, name string, rate, horizon float64) *trace.PacketTrace {
+	tr := &trace.PacketTrace{Name: name, Horizon: horizon}
+	// MBone audio: fixed 25 pkt/s stream taking half the budget.
+	audio := rate / 2
+	if audio > 0 {
+		period := 1 / audio
+		for t := rng.Float64() * period; t < horizon; t += period {
+			tr.Packets = append(tr.Packets, trace.Packet{Time: t, Size: 320, Proto: trace.Other, ConnID: -1})
+		}
+	}
+	// DNS chatter: Poisson at the other half.
+	for _, t := range model.PoissonArrivals(rng, rate/2, horizon) {
+		tr.Packets = append(tr.Packets, trace.Packet{Time: t, Size: 80, Proto: trace.Other, ConnID: -2})
+	}
+	tr.SortByTime()
+	return tr
+}

@@ -1,0 +1,145 @@
+package datasets
+
+import (
+	"reflect"
+	"testing"
+
+	"wantraffic/internal/trace"
+)
+
+func TestBuildConnDeterministic(t *testing.T) {
+	a := Conn("UK")
+	b := Conn("UK")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("dataset builds are not deterministic")
+	}
+}
+
+func TestDatasetsDiffer(t *testing.T) {
+	a := Conn("DEC-1")
+	b := Conn("DEC-2")
+	if len(a.Conns) == len(b.Conns) && reflect.DeepEqual(a.Conns[:10], b.Conns[:10]) {
+		t.Error("same-spec datasets should differ by seed")
+	}
+}
+
+func TestConnDatasetContents(t *testing.T) {
+	tr := Conn("UK")
+	if tr.Horizon != 86400 {
+		t.Errorf("horizon %g", tr.Horizon)
+	}
+	counts := map[trace.Protocol]int{}
+	for _, c := range tr.Conns {
+		counts[c.Proto]++
+		if c.Start < 0 || c.Start >= tr.Horizon+86400 {
+			t.Fatalf("start %g out of range", c.Start)
+		}
+	}
+	for _, p := range []trace.Protocol{trace.Telnet, trace.FTP, trace.FTPData, trace.SMTP, trace.NNTP} {
+		if counts[p] == 0 {
+			t.Errorf("dataset missing %v connections", p)
+		}
+	}
+	// Sorted by start.
+	for i := 1; i < len(tr.Conns); i++ {
+		if tr.Conns[i].Start < tr.Conns[i-1].Start {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestOnlyLBL34HaveWWW(t *testing.T) {
+	with := 0
+	for _, spec := range TableI() {
+		if spec.WWWPerDay > 0 {
+			with++
+		}
+	}
+	if with != 2 {
+		t.Errorf("WWW datasets %d, want 2 (as in the paper)", with)
+	}
+}
+
+func TestUnknownNamePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"conn":   func() { Conn("NOPE") },
+		"packet": func() { Packet("NOPE") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBuildPacketTCPOnly(t *testing.T) {
+	tr := Packet("LBL-PKT-1")
+	if tr.Horizon != 7200 {
+		t.Errorf("horizon %g", tr.Horizon)
+	}
+	if len(tr.Packets) < 50000 {
+		t.Errorf("only %d packets", len(tr.Packets))
+	}
+	protos := map[trace.Protocol]int{}
+	for _, p := range tr.Packets {
+		protos[p.Proto]++
+		if p.Time < 0 || p.Time >= tr.Horizon {
+			t.Fatal("packet outside horizon")
+		}
+	}
+	if protos[trace.Other] != 0 {
+		t.Error("TCP-only trace contains non-TCP packets")
+	}
+	if protos[trace.Telnet] == 0 || protos[trace.FTPData] == 0 {
+		t.Error("trace missing TELNET or FTPDATA packets")
+	}
+}
+
+func TestBuildPacketFullLink(t *testing.T) {
+	tr := Packet("LBL-PKT-4")
+	protos := map[trace.Protocol]int{}
+	for _, p := range tr.Packets {
+		protos[p.Proto]++
+	}
+	if protos[trace.Other] == 0 {
+		t.Error("full link-level trace missing non-TCP background")
+	}
+	// Sorted by time.
+	for i := 1; i < len(tr.Packets); i++ {
+		if tr.Packets[i].Time < tr.Packets[i-1].Time {
+			t.Fatal("not time-sorted")
+		}
+	}
+}
+
+func TestTableNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range TableI() {
+		if seen[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, s := range TableII() {
+		if seen[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func BenchmarkBuildConnUK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Conn("UK")
+	}
+}
+
+func BenchmarkBuildPacketPKT1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Packet("LBL-PKT-1")
+	}
+}

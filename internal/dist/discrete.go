@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PoissonPMF returns P[N = k] for a Poisson law with the given mean,
+// computed in log space for stability at large means.
+func PoissonPMF(mean float64, k int) float64 {
+	if k < 0 || mean < 0 {
+		return 0
+	}
+	if mean == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(mean) - mean - lg)
+}
+
+// PoissonRand draws a Poisson count with the given mean. Small means
+// use Knuth's product method; large means use the normal approximation
+// with a continuity correction, adequate for the traffic workloads here
+// (counts only feed simulations, never the statistical tests).
+func PoissonRand(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// BinomialLogPMF returns ln P[X = k] for X ~ Binomial(n, p).
+func BinomialLogPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if p == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p == 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n) + 1)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lnk, _ := math.Lgamma(float64(n-k) + 1)
+	return ln - lk - lnk + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// BinomialCDF returns P[X <= k] for X ~ Binomial(n, p) by direct
+// summation of the PMF in log space. The Appendix A meta-tests apply it
+// with n equal to the number of tested intervals (at most a few
+// thousand), where direct summation is both exact enough and fast.
+func BinomialCDF(n, k int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	// Sum the smaller tail for accuracy.
+	if float64(k) > float64(n)*p {
+		return 1 - binomUpper(n, k+1, p)
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += math.Exp(BinomialLogPMF(n, i, p))
+	}
+	return math.Min(sum, 1)
+}
+
+// binomUpper returns P[X >= k].
+func binomUpper(n, k int, p float64) float64 {
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		sum += math.Exp(BinomialLogPMF(n, i, p))
+	}
+	return math.Min(sum, 1)
+}
+
+// BinomialUpperTail returns P[X >= k] for X ~ Binomial(n, p).
+func BinomialUpperTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if float64(k) < float64(n)*p {
+		return 1 - BinomialCDF(n, k-1, p)
+	}
+	return binomUpper(n, k, p)
+}
+
+// Geometric draws the number of failures before the first success with
+// success probability p in (0, 1]: P[X = k] = p(1-p)^k, k >= 0.
+func Geometric(rng *rand.Rand, p float64) int {
+	if p <= 0 || p > 1 {
+		panic("dist: geometric success probability outside (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inverse transform: k = floor(ln U / ln(1-p)).
+	return int(math.Log(u01(rng)) / math.Log1p(-p))
+}
+
+// ZipfPlatoon is the discrete "platoon-length" law of Appendix B:
+//
+//	P[X = n] = 1/((n+1)(n+2)),  n >= 0,
+//
+// which arises for car-platoon lengths on an infinite road with no
+// passing — a model the paper calls "suggestively analogous to computer
+// network traffic". Its mean is infinite.
+type ZipfPlatoon struct{}
+
+// PMF returns 1/((n+1)(n+2)).
+func (ZipfPlatoon) PMF(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return 1 / (float64(n+1) * float64(n+2))
+}
+
+// CDF returns P[X <= n] = 1 - 1/(n+2) (telescoping sum).
+func (ZipfPlatoon) CDF(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return 1 - 1/float64(n+2)
+}
+
+// Rand draws a platoon length by inverse transform: X = floor(U/(1-U)).
+func (ZipfPlatoon) Rand(rng *rand.Rand) int {
+	u := rng.Float64()
+	return int(u / (1 - u))
+}
+
+// ClopperPearson returns the exact (conservative) two-sided
+// 100·(1-alpha)% confidence interval for a binomial proportion with k
+// successes in n trials, computed by bisection on the binomial tail
+// functions. It quantifies the uncertainty of the per-protocol pass
+// rates plotted in Fig. 2.
+func ClopperPearson(k, n int, alpha float64) (lo, hi float64) {
+	if n <= 0 || k < 0 || k > n {
+		panic("dist: invalid Clopper-Pearson arguments")
+	}
+	if !(alpha > 0 && alpha < 1) {
+		panic("dist: alpha outside (0,1)")
+	}
+	half := alpha / 2
+	if k == 0 {
+		lo = 0
+	} else {
+		// Smallest p with P[X >= k] >= alpha/2.
+		lo = bisectP(func(p float64) bool {
+			return BinomialUpperTail(n, k, p) >= half
+		})
+	}
+	if k == n {
+		hi = 1
+	} else {
+		// Largest p with P[X <= k] >= alpha/2.
+		hi = bisectP(func(p float64) bool {
+			return BinomialCDF(n, k, p) < half
+		})
+	}
+	return lo, hi
+}
+
+// bisectP finds the boundary in (0,1) where pred flips from false to
+// true (pred must be monotone in p).
+func bisectP(pred func(float64) bool) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}

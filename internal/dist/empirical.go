@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// QuantilePoint is one knot of an empirical quantile table: the value X
+// has cumulative probability P.
+type QuantilePoint struct {
+	X float64
+	P float64
+}
+
+// Empirical is a continuous distribution defined by a quantile table,
+// the same representation the Tcplib library uses for its measured
+// TELNET interarrival distribution. Between knots the CDF is
+// interpolated; when LogInterp is set (and the bracketing values are
+// positive) the interpolation is linear in log X, which suits laws
+// spanning many orders of magnitude such as packet interarrival times.
+type Empirical struct {
+	points    []QuantilePoint
+	logInterp bool
+}
+
+// NewEmpirical builds an Empirical distribution from a quantile table.
+// The table must contain at least two points, with strictly increasing
+// X, non-decreasing P, first P == 0 and last P == 1.
+func NewEmpirical(points []QuantilePoint, logInterp bool) *Empirical {
+	if len(points) < 2 {
+		panic("dist: empirical table needs at least two points")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].X <= points[i-1].X {
+			panic("dist: empirical table X must be strictly increasing")
+		}
+		if points[i].P < points[i-1].P {
+			panic("dist: empirical table P must be non-decreasing")
+		}
+	}
+	if points[0].P != 0 || points[len(points)-1].P != 1 {
+		panic("dist: empirical table must span P=0..1")
+	}
+	cp := make([]QuantilePoint, len(points))
+	copy(cp, points)
+	return &Empirical{points: cp, logInterp: logInterp}
+}
+
+// EmpiricalFromSample builds an Empirical distribution from observed
+// data, as when replaying a measured interarrival distribution. The
+// sample is sorted and converted to a quantile table with P_i = i/(n-1).
+func EmpiricalFromSample(sample []float64, logInterp bool) *Empirical {
+	if len(sample) < 2 {
+		panic("dist: empirical sample needs at least two values")
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	pts := make([]QuantilePoint, 0, len(s))
+	n := len(s)
+	for i, x := range s {
+		p := float64(i) / float64(n-1)
+		// Collapse ties onto the highest probability they reach.
+		if len(pts) > 0 && x <= pts[len(pts)-1].X {
+			pts[len(pts)-1].P = p
+			continue
+		}
+		pts = append(pts, QuantilePoint{X: x, P: p})
+	}
+	if len(pts) < 2 {
+		panic("dist: empirical sample is constant")
+	}
+	pts[0].P = 0
+	pts[len(pts)-1].P = 1
+	return NewEmpirical(pts, logInterp)
+}
+
+// Points returns a copy of the quantile table.
+func (e *Empirical) Points() []QuantilePoint {
+	cp := make([]QuantilePoint, len(e.points))
+	copy(cp, e.points)
+	return cp
+}
+
+// Min returns the smallest representable value.
+func (e *Empirical) Min() float64 { return e.points[0].X }
+
+// Max returns the largest representable value.
+func (e *Empirical) Max() float64 { return e.points[len(e.points)-1].X }
+
+func (e *Empirical) interpX(lo, hi QuantilePoint, frac float64) float64 {
+	if e.logInterp && lo.X > 0 {
+		return math.Exp(math.Log(lo.X) + frac*(math.Log(hi.X)-math.Log(lo.X)))
+	}
+	return lo.X + frac*(hi.X-lo.X)
+}
+
+// CDF returns the interpolated cumulative probability at x.
+func (e *Empirical) CDF(x float64) float64 {
+	pts := e.points
+	if x <= pts[0].X {
+		return 0
+	}
+	if x >= pts[len(pts)-1].X {
+		return 1
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
+	lo, hi := pts[i-1], pts[i]
+	var frac float64
+	if e.logInterp && lo.X > 0 {
+		frac = (math.Log(x) - math.Log(lo.X)) / (math.Log(hi.X) - math.Log(lo.X))
+	} else {
+		frac = (x - lo.X) / (hi.X - lo.X)
+	}
+	return lo.P + frac*(hi.P-lo.P)
+}
+
+// Quantile returns the interpolated p-th quantile.
+func (e *Empirical) Quantile(p float64) float64 {
+	checkProb(p)
+	pts := e.points
+	if p <= 0 {
+		return pts[0].X
+	}
+	if p >= 1 {
+		return pts[len(pts)-1].X
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].P >= p })
+	lo, hi := pts[i-1], pts[i]
+	if hi.P == lo.P {
+		return hi.X
+	}
+	frac := (p - lo.P) / (hi.P - lo.P)
+	return e.interpX(lo, hi, frac)
+}
+
+// Rand draws a sample by inverse transform.
+func (e *Empirical) Rand(rng *rand.Rand) float64 {
+	return e.Quantile(rng.Float64())
+}
+
+// Mean returns the mean of the interpolated law, computed by numeric
+// integration of the quantile function (1000-point midpoint rule),
+// which is exact enough for calibration checks.
+func (e *Empirical) Mean() float64 {
+	const n = 1000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / n
+		sum += e.Quantile(p)
+	}
+	return sum / n
+}

@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Exponential is the exponential distribution with the given Mean
+// (inverse rate). It is the interarrival law of a homogeneous Poisson
+// process and therefore the null model tested throughout the paper.
+type Exponential struct {
+	// MeanVal is the mean 1/λ. Must be > 0.
+	MeanVal float64
+}
+
+// Exp returns an exponential distribution with the given mean.
+func Exp(mean float64) Exponential {
+	if mean <= 0 {
+		panic("dist: exponential mean must be positive")
+	}
+	return Exponential{MeanVal: mean}
+}
+
+// ExpRate returns an exponential distribution with rate λ (mean 1/λ).
+func ExpRate(lambda float64) Exponential { return Exp(1 / lambda) }
+
+// Mean returns the mean.
+func (e Exponential) Mean() float64 { return e.MeanVal }
+
+// Rate returns λ = 1/mean.
+func (e Exponential) Rate() float64 { return 1 / e.MeanVal }
+
+// CDF returns 1 - exp(-x/mean) for x >= 0 and 0 otherwise.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-x / e.MeanVal)
+}
+
+// Quantile returns -mean·ln(1-p).
+func (e Exponential) Quantile(p float64) float64 {
+	checkProb(p)
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return -e.MeanVal * math.Log1p(-p)
+}
+
+// Rand draws an exponential variate.
+func (e Exponential) Rand(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() * e.MeanVal
+}
+
+// Var returns the variance mean².
+func (e Exponential) Var() float64 { return e.MeanVal * e.MeanVal }
+
+// GeometricMean returns the geometric mean of the law, mean·e^{-γ}
+// where γ is the Euler–Mascheroni constant. The paper's Fig. 3 fits an
+// exponential by matching geometric means ("fit #1").
+func (e Exponential) GeometricMean() float64 {
+	const eulerGamma = 0.57721566490153286060651209008240243
+	return e.MeanVal * math.Exp(-eulerGamma)
+}
+
+// ExpFromGeometricMean returns the exponential distribution whose
+// geometric mean equals g.
+func ExpFromGeometricMean(g float64) Exponential {
+	const eulerGamma = 0.57721566490153286060651209008240243
+	return Exp(g * math.Exp(eulerGamma))
+}

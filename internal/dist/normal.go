@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Normal is the Gaussian distribution with mean Mu and standard
+// deviation Sigma. It underlies the log-normal family and the marginal
+// law of fractional Gaussian noise.
+type Normal struct {
+	Mu    float64
+	Sigma float64 // > 0
+}
+
+// NewNormal returns a Normal distribution, validating Sigma.
+func NewNormal(mu, sigma float64) Normal {
+	if sigma <= 0 {
+		panic("dist: normal sigma must be positive")
+	}
+	return Normal{Mu: mu, Sigma: sigma}
+}
+
+// CDF returns Φ((x-μ)/σ) using math.Erf.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Quantile inverts the CDF via the Acklam/Wichura-style rational
+// approximation refined by one Newton step, accurate to ~1e-13.
+func (n Normal) Quantile(p float64) float64 {
+	checkProb(p)
+	return n.Mu + n.Sigma*StdNormalQuantile(p)
+}
+
+// Rand draws a Gaussian variate.
+func (n Normal) Rand(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// Mean returns μ.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Var returns σ².
+func (n Normal) Var() float64 { return n.Sigma * n.Sigma }
+
+// StdNormalQuantile returns Φ⁻¹(p) for the standard normal.
+func StdNormalQuantile(p float64) float64 {
+	checkProb(p)
+	switch p {
+	case 0:
+		return math.Inf(-1)
+	case 1:
+		return math.Inf(1)
+	}
+	x := acklam(p)
+	// One Newton–Raphson refinement using the exact CDF/PDF.
+	e := 0.5*(1+math.Erf(x/math.Sqrt2)) - p
+	pdf := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+	if pdf > 0 {
+		x -= e / pdf
+	}
+	return x
+}
+
+// acklam is Peter Acklam's rational approximation to the standard
+// normal quantile, with relative error below 1.15e-9.
+func acklam(p float64) float64 {
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

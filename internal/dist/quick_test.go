@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuantileMonotoneProperty: quantile functions are non-decreasing
+// in p for every distribution in the suite.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, c := range cases() {
+		c := c
+		f := func(a, b float64) bool {
+			p1 := math.Abs(math.Mod(a, 1))
+			p2 := math.Abs(math.Mod(b, 1))
+			if math.IsNaN(p1) || math.IsNaN(p2) {
+				return true
+			}
+			if p1 > p2 {
+				p1, p2 = p2, p1
+			}
+			q1 := c.d.Quantile(p1)
+			q2 := c.d.Quantile(p2)
+			return q1 <= q2 || math.Abs(q1-q2) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// TestCDFOfSampleUniformProperty: for continuous laws, F(X) is
+// uniform; as a cheap proxy we check F(Rand()) lands in [0,1] and its
+// sample mean is near 1/2.
+func TestCDFOfSampleUniformProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, c := range cases() {
+		sum := 0.0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			u := c.d.CDF(c.d.Rand(rng))
+			if u < 0 || u > 1 {
+				t.Fatalf("%s: CDF outside [0,1]", c.name)
+			}
+			sum += u
+		}
+		if m := sum / n; math.Abs(m-0.5) > 0.03 {
+			t.Errorf("%s: mean of F(X) = %g, want 0.5", c.name, m)
+		}
+	}
+}
+
+// TestEmpiricalMatchesSourceProperty: an Empirical distribution built
+// from a random quantile table reproduces its own table exactly at the
+// knots.
+func TestEmpiricalMatchesSourceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw)%20
+		pts := make([]QuantilePoint, n)
+		x := 0.1
+		for i := range pts {
+			x += 0.01 + rng.Float64()
+			p := float64(i) / float64(n-1)
+			pts[i] = QuantilePoint{X: x, P: p}
+		}
+		e := NewEmpirical(pts, rng.Intn(2) == 0)
+		for _, pt := range pts {
+			if math.Abs(e.CDF(pt.X)-pt.P) > 1e-9 {
+				return false
+			}
+			if pt.P > 0 && pt.P < 1 && math.Abs(e.Quantile(pt.P)-pt.X) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver regenerates its artifact from the
+// synthetic datasets and returns the rows/series the paper reports as
+// formatted text; cmd/paperfig, the root benchmarks, and EXPERIMENTS.md
+// all run these same drivers.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() string
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: summary of wide-area TCP connection traces", Table1},
+		{"table2", "Table II: summary of wide-area packet traces", Table2},
+		{"fig1", "Fig. 1: mean relative hourly connection arrival rate", Fig1},
+		{"fig2", "Fig. 2: results of testing for Poisson arrivals", Fig2},
+		{"sec3x11", "Sec. III: RLOGIN vs X11; the X11-session conjecture", Sec3X11},
+		{"sec3weather", "Sec. III: periodic weather-map FTP traffic skews the tests", Sec3Weather},
+		{"fig3", "Fig. 3: TELNET packet interarrival distributions", Fig3},
+		{"fig4", "Fig. 4: Tcplib vs exponential interpacket times", Fig4},
+		{"sec4mux", "Sec. IV: multiplexed TELNET variance (100 connections)", Sec4Mux},
+		{"fig5", "Fig. 5: variance-time plot of TELNET packet arrivals", Fig5},
+		{"fig6", "Fig. 6: TELNET counts per 5 s interval, trace vs EXP", Fig6},
+		{"fig7", "Fig. 7: variance-time plot, trace vs FULL-TEL", Fig7},
+		{"fig8", "Fig. 8: FTPDATA intra-session connection spacing", Fig8},
+		{"fig9", "Fig. 9: FTPDATA bytes in the largest bursts", Fig9},
+		{"fig10", "Fig. 10: LBL PKT FTPDATA traffic from largest bursts", Fig10},
+		{"fig11", "Fig. 11: DEC WRL FTPDATA traffic from largest bursts", Fig11},
+		{"sec6tail", "Sec. VI: Pareto fit of burst-size tail; huge-burst arrivals", Sec6Tail},
+		{"fig12", "Fig. 12: variance-time plot, LBL PKT datasets", Fig12},
+		{"fig13", "Fig. 13: variance-time plot, DEC WRL datasets", Fig13},
+		{"fig14", "Fig. 14: Pareto-renewal count process, b=10^3", Fig14},
+		{"fig15", "Fig. 15: Pareto-renewal count process, large bins", Fig15},
+		{"ftpdyn", "Sec. VII-C2: TCP congestion-control dynamics of FTPDATA", FTPDynamics},
+		{"appxc", "Appendix C: burst/lull scaling across shapes", AppendixC},
+		{"appxde", "Appendices D/E: M/G/inf and M/G/k lifetimes", AppendixDE},
+		{"modelcmp", "Sec. VII-D: fGn vs fARIMA vs R/S Hurst estimates", ModelComparison},
+		{"delay", "Implication: queueing delay, Tcplib vs exponential TELNET", Delay},
+		{"implications", "Sec. VIII: priority starvation and misled admission control", Implications},
+		{"responder", "Future work: the TELNET responder model", Responder},
+		{"ablation", "Robustness: burst cutoff, EXP mean, interval length", Ablation},
+	}
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	if len(header) > 0 {
+		fmt.Fprintln(w, join(header))
+	}
+	for _, r := range rows {
+		fmt.Fprintln(w, join(r))
+	}
+	w.Flush()
+	return buf.String()
+}
+
+func join(fields []string) string {
+	out := ""
+	for i, f := range fields {
+		if i > 0 {
+			out += "\t"
+		}
+		out += f
+	}
+	return out
+}

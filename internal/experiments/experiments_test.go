@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 20 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Get("fig2"); !ok {
+		t.Error("Get(fig2) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+	if len(IDs()) != len(all) {
+		t.Error("IDs length mismatch")
+	}
+}
+
+func TestTableHelper(t *testing.T) {
+	out := table([]string{"a", "b"}, [][]string{{"1", "22"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a") {
+		t.Error("header missing")
+	}
+}
+
+func TestKeepM(t *testing.T) {
+	kept := 0
+	for m := 1; m <= 3163; m++ {
+		if keepM(m) {
+			kept++
+		}
+	}
+	if kept != 8 {
+		t.Errorf("keepM keeps %d levels, want 8", kept)
+	}
+}
+
+// TestFig2HeadlineClaims is the core reproduction check: across all
+// Table I analogs, user-session arrivals (TELNET, FTP sessions) pass
+// the Poisson tests and machine-driven/clustered arrivals do not.
+func TestFig2HeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows := Fig2Rows()
+	type agg struct{ pass, total int }
+	counts := map[string]*agg{}
+	for _, r := range rows {
+		if r.Interval != 3600 {
+			continue
+		}
+		a := counts[r.Protocol]
+		if a == nil {
+			a = &agg{}
+			counts[r.Protocol] = a
+		}
+		a.total++
+		if r.Result.Poisson {
+			a.pass++
+		}
+	}
+	frac := func(p string) float64 {
+		a := counts[p]
+		if a == nil || a.total == 0 {
+			t.Fatalf("no rows for %s", p)
+		}
+		return float64(a.pass) / float64(a.total)
+	}
+	if f := frac("TELNET"); f < 0.8 {
+		t.Errorf("TELNET Poisson fraction %.2f, want ~1", f)
+	}
+	if f := frac("FTP"); f < 0.7 {
+		t.Errorf("FTP session Poisson fraction %.2f, want high", f)
+	}
+	for _, p := range []string{"FTPDATA", "SMTP", "NNTP", "WWW"} {
+		if f := frac(p); f > 0.25 {
+			t.Errorf("%s Poisson fraction %.2f, want ~0", p, f)
+		}
+	}
+	// SMTP interarrivals consistently positively correlated.
+	smtpPlus := 0
+	smtpTotal := 0
+	for _, r := range rows {
+		if r.Protocol == "SMTP" {
+			smtpTotal++
+			if r.Result.Sign.String() == "+" {
+				smtpPlus++
+			}
+		}
+	}
+	if smtpPlus < smtpTotal/2 {
+		t.Errorf("SMTP '+' flags %d/%d, want majority", smtpPlus, smtpTotal)
+	}
+}
+
+// TestExperimentOutputsMentionKeyFacts sanity-checks that each driver
+// emits its central quantitative content.
+func TestExperimentOutputsMentionKeyFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	checks := map[string][]string{
+		"fig1":     {"TELNET", "lunch dip", "evening share"},
+		"fig3":     {"tcplib", "exp-geo", "beta"},
+		"fig4":     {"TCPLIB", "EXP", "lull"},
+		"sec4mux":  {"mean", "variance"},
+		"fig6":     {"trace", "EXP", "variance"},
+		"fig8":     {"< 4 s"},
+		"fig9":     {"top 0.5%"},
+		"sec6tail": {"Pareto beta", "FAILS"},
+		"fig14":    {"occ", "bursts", "lulls"},
+		"appxde":   {"Pareto beta=1.4", "log-normal"},
+		"delay":    {"TCPLIB", "EXP", "ratio"},
+	}
+	for id, wants := range checks {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		out := e.Run()
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q", id, w)
+			}
+		}
+	}
+}
+
+// TestFig5SchemesOrdering verifies the Fig. 5 claim numerically: at
+// mid-scale aggregation the TCPLIB synthesis has materially more
+// variance than the EXP synthesis.
+func TestFig5SchemesOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	out := Fig5()
+	if !strings.Contains(out, "TCPLIB has") {
+		t.Fatalf("missing gap summary in:\n%s", out)
+	}
+	// The gap summary reads "TCPLIB has X.Xx the variance of EXP".
+	i := strings.Index(out, "TCPLIB has ")
+	var ratio float64
+	if _, err := sscanf(out[i:], "TCPLIB has %fx", &ratio); err != nil {
+		t.Fatalf("cannot parse ratio: %v", err)
+	}
+	if ratio < 1.3 {
+		t.Errorf("TCPLIB/EXP variance ratio %.2f, want > 1.3", ratio)
+	}
+}
+
+// sscanf is a tiny alias so the test body reads naturally.
+func sscanf(s, format string, args ...any) (int, error) {
+	return fmt.Sscanf(s, format, args...)
+}
+
+func TestWriteSVGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	paths, err := WriteSVGs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("only %d SVGs written", len(paths))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := string(data)
+		if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+			t.Errorf("%s: not an SVG document", p)
+		}
+		if len(s) < 500 {
+			t.Errorf("%s: suspiciously small (%d bytes)", p, len(s))
+		}
+	}
+}

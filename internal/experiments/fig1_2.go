@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wantraffic/internal/core"
+	"wantraffic/internal/datasets"
+	"wantraffic/internal/dist"
+	"wantraffic/internal/poisson"
+	"wantraffic/internal/trace"
+)
+
+// Fig1 regenerates Fig. 1: the mean relative hourly connection arrival
+// rate over the LBL-1..4 analogs, per protocol — the fraction of a
+// day's connections in each hour.
+func Fig1() string {
+	protos := []trace.Protocol{trace.Telnet, trace.FTP, trace.NNTP, trace.SMTP}
+	counts := map[trace.Protocol][24]float64{}
+	for _, name := range []string{"LBL-1", "LBL-2", "LBL-3", "LBL-4"} {
+		tr := datasets.Conn(name)
+		for _, c := range tr.Conns {
+			h := int(c.Start/3600) % 24
+			arr := counts[c.Proto]
+			arr[h]++
+			counts[c.Proto] = arr
+		}
+	}
+	// Also the east-coast SMTP shift, from the BC analog.
+	bc := datasets.Conn("BC")
+	var bcSMTP [24]float64
+	for _, c := range bc.Conns {
+		if c.Proto == trace.SMTP {
+			bcSMTP[int(c.Start/3600)%24]++
+		}
+	}
+	norm := func(a [24]float64) [24]float64 {
+		sum := 0.0
+		for _, v := range a {
+			sum += v
+		}
+		if sum == 0 {
+			return a
+		}
+		for i := range a {
+			a[i] /= sum
+		}
+		return a
+	}
+	header := []string{"hour", "TELNET", "FTP", "NNTP", "SMTP", "BC-SMTP"}
+	rows := [][]string{}
+	series := map[string][24]float64{}
+	for _, p := range protos {
+		series[p.String()] = norm(counts[p])
+	}
+	series["BC-SMTP"] = norm(bcSMTP)
+	for h := 0; h < 24; h++ {
+		row := []string{fmt.Sprintf("%02d", h)}
+		for _, name := range []string{"TELNET", "FTP", "NNTP", "SMTP", "BC-SMTP"} {
+			row = append(row, fmt.Sprintf("%.3f", series[name][h]))
+		}
+		rows = append(rows, row)
+	}
+	peak := func(name string) int {
+		a := series[name]
+		best := 0
+		for h, v := range a {
+			if v > a[best] {
+				best = h
+			}
+		}
+		return best
+	}
+	notes := fmt.Sprintf(
+		"TELNET peak hour %02d (lunch dip at 12: %.3f < %.3f at 11)\n"+
+			"FTP evening share (18-23h): %.2f vs TELNET %.2f\n"+
+			"SMTP peak: LBL (west) %02dh vs BC (east) %02dh\n",
+		peak("TELNET"), series["TELNET"][12], series["TELNET"][11],
+		sumHours(series["FTP"], 18, 24), sumHours(series["TELNET"], 18, 24),
+		peak("SMTP"), peak("BC-SMTP"))
+	return "Fraction of each day's connections per hour (LBL-1..4 analogs)\n" +
+		table(header, rows) + notes
+}
+
+func sumHours(a [24]float64, lo, hi int) float64 {
+	s := 0.0
+	for h := lo; h < hi; h++ {
+		s += a[h]
+	}
+	return s
+}
+
+// fig2Protocols are the arrival processes Fig. 2 tests. "FTPDATA-burst"
+// is the burst-arrival process of Section VI.
+var fig2Protocols = []string{"TELNET", "FTP", "FTPDATA", "FTPDATA-burst", "SMTP", "NNTP", "WWW"}
+
+// Fig2Row is one letter of Fig. 2: one trace × protocol × interval.
+type Fig2Row struct {
+	Dataset  string
+	Protocol string
+	Interval float64
+	Result   poisson.Result
+}
+
+// Fig2Rows computes every Fig. 2 point on the Table I analogs.
+func Fig2Rows() []Fig2Row {
+	var rows []Fig2Row
+	for _, spec := range datasets.TableI() {
+		tr := datasets.BuildConn(spec)
+		bursts := core.ExtractBursts(tr, core.DefaultBurstCutoff)
+		burstTimes := make([]float64, len(bursts))
+		for i, b := range bursts {
+			burstTimes[i] = b.Start
+		}
+		sort.Float64s(burstTimes)
+		for _, interval := range []float64{3600, 600} {
+			for _, proto := range fig2Protocols {
+				var res poisson.Result
+				switch proto {
+				case "FTPDATA-burst":
+					res = poisson.Evaluate(burstTimes, tr.Horizon, poisson.DefaultConfig(interval))
+				default:
+					res = core.EvaluatePoisson(tr, trace.ParseProtocol(proto), interval)
+				}
+				if res.Tested == 0 {
+					continue
+				}
+				rows = append(rows, Fig2Row{spec.Name, proto, interval, res})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig2 regenerates Fig. 2, printing each dataset×protocol point's pass
+// percentages, Poisson verdict (bold letters in the paper) and
+// correlation sign, for 1 h and 10 min intervals, followed by a
+// per-protocol summary.
+func Fig2() string {
+	rows := Fig2Rows()
+	var out strings.Builder
+	for _, interval := range []float64{3600, 600} {
+		label := "1-hour intervals"
+		if interval == 600 {
+			label = "10-minute intervals"
+		}
+		out.WriteString(label + "\n")
+		var trows [][]string
+		for _, r := range rows {
+			if r.Interval != interval {
+				continue
+			}
+			verdict := ""
+			if r.Result.Poisson {
+				verdict = "POISSON"
+			}
+			trows = append(trows, []string{
+				r.Dataset, r.Protocol,
+				fmt.Sprintf("exp %5.1f%%", r.Result.PctExp),
+				fmt.Sprintf("indep %5.1f%%", r.Result.PctIndep),
+				fmt.Sprintf("n=%d", r.Result.Tested),
+				r.Result.Sign.String(), verdict,
+			})
+		}
+		out.WriteString(table(nil, trows))
+		out.WriteString(fig2Summary(rows, interval))
+		out.WriteString("\n")
+	}
+	return out.String()
+}
+
+// fig2Summary aggregates the verdicts per protocol, the paper's
+// headline: TELNET and FTP sessions pass; the rest do not.
+func fig2Summary(rows []Fig2Row, interval float64) string {
+	type agg struct{ pass, total int }
+	byProto := map[string]*agg{}
+	for _, r := range rows {
+		if r.Interval != interval {
+			continue
+		}
+		a := byProto[r.Protocol]
+		if a == nil {
+			a = &agg{}
+			byProto[r.Protocol] = a
+		}
+		a.total++
+		if r.Result.Poisson {
+			a.pass++
+		}
+	}
+	out := "summary: traces judged Poisson per protocol (with exact 95% CI on the fraction):\n"
+	for _, p := range fig2Protocols {
+		if a := byProto[p]; a != nil {
+			lo, hi := dist.ClopperPearson(a.pass, a.total, 0.05)
+			out += fmt.Sprintf("  %-13s %2d/%-2d  [%.2f, %.2f]\n", p, a.pass, a.total, lo, hi)
+		}
+	}
+	return out
+}

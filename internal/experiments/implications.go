@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"wantraffic/internal/dist"
+	"wantraffic/internal/model"
+	"wantraffic/internal/selfsim"
+	"wantraffic/internal/sim"
+)
+
+// Implications runs the two Section VIII thought experiments as actual
+// simulations:
+//
+//  1. Priority link-sharing: with interactive (TELNET) traffic given
+//     strict priority over bulk traffic, a long-range dependent
+//     high-priority class starves the low-priority class for far
+//     longer stretches than a Poisson class of the same rate.
+//
+//  2. Measurement-based admission control: a controller that reserves
+//     capacity from recent measurements is "easily misled following a
+//     long period of fairly low traffic rates" when the measured class
+//     is long-range dependent (the paper's California-earthquake
+//     analogy).
+func Implications() string {
+	var out strings.Builder
+	rng := rand.New(rand.NewSource(41))
+
+	// --- 1. Priority starvation -----------------------------------
+	const horizon = 1200.0
+	high := model.MultiplexedTelnet(rng, 100, horizon, model.SchemeTcplib)
+	// Poisson null with identical mean rate.
+	rate := float64(len(high)) / horizon
+	var highPoisson []float64
+	for t := rng.ExpFloat64() / rate; t < horizon; t += rng.ExpFloat64() / rate {
+		highPoisson = append(highPoisson, t)
+	}
+	// A steady low-priority bulk stream at 25% of link capacity.
+	svc := 0.65 / rate // high class alone uses ~65% of the link
+	var low []float64
+	lowPeriod := svc / 0.25
+	for t := lowPeriod / 2; t < horizon; t += lowPeriod {
+		low = append(low, t)
+	}
+	out.WriteString("1. strict-priority link sharing (TELNET over bulk), ~90% total load\n")
+	for _, c := range []struct {
+		name  string
+		highT []float64
+	}{{"TCPLIB (LRD)", high}, {"Poisson", highPoisson}} {
+		ht := append([]float64(nil), c.highT...)
+		sort.Float64s(ht)
+		q := sim.NewPriorityQueue(svc).RunClasses(ht, low)
+		// Starvation: low-priority waits above 20 service times.
+		starved := 0
+		for _, w := range q.LowWaits {
+			if w > 20*svc {
+				starved++
+			}
+		}
+		out.WriteString(fmt.Sprintf(
+			"   high=%-13s low mean wait %7.3fs  max %6.2fs  starved (>20 svc) %4d/%d\n",
+			c.name, q.MeanLowWait(), q.LowMaxWait, starved, q.LowServed))
+	}
+	out.WriteString("   the LRD high-priority class stalls bulk traffic for much longer stretches\n\n")
+
+	// --- 2. Measurement-based admission control -------------------
+	out.WriteString("2. measurement-based admission control (reserve 1.2x the sustained rate of the last window)\n")
+	ctrl := sim.MeasuredAdmission{Window: 300, Headroom: 1.2}
+	for _, c := range []struct {
+		name   string
+		counts []float64
+	}{
+		// Connection-level M/G/∞ occupancy: Pareto lifetimes give the
+		// long busy "swells" of Appendix D; exponential lifetimes are
+		// the short-range null at the same mean.
+		{"M/G/inf Pareto 1.2", selfsim.MGInfinity(rng, 1<<15, 2, dist.NewPareto(1, 1.2), 1<<15)},
+		{"M/G/inf exp", selfsim.MGInfinity(rng, 1<<15, 2, dist.Exp(6), 1<<14)},
+		{"fGn H=0.85 sd50", selfsim.FGNTraffic(rng, 1<<15, 0.85, 100, 50)},
+		{"fGn H=0.55 sd50", selfsim.FGNTraffic(rng, 1<<15, 0.55, 100, 50)},
+		{"Poisson", poissonCounts(rng, 1<<15, 100)},
+	} {
+		o := ctrl.Evaluate(c.counts)
+		out.WriteString(fmt.Sprintf(
+			"   %-11s violations %5.1f%% of %d decisions (mean overshoot %.2fx)\n",
+			c.name, 100*o.ViolationRate(), o.Decisions, o.MeanOvershoot))
+	}
+	out.WriteString("   long-range dependence defeats recent-history reservations; Poisson traffic never does\n")
+	return out.String()
+}
+
+func poissonCounts(rng *rand.Rand, n int, mean float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// Normal approximation of Poisson(mean) is fine at mean=100.
+		v := mean + rng.NormFloat64()*math.Sqrt(mean)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"wantraffic/internal/model"
+	"wantraffic/internal/poisson"
+	"wantraffic/internal/trace"
+)
+
+// Sec3X11 reproduces the Section III RLOGIN/X11 contrast and tests the
+// paper's conjecture: RLOGIN connection arrivals are Poisson (one
+// connection per session, like TELNET); X11 connection arrivals are
+// not (one session spawns several connections); but "if we could
+// discern between X11 session arrivals and X11 connection arrivals
+// ... we would find the session arrivals to be Poisson". The synthetic
+// generator links connections to sessions, so the conjecture is
+// directly checkable.
+func Sec3X11() string {
+	rng := rand.New(rand.NewSource(34))
+	const days = 10
+	horizon := float64(days) * 86400
+	cfg := poisson.DefaultConfig(3600)
+	var out strings.Builder
+
+	rlogin := model.TelnetConnections(rng, 400, days, trace.Rlogin)
+	var rlTimes []float64
+	for _, c := range rlogin {
+		rlTimes = append(rlTimes, c.Start)
+	}
+	sort.Float64s(rlTimes)
+	out.WriteString(fmt.Sprintf("RLOGIN connections:  %v\n", poisson.Evaluate(rlTimes, horizon, cfg)))
+
+	x11 := model.GenerateX11(rng, model.DefaultX11Config(400, days))
+	var xTimes []float64
+	for _, c := range x11 {
+		xTimes = append(xTimes, c.Start)
+	}
+	sort.Float64s(xTimes)
+	out.WriteString(fmt.Sprintf("X11 connections:     %v\n", poisson.Evaluate(xTimes, horizon, cfg)))
+	sessions := model.SessionStartTimes(x11)
+	out.WriteString(fmt.Sprintf("X11 sessions:        %v\n", poisson.Evaluate(sessions, horizon, cfg)))
+	out.WriteString("paper: RLOGIN fits the TELNET pattern; X11 connections do not, but the paper\n" +
+		"conjectures X11 *session* arrivals would be Poisson — confirmed above.\n")
+	return out.String()
+}
+
+// Sec3Weather reproduces the methodological footnote of Section III:
+// the periodic "weather-map" FTP traffic must be removed before
+// testing, because timer-driven periodicity destroys the Poisson
+// character of the remaining user-initiated sessions.
+func Sec3Weather() string {
+	rng := rand.New(rand.NewSource(32))
+	const days = 10
+	horizon := float64(days) * 86400
+	cfg := poisson.DefaultConfig(3600)
+
+	user := model.HourlyPoissonArrivals(rng, model.FTPProfile(), 400, days)
+	weather := model.WeatherMapFTP(rng, 240, days) // fetch every 4 min
+	var wTimes []float64
+	for _, c := range weather {
+		wTimes = append(wTimes, c.Start)
+	}
+	mixed := model.MergeSorted(user, wTimes)
+
+	var out strings.Builder
+	out.WriteString(fmt.Sprintf("user FTP sessions only:        %v\n",
+		poisson.Evaluate(user, horizon, cfg)))
+	out.WriteString(fmt.Sprintf("with weather-map traffic:      %v\n",
+		poisson.Evaluate(mixed, horizon, cfg)))
+	out.WriteString(fmt.Sprintf("weather-map alone (timer):     %v\n",
+		poisson.Evaluate(wTimes, horizon, cfg)))
+	out.WriteString("paper: \"Prior to our analysis we removed the periodic 'weather-map' FTP\n" +
+		"traffic ... to avoid skewing our results\" — the mixed process fails the tests\n" +
+		"that the user-only process passes.\n")
+	return out.String()
+}

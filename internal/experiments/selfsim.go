@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wantraffic/internal/core"
+	"wantraffic/internal/datasets"
+	"wantraffic/internal/dist"
+	"wantraffic/internal/selfsim"
+	"wantraffic/internal/stats"
+)
+
+// figVT renders Fig. 12/13: variance-time curves of packet traces at
+// 0.01 s bins, plus the Whittle/Beran assessment of each.
+func figVT(title string, names []string) string {
+	series := map[string][]stats.VTPoint{}
+	var verdicts strings.Builder
+	for _, name := range names {
+		tr := datasets.Packet(name)
+		counts := stats.CountProcess(tr.AllTimes(), 0.01, tr.Horizon)
+		series[name] = stats.VarianceTime(counts, 3163, 5)
+		ss := core.AssessSelfSimilarity(counts, 3163)
+		fgn := "consistent with fGn"
+		if !ss.ConsistentWithFGN {
+			fgn = "NOT consistent with fGn"
+		}
+		if ss.Whittle.H > 0.99 {
+			fgn += " (H at boundary: few huge bursts / possible nonstationarity)"
+		}
+		lsc := "large-scale correlations"
+		if !ss.LargeScaleCorrelated {
+			lsc = "no large-scale correlations"
+		}
+		verdicts.WriteString(fmt.Sprintf("%s: VT slope %.2f (H_vt %.2f), Whittle H %.2f [%.2f,%.2f], Beran z %.2f -> %s; %s\n",
+			name, ss.VTSlope, ss.HFromVT, ss.Whittle.H, ss.Whittle.CILow, ss.Whittle.CIHigh,
+			ss.Whittle.BeranZ, fgn, lsc))
+	}
+	return title + " (0.01 s bins)\n" + renderVT(names, series) + verdicts.String()
+}
+
+// Fig12 regenerates Fig. 12 on the LBL PKT analogs.
+func Fig12() string {
+	return figVT("Variance-time plot, all TCP / all link-level packets, LBL PKT analogs",
+		[]string{"LBL-PKT-1", "LBL-PKT-2", "LBL-PKT-3", "LBL-PKT-4", "LBL-PKT-5"})
+}
+
+// Fig13 regenerates Fig. 13 on the DEC WRL analogs.
+func Fig13() string {
+	return figVT("Variance-time plot, all link-level packets, DEC WRL analogs",
+		[]string{"DEC-WRL-1", "DEC-WRL-2", "DEC-WRL-3", "DEC-WRL-4"})
+}
+
+// paretoRenewalFigure renders Fig. 14/15: nine independent runs of the
+// Appendix C count process, summarized by occupancy and burst/lull
+// structure.
+func paretoRenewalFigure(title string, b float64, bins int) string {
+	rng := rand.New(rand.NewSource(14))
+	var rows [][]string
+	var meanBurst, meanLull, medBurst, medLull float64
+	const seeds = 9
+	for s := 0; s < seeds; s++ {
+		counts := selfsim.ParetoRenewalCounts(rng, bins, 1, 1, b)
+		bl := selfsim.AnalyzeBurstLull(counts)
+		rows = append(rows, []string{
+			fmt.Sprintf("seed %d", s+1),
+			dotRow(counts, 80),
+			fmt.Sprintf("occ %4.1f%%", 100*bl.OccupiedFrac),
+			fmt.Sprintf("bursts %3d (med len %3.0f)", bl.Bursts, bl.MedianBurstLen),
+			fmt.Sprintf("lulls %3d (med len %3.0f)", bl.Lulls, bl.MedianLullLen),
+		})
+		meanBurst += bl.MeanBurstLen / seeds
+		meanLull += bl.MeanLullLen / seeds
+		medBurst += bl.MedianBurstLen / seeds
+		medLull += bl.MedianLullLen / seeds
+	}
+	return fmt.Sprintf("%s (beta=1, a=1, %d bins of width %g; 9 seeds)\n", title, bins, b) +
+		table(nil, rows) +
+		fmt.Sprintf("averages: burst len mean %.1f / median %.1f; lull len mean %.1f / median %.1f\n",
+			meanBurst, medBurst, meanLull, medLull)
+}
+
+// Fig14 regenerates Fig. 14 (bin width 10^3).
+func Fig14() string {
+	return paretoRenewalFigure("Pareto-renewal count process", 1e3, 800)
+}
+
+// Fig15 regenerates Fig. 15. The paper uses bin width 10^7; we use
+// 10^6 (still a 1000x span over Fig. 14) to keep the runtime sane —
+// the scaling regime is identical, and EXPERIMENTS.md records the
+// substitution. The paper measured burst lengths growing by only ~2.6x
+// and lull lengths by ~1.2x across its 10^4x span.
+func Fig15() string {
+	return paretoRenewalFigure("Pareto-renewal count process", 1e6, 800)
+}
+
+// AppendixC verifies the burst-scaling regimes of Appendix C across
+// shapes: over a 100x growth in bin width, β=2 bursts grow ~linearly
+// (until they saturate the window), β=1 logarithmically, and β=1/2 not
+// at all, while lull lengths (in bins) stay invariant for β <= 1.
+func AppendixC() string {
+	rng := rand.New(rand.NewSource(15))
+	const bins = 2000
+	measure := func(beta, b float64) (burst, lull float64) {
+		const reps = 4
+		for r := 0; r < reps; r++ {
+			res := selfsim.AnalyzeBurstLull(selfsim.ParetoRenewalCounts(rng, bins, 1, beta, b))
+			burst += res.MeanBurstLen / reps
+			lull += res.MedianLullLen / reps
+		}
+		return
+	}
+	var rows [][]string
+	for _, c := range []struct {
+		beta, bLo, bHi float64
+	}{
+		{2, 2, 200},     // linear regime needs small bins or bursts fill the window
+		{1, 100, 10000}, // logarithmic regime
+		{0.5, 100, 10000},
+	} {
+		bLo, lullLo := measure(c.beta, c.bLo)
+		bHi, lullHi := measure(c.beta, c.bHi)
+		theory := selfsim.ExpectedBurstBins(1, c.beta, c.bHi) / selfsim.ExpectedBurstBins(1, c.beta, c.bLo)
+		rows = append(rows, []string{
+			fmt.Sprintf("beta=%.1f", c.beta),
+			fmt.Sprintf("b %g -> %g", c.bLo, c.bHi),
+			fmt.Sprintf("mean burst %6.1f -> %6.1f bins (x%.1f)", bLo, bHi, bHi/bLo),
+			fmt.Sprintf("theory growth x%.1f", theory),
+			fmt.Sprintf("median lull %4.1f -> %4.1f bins", lullLo, lullHi),
+		})
+	}
+	return "Appendix C burst scaling over a 100x bin-width span (lulls scale-invariant)\n" +
+		table(nil, rows)
+}
+
+// AppendixDE contrasts the M/G/∞ count process with Pareto lifetimes
+// (long-range dependent, H = (3-β)/2) against log-normal lifetimes
+// (long-tailed but NOT long-range dependent, Appendix E).
+func AppendixDE() string {
+	rng := rand.New(rand.NewSource(16))
+	n := 1 << 15
+	var out strings.Builder
+	out.WriteString("M/G/inf count process, rate 5/bin, 2^15 bins\n")
+	for _, c := range []struct {
+		name string
+		life selfsim.Lifetime
+		want string
+	}{
+		{"Pareto beta=1.4", dist.NewPareto(1, 1.4), "theory slope = 1-beta = -0.40 (H = 0.80)"},
+		{"Pareto beta=1.2", dist.NewPareto(1, 1.2), "theory slope = 1-beta = -0.20 (H = 0.90)"},
+		{"log-normal(0.5,1)", dist.NewLogNormal(0.5, 1), "not LRD: slope -> -1 at large M (Appendix E)"},
+		{"exponential mean 3", dist.Exp(3), "short-range: slope -1"},
+	} {
+		counts := selfsim.MGInfinity(rng, n, 5, c.life, n/2)
+		pts := stats.VarianceTime(counts, 500, 5)
+		slope := stats.VTSlope(pts, 10, 500)
+		w := selfsim.Whittle(stats.SumAggregate(counts, 4))
+		out.WriteString(fmt.Sprintf("%-20s VT slope %6.2f  Whittle H %.2f   [%s]\n",
+			c.name, slope, w.H, c.want))
+	}
+	// Section VII-B's first construction: multiplexed ON/OFF sources
+	// with heavy-tailed period lengths (Willinger et al.).
+	onoff := selfsim.MultiplexOnOff(rng, 50, n, func(int) selfsim.OnOffSource {
+		return selfsim.OnOffSource{
+			On:   dist.NewPareto(1, 1.2),
+			Off:  dist.NewPareto(1, 1.2),
+			Rate: 1,
+		}
+	})
+	ooSlope := stats.VTSlope(stats.VarianceTime(onoff, 500, 5), 10, 500)
+	out.WriteString(fmt.Sprintf("%-20s VT slope %6.2f                [Sec. VII-B: heavy-tailed ON/OFF multiplexing is LRD]\n",
+		"50x ON/OFF Pareto1.2", ooSlope))
+	// Section VII-C2's M/G/k variant: limited capacity (k servers just
+	// above the mean occupancy) reduces but does not eliminate the
+	// large-scale correlations.
+	life := dist.NewPareto(1, 1.4)
+	counts := selfsim.MGK(rng, n, 5, life, 25, n/2)
+	slope := stats.VTSlope(stats.VarianceTime(counts, 500, 5), 10, 500)
+	out.WriteString(fmt.Sprintf("%-20s VT slope %6.2f                [Sec. VII-C2: capacity limit does not erase LRD]\n",
+		"M/G/k Pareto k=25", slope))
+	return out.String()
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"wantraffic/internal/core"
+	"wantraffic/internal/datasets"
+	"wantraffic/internal/fit"
+	"wantraffic/internal/model"
+	"wantraffic/internal/plot"
+	"wantraffic/internal/selfsim"
+	"wantraffic/internal/stats"
+	"wantraffic/internal/tcplib"
+	"wantraffic/internal/trace"
+)
+
+// WriteSVGs regenerates the paper's figures as SVG files in dir,
+// returning the written paths. The same deterministic data feeds both
+// the text drivers and these images.
+func WriteSVGs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name, svg string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	builders := []struct {
+		name string
+		fn   func() string
+	}{
+		{"fig1.svg", svgFig1},
+		{"fig3.svg", svgFig3},
+		{"fig4.svg", svgFig4},
+		{"fig5.svg", svgFig5},
+		{"fig8.svg", svgFig8},
+		{"fig9.svg", svgFig9},
+		{"fig10.svg", svgFig10},
+		{"fig12.svg", svgFig12},
+		{"fig14.svg", func() string { return svgParetoRenewal("Fig. 14: Pareto-renewal counts, b=10^3", 1e3) }},
+		{"fig15.svg", func() string { return svgParetoRenewal("Fig. 15: Pareto-renewal counts, b=10^6", 1e6) }},
+	}
+	for _, b := range builders {
+		if err := write(b.name, b.fn()); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func svgFig1() string {
+	p := &plot.Plot{
+		Title:  "Fig. 1: relative hourly connection arrival rate",
+		XLabel: "hour of day", YLabel: "fraction of day's connections",
+	}
+	protos := []trace.Protocol{trace.Telnet, trace.FTP, trace.NNTP, trace.SMTP}
+	counts := map[trace.Protocol][24]float64{}
+	for _, name := range []string{"LBL-1", "LBL-2", "LBL-3", "LBL-4"} {
+		tr := datasets.Conn(name)
+		for _, c := range tr.Conns {
+			arr := counts[c.Proto]
+			arr[int(c.Start/3600)%24]++
+			counts[c.Proto] = arr
+		}
+	}
+	hours := make([]float64, 24)
+	for h := range hours {
+		hours[h] = float64(h)
+	}
+	for _, proto := range protos {
+		arr := counts[proto]
+		sum := 0.0
+		for _, v := range arr {
+			sum += v
+		}
+		ys := make([]float64, 24)
+		for h, v := range arr {
+			ys[h] = v / sum
+		}
+		p.Line(proto.String(), hours, ys)
+	}
+	return p.SVG()
+}
+
+func svgFig3() string {
+	tr := datasets.Packet("LBL-PKT-1")
+	inter := telnetInterarrivalsFromTrace(tr)
+	lib := tcplib.TelnetInterarrivals()
+	fitGeo := fit.ExponentialGeometric(inter)
+	fitMean := fit.ExponentialMLE(inter)
+	var xs []float64
+	for x := 0.002; x <= 300; x *= 1.3 {
+		xs = append(xs, x)
+	}
+	curve := func(f func(float64) float64) []float64 {
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = f(x)
+		}
+		return ys
+	}
+	p := &plot.Plot{
+		Title:  "Fig. 3: TELNET packet interarrival CDFs",
+		XLabel: "interarrival (s, log scale)", YLabel: "CDF", XLog: true,
+	}
+	p.Line("trace", xs, curve(func(x float64) float64 { return stats.ECDF(inter, x) }))
+	p.Add(plot.Series{Name: "tcplib", X: xs, Y: curve(lib.CDF), Dashed: true})
+	p.Line("exp fit #1", xs, curve(fitGeo.CDF))
+	p.Line("exp fit #2", xs, curve(fitMean.CDF))
+	return p.SVG()
+}
+
+func svgFig4() string {
+	rng := rand.New(rand.NewSource(4))
+	horizon := 2000.0
+	gen := func(scheme model.Scheme) []float64 {
+		spec := model.ConnSpec{Start: 0, Packets: 100000, Duration: horizon}
+		var out []float64
+		for _, t := range model.ConnPacketTimes(rng, spec, scheme) {
+			if t >= horizon {
+				break
+			}
+			out = append(out, t)
+		}
+		return out
+	}
+	d := &plot.DotRows{
+		Title:  "Fig. 4: Tcplib vs exponential interpacket times (2000 s)",
+		XLabel: "time",
+		Rows: []plot.Series{
+			{Name: "TCPLIB", Y: stats.CountProcess(gen(model.SchemeTcplib), 2, horizon)},
+			{Name: "EXP", Y: stats.CountProcess(gen(model.SchemeExp), 2, horizon)},
+		},
+	}
+	return d.SVG()
+}
+
+func svgFig5() string {
+	rng := rand.New(rand.NewSource(5))
+	ref, specs := fig5Reference(rng)
+	const horizon = 7200.0
+	p := &plot.Plot{
+		Title:  "Fig. 5: variance-time plot, TELNET packet arrivals",
+		XLabel: "aggregation level M (log)", YLabel: "normalized variance (log)",
+		XLog: true, YLog: true,
+	}
+	addVT := func(name string, pts []stats.VTPoint, dashed bool) {
+		var xs, ys []float64
+		for _, pt := range pts {
+			xs = append(xs, float64(pt.M))
+			ys = append(ys, pt.NormVar)
+		}
+		p.Add(plot.Series{Name: name, X: xs, Y: ys, Dashed: dashed})
+	}
+	addVT("trace", vtOfTimes(ref.Times(trace.Telnet), 0.1, horizon), false)
+	for _, scheme := range []model.Scheme{model.SchemeTcplib, model.SchemeExp, model.SchemeVarExp} {
+		tr := model.Synthesize(rng, scheme.String(), specs, scheme, horizon)
+		addVT(scheme.String(), vtOfTimes(tr.Times(trace.Telnet), 0.1, horizon), scheme != model.SchemeTcplib)
+	}
+	return p.SVG()
+}
+
+func svgFig8() string {
+	p := &plot.Plot{
+		Title:  "Fig. 8: FTPDATA intra-session connection spacing",
+		XLabel: "spacing (s, log scale)", YLabel: "CDF", XLog: true,
+	}
+	var xs []float64
+	for x := 0.05; x <= 3000; x *= 1.4 {
+		xs = append(xs, x)
+	}
+	for _, name := range fig8Datasets {
+		gaps := core.IntraSessionSpacings(datasets.Conn(name))
+		if len(gaps) == 0 {
+			continue
+		}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = stats.ECDF(gaps, x)
+		}
+		p.Line(name, xs, ys)
+	}
+	return p.SVG()
+}
+
+func svgFig9() string {
+	p := &plot.Plot{
+		Title:  "Fig. 9: % of FTPDATA bytes in the largest bursts",
+		XLabel: "% of all bursts", YLabel: "% of all bytes",
+	}
+	fracs := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10}
+	xs := make([]float64, len(fracs))
+	for i, f := range fracs {
+		xs[i] = 100 * f
+	}
+	for _, name := range fig8Datasets {
+		bursts := core.ExtractBursts(datasets.Conn(name), core.DefaultBurstCutoff)
+		if len(bursts) == 0 {
+			continue
+		}
+		ys := make([]float64, len(fracs))
+		for i, f := range fracs {
+			ys[i] = 100 * core.TailShare(bursts, f)
+		}
+		p.Line(name, xs, ys)
+	}
+	return p.SVG()
+}
+
+func svgFig10() string {
+	rng := rand.New(rand.NewSource(101))
+	cfg := model.DefaultFTPConfig(90*24, 1)
+	cfg.BurstBytes.Max = 2e8
+	conns := model.GenerateFTP(rng, cfg)
+	horizon := 7200.0
+	tr := connTraceWindow(conns, horizon)
+	bursts := core.ExtractBursts(tr, core.DefaultBurstCutoff)
+	tl := core.BurstTimeline(bursts, horizon)
+	sb := &plot.StackedBars{
+		Title:  "Fig. 10: FTPDATA bytes/minute; largest 2% (mid) and 0.5% (dark) of bursts",
+		XLabel: "minute",
+		YLabel: "bytes per minute",
+		Layers: []plot.Series{
+			{Name: "all FTPDATA", Y: tl.Total},
+			{Name: "top 2% bursts", Y: tl.Top2},
+			{Name: "top 0.5%", Y: tl.Top05},
+		},
+	}
+	return sb.SVG()
+}
+
+func svgFig12() string {
+	p := &plot.Plot{
+		Title:  "Fig. 12: variance-time plot, LBL PKT analogs (0.01 s bins)",
+		XLabel: "aggregation level M (log)", YLabel: "normalized variance (log)",
+		XLog: true, YLog: true,
+	}
+	for _, name := range []string{"LBL-PKT-1", "LBL-PKT-2", "LBL-PKT-3", "LBL-PKT-4", "LBL-PKT-5"} {
+		tr := datasets.Packet(name)
+		counts := stats.CountProcess(tr.AllTimes(), 0.01, tr.Horizon)
+		pts := stats.VarianceTime(counts, 3163, 5)
+		var xs, ys []float64
+		for _, pt := range pts {
+			xs = append(xs, float64(pt.M))
+			ys = append(ys, pt.NormVar)
+		}
+		p.Add(plot.Series{Name: name, X: xs, Y: ys, Points: true})
+	}
+	return p.SVG()
+}
+
+func svgParetoRenewal(title string, b float64) string {
+	rng := rand.New(rand.NewSource(14))
+	d := &plot.DotRows{Title: title, XLabel: "bin"}
+	for s := 0; s < 9; s++ {
+		counts := selfsim.ParetoRenewalCounts(rng, 800, 1, 1, b)
+		d.Rows = append(d.Rows, plot.Series{Name: fmt.Sprintf("seed %d", s+1), Y: counts})
+	}
+	return d.SVG()
+}

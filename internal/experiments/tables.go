@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wantraffic/internal/datasets"
+	"wantraffic/internal/trace"
+)
+
+// Table1 regenerates Table I: for each synthetic connection dataset,
+// its duration and connection count, with a per-protocol breakdown.
+func Table1() string {
+	rows := [][]string{}
+	for _, spec := range datasets.TableI() {
+		tr := datasets.BuildConn(spec)
+		byProto := map[trace.Protocol]int{}
+		for _, c := range tr.Conns {
+			byProto[c.Proto]++
+		}
+		rows = append(rows, []string{
+			spec.Name,
+			fmt.Sprintf("%d days", spec.Days),
+			fmt.Sprintf("%d conns", len(tr.Conns)),
+			fmt.Sprintf("tel %d", byProto[trace.Telnet]),
+			fmt.Sprintf("ftp %d", byProto[trace.FTP]),
+			fmt.Sprintf("ftpdata %d", byProto[trace.FTPData]),
+			fmt.Sprintf("smtp %d", byProto[trace.SMTP]),
+			fmt.Sprintf("nntp %d", byProto[trace.NNTP]),
+			fmt.Sprintf("www %d", byProto[trace.WWW]),
+		})
+	}
+	return "Synthetic analogs of Table I (scaled; see EXPERIMENTS.md)\n" +
+		table([]string{"dataset", "duration", "total", "", "", "", "", "", ""}, rows)
+}
+
+// Table2 regenerates Table II: each packet trace's duration, packet
+// count and scope (TCP-only vs all link-level packets).
+func Table2() string {
+	rows := [][]string{}
+	for _, spec := range datasets.TableII() {
+		tr := datasets.BuildPacket(spec)
+		what := "ALL pkts"
+		if spec.TCPOnly {
+			what = "TCP pkts"
+		}
+		nonTCP := 0
+		for _, p := range tr.Packets {
+			if p.Proto == trace.Other {
+				nonTCP++
+			}
+		}
+		rows = append(rows, []string{
+			spec.Name,
+			fmt.Sprintf("%.0fh", spec.Hours),
+			fmt.Sprintf("%d pkts", len(tr.Packets)),
+			what,
+			fmt.Sprintf("non-TCP %d", nonTCP),
+		})
+	}
+	return "Synthetic analogs of Table II (scaled; see EXPERIMENTS.md)\n" +
+		table([]string{"dataset", "dur", "packets", "scope", ""}, rows)
+}

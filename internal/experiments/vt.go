@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"wantraffic/internal/stats"
+)
+
+func ln(x float64) float64 { return math.Log(x) }
+
+// vtOfTimes bins event times at binWidth over [0, horizon) and returns
+// the variance-time curve up to M = 10^3.5.
+func vtOfTimes(times []float64, binWidth, horizon float64) []stats.VTPoint {
+	counts := stats.CountProcess(times, binWidth, horizon)
+	return stats.VarianceTime(counts, 3163, 5)
+}
+
+// renderVT prints several variance-time series side by side at shared
+// aggregation levels, plus each series' fitted slope — the textual
+// equivalent of the paper's variance-time plots.
+func renderVT(names []string, series map[string][]stats.VTPoint) string {
+	// Index points by M per series.
+	byM := map[string]map[int]stats.VTPoint{}
+	common := map[int]int{}
+	for _, name := range names {
+		m := map[int]stats.VTPoint{}
+		for _, p := range series[name] {
+			m[p.M] = p
+			common[p.M]++
+		}
+		byM[name] = m
+	}
+	var ms []int
+	for m, c := range common {
+		if c == len(names) {
+			ms = append(ms, m)
+		}
+	}
+	sortInts(ms)
+	header := []string{"M"}
+	header = append(header, names...)
+	rows := [][]string{}
+	for _, m := range ms {
+		// Thin the table: roughly two points per decade.
+		if !keepM(m) {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", m)}
+		for _, name := range names {
+			row = append(row, fmt.Sprintf("%.2f", byM[name][m].LogVar))
+		}
+		rows = append(rows, row)
+	}
+	out := table(header, rows)
+	out += "slopes: "
+	for _, name := range names {
+		maxM := 1
+		for _, p := range series[name] {
+			if p.M > maxM {
+				maxM = p.M
+			}
+		}
+		out += fmt.Sprintf("%s %.2f  ", name, stats.VTSlope(series[name], 10, maxM))
+	}
+	return out + "(Poisson reference: -1.00)\n"
+}
+
+// keepM thins aggregation levels to ~2 per decade for display.
+func keepM(m int) bool {
+	switch m {
+	case 1, 3, 10, 32, 100, 316, 1000, 3163, 10000:
+		return true
+	}
+	return false
+}
+
+// vtGapSummary reports the variance gap between two schemes at a
+// mid-scale aggregation level — the "how much burstiness was lost"
+// number.
+func vtGapSummary(series map[string][]stats.VTPoint, a, b string) string {
+	find := func(name string, m int) (stats.VTPoint, bool) {
+		for _, p := range series[name] {
+			if p.M == m {
+				return p, true
+			}
+		}
+		return stats.VTPoint{}, false
+	}
+	for _, m := range []int{100, 32, 10} {
+		pa, oka := find(a, m)
+		pb, okb := find(b, m)
+		if oka && okb && pb.NormVar > 0 {
+			return fmt.Sprintf("at M=%d (%.0f s bins) %s has %.1fx the variance of %s\n",
+				m, float64(m)*0.1, a, pa.NormVar/pb.NormVar, b)
+		}
+	}
+	return ""
+}
+
+// dotRow renders a count process as the paper's Fig. 4/14/15 dot rows:
+// one character per bin ('.' empty, '*' occupied, '#' heavily
+// occupied), downsampled to the given width.
+func dotRow(counts []float64, width int) string {
+	if width <= 0 || len(counts) == 0 {
+		return ""
+	}
+	if width > len(counts) {
+		width = len(counts)
+	}
+	per := len(counts) / width
+	row := make([]byte, width)
+	// Heavy threshold: twice the mean of nonzero cells.
+	var sum float64
+	nz := 0
+	for _, c := range counts {
+		if c > 0 {
+			sum += c
+			nz++
+		}
+	}
+	heavy := 2.0
+	if nz > 0 {
+		heavy = 2 * sum / float64(nz)
+	}
+	for i := 0; i < width; i++ {
+		cell := 0.0
+		for j := i * per; j < (i+1)*per; j++ {
+			cell += counts[j]
+		}
+		switch {
+		case cell == 0:
+			row[i] = '.'
+		case cell >= heavy*float64(per):
+			row[i] = '#'
+		default:
+			row[i] = '*'
+		}
+	}
+	return string(row)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

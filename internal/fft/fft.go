@@ -1,0 +1,157 @@
+// Package fft implements the discrete Fourier transform for complex and
+// real sequences of arbitrary length using only the standard library.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley–Tukey transform;
+// all other lengths fall back to Bluestein's chirp-z algorithm, which
+// reduces an arbitrary-length DFT to a power-of-two circular convolution.
+// The package exists to support the periodogram, Whittle estimator, and
+// Davies–Harte fractional Gaussian noise synthesis in internal/selfsim.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Forward computes the unnormalized forward DFT of x and returns a new
+// slice:
+//
+//	X[k] = sum_{n} x[n] * exp(-2πi·kn/N)
+//
+// The input is not modified. Forward of an empty slice is an empty slice.
+func Forward(x []complex128) []complex128 {
+	return transform(x, false)
+}
+
+// Inverse computes the inverse DFT of X, normalized by 1/N, so that
+// Inverse(Forward(x)) == x up to rounding error.
+func Inverse(x []complex128) []complex128 {
+	out := transform(x, true)
+	n := complex(float64(len(out)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// ForwardReal computes the DFT of a real-valued sequence, returning the
+// full complex spectrum of length len(x).
+func ForwardReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return transform(c, false)
+}
+
+func transform(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if isPow2(n) {
+		radix2(out, inverse)
+		return out
+	}
+	return bluestein(out, inverse)
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// radix2 performs an in-place iterative Cooley–Tukey FFT.
+// len(x) must be a power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Twiddle factor computed incrementally per block to avoid
+		// a sin/cos call in the innermost loop.
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign·πi·k²/n). k² mod 2n keeps the argument small
+	// and exact for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := nextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}
+
+// Convolve returns the circular convolution of a and b, which must have
+// the same length n: out[k] = sum_j a[j]*b[(k-j) mod n].
+func Convolve(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic("fft: Convolve requires equal lengths")
+	}
+	fa := Forward(a)
+	fb := Forward(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	return Inverse(fa)
+}

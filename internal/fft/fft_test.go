@@ -1,0 +1,256 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 64, 100, 127, 128, 255} {
+		x := randComplex(rng, n)
+		got := Forward(x)
+		want := naiveDFT(x, false)
+		if d := maxDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: max diff %g", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 8, 15, 32, 49} {
+		x := randComplex(rng, n)
+		got := Inverse(x)
+		want := naiveDFT(x, true)
+		for i := range want {
+			want[i] /= complex(float64(n), 0)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 6, 8, 11, 64, 100, 1000, 1024} {
+		x := randComplex(rng, n)
+		y := Inverse(Forward(x))
+		if d := maxDiff(x, y); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: round trip diff %g", n, d)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		x := make([]complex128, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				v = rng.NormFloat64()
+			}
+			x[i] = complex(v, -v/2)
+		}
+		y := Inverse(Forward(x))
+		return maxDiff(x, y) <= 1e-6*(1+maxAbs(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxAbs(x []complex128) float64 {
+	var m float64
+	for _, v := range x {
+		if a := cmplx.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 33, 128, 200} {
+		x := randComplex(rng, n)
+		X := Forward(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		ef /= float64(n)
+		if math.Abs(et-ef) > 1e-8*et {
+			t.Errorf("n=%d: Parseval violated: time %g freq %g", n, et, ef)
+		}
+	}
+}
+
+func TestForwardRealMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := make([]float64, 37)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	if d := maxDiff(ForwardReal(x), Forward(c)); d > 1e-10 {
+		t.Errorf("real/complex mismatch %g", d)
+	}
+}
+
+func TestForwardRealHermitian(t *testing.T) {
+	// Spectrum of a real signal must satisfy X[k] == conj(X[n-k]).
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	X := ForwardReal(x)
+	n := len(X)
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(X[k]-cmplx.Conj(X[n-k])) > 1e-9 {
+			t.Fatalf("Hermitian symmetry violated at k=%d", k)
+		}
+	}
+}
+
+func TestForwardDCComponent(t *testing.T) {
+	x := []complex128{1, 1, 1, 1, 1}
+	X := Forward(x)
+	if cmplx.Abs(X[0]-5) > 1e-12 {
+		t.Errorf("DC bin = %v, want 5", X[0])
+	}
+	for k := 1; k < len(X); k++ {
+		if cmplx.Abs(X[k]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", k, X[k])
+		}
+	}
+}
+
+func TestForwardEmptyAndSingle(t *testing.T) {
+	if got := Forward(nil); len(got) != 0 {
+		t.Errorf("Forward(nil) length %d", len(got))
+	}
+	got := Forward([]complex128{3 + 4i})
+	if len(got) != 1 || got[0] != 3+4i {
+		t.Errorf("Forward single = %v", got)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	a := []complex128{1, 2, 3, 0}
+	b := []complex128{4, 5, 6, 0}
+	got := Convolve(a, b)
+	// Circular convolution computed by hand.
+	want := []complex128{22, 13, 28, 27}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("Convolve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolvePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Convolve(make([]complex128, 2), make([]complex128, 3))
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 17: 32, 1023: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSinglePureTone(t *testing.T) {
+	// A pure complex exponential at bin k concentrates all energy there.
+	n, k := 64, 5
+	x := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		x[j] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*j)/float64(n)))
+	}
+	X := Forward(x)
+	if cmplx.Abs(X[k]-complex(float64(n), 0)) > 1e-8 {
+		t.Errorf("bin %d = %v, want %d", k, X[k], n)
+	}
+	for j := 0; j < n; j++ {
+		if j != k && cmplx.Abs(X[j]) > 1e-8 {
+			t.Errorf("leakage at bin %d: %v", j, X[j])
+		}
+	}
+}
+
+func BenchmarkForwardPow2(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randComplex(rng, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}
+
+func BenchmarkForwardBluestein(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randComplex(rng, 4095)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}

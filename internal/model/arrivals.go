@@ -1,0 +1,65 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PoissonArrivals generates homogeneous Poisson arrival times with the
+// given rate (events/second) on [0, horizon).
+func PoissonArrivals(rng *rand.Rand, rate, horizon float64) []float64 {
+	if rate <= 0 || horizon <= 0 {
+		panic("model: rate and horizon must be positive")
+	}
+	var out []float64
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rate
+		if t >= horizon {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// HourlyPoissonArrivals generates the paper's session-arrival model:
+// a Poisson process whose rate is constant within each hour, following
+// the diurnal profile, repeated for the given number of days, with
+// perDay expected arrivals per day. This is the process Section III
+// shows TELNET connections and FTP sessions actually follow.
+func HourlyPoissonArrivals(rng *rand.Rand, profile DiurnalProfile, perDay float64, days int) []float64 {
+	if perDay <= 0 || days <= 0 {
+		panic("model: perDay and days must be positive")
+	}
+	norm := profile.Normalize()
+	var out []float64
+	for d := 0; d < days; d++ {
+		for h := 0; h < 24; h++ {
+			rate := perDay * norm[h] / 3600 // events per second this hour
+			if rate <= 0 {
+				continue
+			}
+			base := float64(d*24+h) * 3600
+			t := 0.0
+			for {
+				t += rng.ExpFloat64() / rate
+				if t >= 3600 {
+					break
+				}
+				out = append(out, base+t)
+			}
+		}
+	}
+	return out
+}
+
+// MergeSorted merges multiple sorted arrival-time slices into one
+// sorted slice.
+func MergeSorted(slices ...[]float64) []float64 {
+	var out []float64
+	for _, s := range slices {
+		out = append(out, s...)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+
+	"wantraffic/internal/dist"
+	"wantraffic/internal/trace"
+)
+
+// This file implements the machine-driven connection generators whose
+// arrivals Section III shows are NOT Poisson: NNTP (timer-driven peers
+// plus flooding cascades), SMTP (diurnal Poisson base perturbed by
+// mailing-list explosions and timer-driven queue runs), and WWW
+// (within-session click bursts, analogous to X11's failure mode:
+// "users deciding to do something new during their use of the
+// network").
+
+// NNTPConfig parameterizes the network-news generator.
+type NNTPConfig struct {
+	PerDay float64 // expected connections per day
+	Days   int
+	Peers  int // timer-driven peers
+	// FloodP is the probability an incoming article batch is
+	// immediately offered onward, spawning a secondary connection.
+	FloodP float64
+}
+
+// DefaultNNTPConfig returns a configuration whose arrivals robustly
+// fail the Poisson tests, as in Fig. 2.
+func DefaultNNTPConfig(perDay float64, days int) NNTPConfig {
+	return NNTPConfig{PerDay: perDay, Days: days, Peers: 8, FloodP: 0.45}
+}
+
+// GenerateNNTP produces NNTP connection records. Each peer connects on
+// a timer (with small jitter); each connection can spawn flooding
+// secondaries after short delays. Timer periodicity plus cascades make
+// the interarrivals strongly non-exponential and correlated.
+func GenerateNNTP(rng *rand.Rand, cfg NNTPConfig) []trace.Conn {
+	if cfg.PerDay <= 0 || cfg.Days <= 0 || cfg.Peers <= 0 {
+		panic("model: bad NNTP config")
+	}
+	horizon := float64(cfg.Days) * 86400
+	// Primaries per day per peer such that primaries+cascades ≈ PerDay.
+	expSpawn := cfg.FloodP / (1 - cfg.FloodP) // mean cascade size - 1
+	primariesPerDay := cfg.PerDay / (1 + expSpawn)
+	period := 86400 / (primariesPerDay / float64(cfg.Peers))
+	prof := NNTPProfile().Normalize()
+	var starts []float64
+	for p := 0; p < cfg.Peers; p++ {
+		t := rng.Float64() * period // random phase per peer
+		for t < horizon {
+			// Thin by the diurnal profile (relative to flat).
+			hour := int(t/3600) % 24
+			if rng.Float64() < prof[hour]*24 {
+				starts = append(starts, t)
+				// Flooding cascade: offer onward with probability FloodP,
+				// repeatedly (subcritical branching).
+				ct := t
+				for rng.Float64() < cfg.FloodP {
+					ct += 1 + rng.ExpFloat64()*20
+					if ct >= horizon {
+						break
+					}
+					starts = append(starts, ct)
+				}
+			}
+			t += period * (0.9 + 0.2*rng.Float64()) // timer with jitter
+		}
+	}
+	sort.Float64s(starts)
+	size := dist.NewLogNormal(9.2, 1.6) // article batches, median ~10 KB
+	conns := make([]trace.Conn, len(starts))
+	for i, s := range starts {
+		b := int64(size.Rand(rng))
+		conns[i] = trace.Conn{
+			Start:     s,
+			Duration:  2 + rng.ExpFloat64()*30,
+			Proto:     trace.NNTP,
+			BytesOrig: b,
+			BytesResp: 200 + rng.Int63n(500),
+		}
+	}
+	return conns
+}
+
+// SMTPConfig parameterizes the mail generator.
+type SMTPConfig struct {
+	PerDay float64
+	Days   int
+	// EastCoast selects the afternoon-biased diurnal profile of the
+	// Bellcore site instead of LBL's morning bias (Fig. 1).
+	EastCoast bool
+	// ExplosionP is the fraction of arrivals that are mailing-list
+	// explosions, "in which one connection immediately follows
+	// another".
+	ExplosionP float64
+	// ExplosionSizeP is the geometric parameter of explosion sizes.
+	ExplosionSizeP float64
+}
+
+// DefaultSMTPConfig matches the Fig. 2 behaviour: not statistically
+// Poisson, but "not terribly far" at 10-minute intervals, with
+// consistently positively correlated interarrivals.
+func DefaultSMTPConfig(perDay float64, days int) SMTPConfig {
+	return SMTPConfig{PerDay: perDay, Days: days, ExplosionP: 0.12, ExplosionSizeP: 0.35}
+}
+
+// GenerateSMTP produces SMTP connection records: an hourly-Poisson
+// diurnal base plus mailing-list explosions of geometrically many
+// closely spaced connections.
+func GenerateSMTP(rng *rand.Rand, cfg SMTPConfig) []trace.Conn {
+	if cfg.PerDay <= 0 || cfg.Days <= 0 {
+		panic("model: bad SMTP config")
+	}
+	prof := SMTPProfileWest()
+	if cfg.EastCoast {
+		prof = SMTPProfileEast()
+	}
+	expSize := 1 / cfg.ExplosionSizeP // mean explosion size
+	baseRate := cfg.PerDay / (1 + cfg.ExplosionP*(expSize-1))
+	base := HourlyPoissonArrivals(rng, prof, baseRate, cfg.Days)
+	horizon := float64(cfg.Days) * 86400
+	var starts []float64
+	for _, s := range base {
+		starts = append(starts, s)
+		if rng.Float64() < cfg.ExplosionP {
+			k := dist.Geometric(rng, cfg.ExplosionSizeP)
+			t := s
+			for i := 0; i < k; i++ {
+				t += 0.5 + rng.ExpFloat64()*3
+				if t >= horizon {
+					break
+				}
+				starts = append(starts, t)
+			}
+		}
+	}
+	sort.Float64s(starts)
+	size := dist.NewLogNormal(7.6, 1.2) // median ~2 KB messages
+	conns := make([]trace.Conn, len(starts))
+	for i, s := range starts {
+		conns[i] = trace.Conn{
+			Start:     s,
+			Duration:  1 + rng.ExpFloat64()*10,
+			Proto:     trace.SMTP,
+			BytesOrig: int64(size.Rand(rng)),
+			BytesResp: 300 + rng.Int63n(300),
+		}
+	}
+	return conns
+}
+
+// WWWConfig parameterizes the web generator.
+type WWWConfig struct {
+	SessionsPerDay float64
+	Days           int
+	// ClickP is the geometric parameter for clicks per session.
+	ClickP float64
+	// ConnsPerClickP is the geometric parameter for connections
+	// fetched per click (page + inline objects).
+	ConnsPerClickP float64
+}
+
+// DefaultWWWConfig produces the decidedly non-Poisson WWW connection
+// arrivals of Fig. 2.
+func DefaultWWWConfig(sessionsPerDay float64, days int) WWWConfig {
+	return WWWConfig{SessionsPerDay: sessionsPerDay, Days: days, ClickP: 0.2, ConnsPerClickP: 0.4}
+}
+
+// GenerateWWW produces WWW connection records: user sessions arrive
+// hourly-Poisson (like TELNET), but each session spawns bursts of
+// connections per click — the analog of the X11 behaviour that makes
+// connection (as opposed to session) arrivals non-Poisson.
+func GenerateWWW(rng *rand.Rand, cfg WWWConfig) []trace.Conn {
+	if cfg.SessionsPerDay <= 0 || cfg.Days <= 0 {
+		panic("model: bad WWW config")
+	}
+	sessions := HourlyPoissonArrivals(rng, WWWProfile(), cfg.SessionsPerDay, cfg.Days)
+	horizon := float64(cfg.Days) * 86400
+	think := dist.NewLogNormal(2.7, 1.0) // median ~15 s between clicks
+	size := dist.NewLogNormal(8.5, 1.3)  // median ~5 KB objects
+	var conns []trace.Conn
+	for _, s := range sessions {
+		clicks := 1 + dist.Geometric(rng, cfg.ClickP)
+		t := s
+		for c := 0; c < clicks && t < horizon; c++ {
+			if c > 0 {
+				t += think.Rand(rng)
+			}
+			nConns := 1 + dist.Geometric(rng, cfg.ConnsPerClickP)
+			ct := t
+			for i := 0; i < nConns && ct < horizon; i++ {
+				conns = append(conns, trace.Conn{
+					Start:     ct,
+					Duration:  0.2 + rng.ExpFloat64()*2,
+					Proto:     trace.WWW,
+					BytesOrig: 200 + rng.Int63n(400),
+					BytesResp: int64(size.Rand(rng)),
+				})
+				ct += 0.05 + rng.ExpFloat64()*0.4
+			}
+			t = ct
+		}
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].Start < conns[j].Start })
+	return conns
+}

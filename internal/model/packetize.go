@@ -1,0 +1,58 @@
+package model
+
+import (
+	"math/rand"
+
+	"wantraffic/internal/trace"
+)
+
+// Packetize expands connection records of any protocol into a packet
+// trace: each connection's responder bytes become packetSize-byte
+// packets spread over the connection's duration with mild jitter, and
+// TELNET/RLOGIN connections instead emit their originator bytes as
+// 1-byte keystroke packets with Tcplib interarrivals. This builds the
+// Table II packet-trace analogs from connection-level datasets.
+//
+// Packets at or beyond the horizon are dropped.
+func Packetize(rng *rand.Rand, name string, conns []trace.Conn, packetSize int, horizon float64) *trace.PacketTrace {
+	if packetSize <= 0 {
+		panic("model: packet size must be positive")
+	}
+	tr := &trace.PacketTrace{Name: name, Horizon: horizon}
+	var id int64
+	for _, c := range conns {
+		id++
+		switch c.Proto {
+		case trace.Telnet, trace.Rlogin:
+			spec := ConnSpec{Start: c.Start, Packets: int(c.BytesOrig), Duration: c.Duration}
+			if spec.Packets > 20000 {
+				spec.Packets = 20000 // guard against absurd keystroke counts
+			}
+			for _, t := range ConnPacketTimes(rng, spec, SchemeTcplib) {
+				if t >= horizon {
+					break
+				}
+				tr.Packets = append(tr.Packets, trace.Packet{
+					Time: t, Size: 1, Proto: c.Proto, ConnID: id,
+				})
+			}
+		default:
+			n := int(c.Bytes()) / packetSize
+			if n < 1 {
+				n = 1
+			}
+			step := c.Duration / float64(n)
+			for i := 0; i < n; i++ {
+				t := c.Start + (float64(i)+0.2+0.6*rng.Float64())*step
+				if t >= horizon {
+					break
+				}
+				tr.Packets = append(tr.Packets, trace.Packet{
+					Time: t, Size: packetSize, Proto: c.Proto, ConnID: id,
+				})
+			}
+		}
+	}
+	tr.SortByTime()
+	return tr
+}

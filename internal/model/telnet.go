@@ -1,0 +1,194 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+
+	"wantraffic/internal/dist"
+	"wantraffic/internal/tcplib"
+	"wantraffic/internal/trace"
+)
+
+// Scheme selects the packet-interarrival law used inside a TELNET
+// connection, matching the three synthesized traces of Section IV.
+type Scheme int
+
+// The three generation schemes compared in Fig. 5.
+const (
+	// SchemeTcplib uses i.i.d. draws from the (reconstructed) Tcplib
+	// TELNET interarrival distribution — the paper's recommended model.
+	SchemeTcplib Scheme = iota
+	// SchemeExp uses i.i.d. exponential interarrivals with mean 1.1 s,
+	// the Poisson null ("EXP").
+	SchemeExp
+	// SchemeVarExp distributes each connection's packets uniformly over
+	// the connection's observed duration, i.e. exponential interarrivals
+	// with the mean adjusted to the connection's actual packet rate
+	// ("VAR-EXP").
+	SchemeVarExp
+)
+
+// String names the scheme as in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeTcplib:
+		return "TCPLIB"
+	case SchemeExp:
+		return "EXP"
+	case SchemeVarExp:
+		return "VAR-EXP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ExpMeanInterarrival is the fixed mean (seconds) of the EXP scheme,
+// chosen by the paper "to give roughly the same number of packets" as
+// the Tcplib distribution.
+const ExpMeanInterarrival = 1.1
+
+// ConnSpec describes one TELNET connection to synthesize: its start
+// time, its size in originator packets, and (for VAR-EXP) its duration.
+type ConnSpec struct {
+	Start    float64
+	Packets  int
+	Duration float64
+}
+
+// ConnPacketTimes generates the originator packet arrival times of one
+// connection under the given scheme. Times are absolute (offset by
+// spec.Start) and sorted.
+func ConnPacketTimes(rng *rand.Rand, spec ConnSpec, scheme Scheme) []float64 {
+	if spec.Packets <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, spec.Packets)
+	switch scheme {
+	case SchemeTcplib:
+		d := tcplib.TelnetInterarrivals()
+		t := spec.Start
+		for i := 0; i < spec.Packets; i++ {
+			out = append(out, t)
+			t += d.Rand(rng)
+		}
+	case SchemeExp:
+		t := spec.Start
+		for i := 0; i < spec.Packets; i++ {
+			out = append(out, t)
+			t += rng.ExpFloat64() * ExpMeanInterarrival
+		}
+	case SchemeVarExp:
+		// Uniform order statistics over the observed duration: the
+		// conditional law of a Poisson process given its count.
+		for i := 0; i < spec.Packets; i++ {
+			out = append(out, spec.Start+rng.Float64()*spec.Duration)
+		}
+		sort.Float64s(out)
+	default:
+		panic("model: unknown scheme")
+	}
+	return out
+}
+
+// Synthesize builds a TELNET packet trace from explicit connection
+// specs under the given scheme — the construction of Section IV, which
+// replays the LBL PKT-2 connections' start times and sizes through
+// each scheme. Packets are truncated at the horizon.
+func Synthesize(rng *rand.Rand, name string, specs []ConnSpec, scheme Scheme, horizon float64) *trace.PacketTrace {
+	tr := &trace.PacketTrace{Name: name, Horizon: horizon}
+	for id, spec := range specs {
+		for _, t := range ConnPacketTimes(rng, spec, scheme) {
+			if t >= horizon {
+				break
+			}
+			tr.Packets = append(tr.Packets, trace.Packet{
+				Time: t, Size: 1, Proto: trace.Telnet, ConnID: int64(id + 1),
+			})
+		}
+	}
+	tr.SortByTime()
+	return tr
+}
+
+// FullTelnet implements Section V's FULL-TEL model, "parameterized
+// only by the hourly connection arrival rate": connection arrivals are
+// Poisson at connsPerHour, connection sizes in packets are log₂-normal
+// (log₂-mean log₂ 100, log₂-sd 2.24), and packet interarrivals are
+// i.i.d. Tcplib. It returns the packet trace over [0, horizon).
+func FullTelnet(rng *rand.Rand, name string, connsPerHour, horizon float64) *trace.PacketTrace {
+	if connsPerHour <= 0 {
+		panic("model: connection rate must be positive")
+	}
+	starts := PoissonArrivals(rng, connsPerHour/3600, horizon)
+	specs := make([]ConnSpec, len(starts))
+	size := tcplib.TelnetConnectionSizePackets()
+	for i, s := range starts {
+		specs[i] = ConnSpec{Start: s, Packets: packetCount(rng, size)}
+	}
+	return Synthesize(rng, name, specs, SchemeTcplib, horizon)
+}
+
+func packetCount(rng *rand.Rand, d dist.LogNormal) int {
+	n := int(d.Rand(rng) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MultiplexedTelnet generates the Section IV multiplexing experiment:
+// nConns TELNET connections all active for the entire duration, each
+// emitting packets under the given scheme (sizes unbounded; packets
+// are generated until the horizon). It returns the merged packet
+// arrival times, sorted.
+func MultiplexedTelnet(rng *rand.Rand, nConns int, horizon float64, scheme Scheme) []float64 {
+	if nConns <= 0 || horizon <= 0 {
+		panic("model: need positive connection count and horizon")
+	}
+	var all []float64
+	iat := tcplib.TelnetInterarrivals()
+	for c := 0; c < nConns; c++ {
+		t := 0.0
+		for {
+			switch scheme {
+			case SchemeTcplib:
+				t += iat.Rand(rng)
+			case SchemeExp:
+				t += rng.ExpFloat64() * ExpMeanInterarrival
+			default:
+				panic("model: multiplexed TELNET supports TCPLIB and EXP")
+			}
+			if t >= horizon {
+				break
+			}
+			all = append(all, t)
+		}
+	}
+	sort.Float64s(all)
+	return all
+}
+
+// TelnetConnections generates SYN/FIN-level TELNET connection records
+// over the given number of days with the paper's diurnal profile and
+// hourly-Poisson arrivals; sizes come from the Section V fits. Used by
+// the synthetic Table I datasets.
+func TelnetConnections(rng *rand.Rand, perDay float64, days int, proto trace.Protocol) []trace.Conn {
+	starts := HourlyPoissonArrivals(rng, TelnetProfile(), perDay, days)
+	bytes := tcplib.TelnetConnectionSizeBytes()
+	dur := dist.NewLogNormal(5.5, 1.4) // median ~4.1 min sessions
+	conns := make([]trace.Conn, len(starts))
+	for i, s := range starts {
+		b := int64(bytes.Rand(rng))
+		if b < 1 {
+			b = 1
+		}
+		conns[i] = trace.Conn{
+			Start:     s,
+			Duration:  dur.Rand(rng),
+			Proto:     proto,
+			BytesOrig: b,
+			BytesResp: b * (5 + rng.Int63n(20)), // echo + command output
+		}
+	}
+	return conns
+}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+
+	"wantraffic/internal/dist"
+	"wantraffic/internal/trace"
+)
+
+// This file models the Section III X11/RLOGIN contrast and the
+// periodic "weather-map" FTP traffic.
+//
+// The paper finds RLOGIN connection arrivals Poisson (like TELNET,
+// each session is one TCP connection) but X11 not, conjecturing that
+// "during a single X11 session ... a user initiates multiple X11
+// connections", so connection arrivals are clustered even though
+// session arrivals would be Poisson. GenerateX11 produces exactly that
+// structure so the conjecture can be tested.
+
+// X11Config parameterizes the X11 generator.
+type X11Config struct {
+	SessionsPerDay float64
+	Days           int
+	// ConnsPerSessionP is the geometric parameter for the number of
+	// X11 connections a session creates beyond the first ("users
+	// deciding to do something new during their use of the network").
+	ConnsPerSessionP float64
+}
+
+// DefaultX11Config returns the Section III scenario.
+func DefaultX11Config(sessionsPerDay float64, days int) X11Config {
+	return X11Config{SessionsPerDay: sessionsPerDay, Days: days, ConnsPerSessionP: 0.25}
+}
+
+// GenerateX11 produces X11 connection records: session arrivals are
+// hourly-Poisson with the TELNET diurnal profile (each session is an
+// xterm user), but each session spawns several connections spread over
+// its lifetime. SessionID links a session's connections so the session
+// arrival process can be recovered.
+func GenerateX11(rng *rand.Rand, cfg X11Config) []trace.Conn {
+	if cfg.SessionsPerDay <= 0 || cfg.Days <= 0 {
+		panic("model: bad X11 config")
+	}
+	sessions := HourlyPoissonArrivals(rng, TelnetProfile(), cfg.SessionsPerDay, cfg.Days)
+	horizon := float64(cfg.Days) * 86400
+	gap := dist.NewLogNormal(4.6, 1.2) // median ~100 s between new apps
+	var conns []trace.Conn
+	for i, s := range sessions {
+		n := 1 + dist.Geometric(rng, cfg.ConnsPerSessionP)
+		t := s
+		for c := 0; c < n && t < horizon; c++ {
+			if c > 0 {
+				t += gap.Rand(rng)
+			}
+			conns = append(conns, trace.Conn{
+				Start:     t,
+				Duration:  60 + rng.ExpFloat64()*1800,
+				Proto:     trace.X11,
+				BytesOrig: 2000 + rng.Int63n(50000),
+				BytesResp: 2000 + rng.Int63n(50000),
+				SessionID: int64(i + 1),
+			})
+		}
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].Start < conns[j].Start })
+	return conns
+}
+
+// SessionStartTimes recovers the session arrival process from
+// session-linked connections: the first connection of each session.
+func SessionStartTimes(conns []trace.Conn) []float64 {
+	first := map[int64]float64{}
+	for _, c := range conns {
+		if t, ok := first[c.SessionID]; !ok || c.Start < t {
+			first[c.SessionID] = c.Start
+		}
+	}
+	out := make([]float64, 0, len(first))
+	for _, t := range first {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// WeatherMapFTP produces the periodic, timer-driven FTP session
+// traffic the paper removed before its Section III analysis ("Prior to
+// our analysis we removed the periodic 'weather-map' FTP traffic
+// discussed in [35], to avoid skewing our results"): a cron-style
+// fetch every `period` seconds with small jitter.
+func WeatherMapFTP(rng *rand.Rand, period float64, days int) []trace.Conn {
+	if period <= 0 || days <= 0 {
+		panic("model: bad weather-map parameters")
+	}
+	horizon := float64(days) * 86400
+	var conns []trace.Conn
+	id := int64(1 << 40) // keep clear of normal session ids
+	for t := rng.Float64() * period; t < horizon; t += period * (0.98 + 0.04*rng.Float64()) {
+		conns = append(conns, trace.Conn{
+			Start:     t,
+			Duration:  10 + rng.ExpFloat64()*20,
+			Proto:     trace.FTP,
+			BytesOrig: 200,
+			BytesResp: 500,
+			SessionID: id,
+		})
+		id++
+	}
+	return conns
+}

@@ -1,0 +1,373 @@
+// Package plot renders the paper's figure types — log-log variance-time
+// plots, logarithmic-x CDFs, per-minute stacked byte timelines, and
+// dot-row arrival plots — as standalone SVG documents, using only the
+// standard library. It exists so `paperfig -svgdir` can regenerate the
+// figures as images, not just text tables.
+//
+// The API is deliberately small: construct a Plot, add series, render.
+// Axes support linear and log10 scales with automatic ticks.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line or scatter on a plot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Dashed bool
+	// Points draws markers instead of a connected line.
+	Points bool
+}
+
+// Plot is a two-dimensional chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool // log10 x axis
+	YLog   bool // log10 y axis
+	Width  int  // pixels; default 640
+	Height int  // pixels; default 420
+
+	series []Series
+}
+
+// palette holds distinguishable SVG stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Add appends a series to the plot.
+func (p *Plot) Add(s Series) {
+	if len(s.X) != len(s.Y) {
+		panic("plot: series X/Y length mismatch")
+	}
+	p.series = append(p.series, s)
+}
+
+// Line is shorthand for Add with a solid line.
+func (p *Plot) Line(name string, x, y []float64) {
+	p.Add(Series{Name: name, X: x, Y: y})
+}
+
+const margin = 56.0
+
+// SVG renders the plot.
+func (p *Plot) SVG() string {
+	w, h := p.Width, p.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if p.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" text-anchor="middle" font-size="13">%s</text>`+"\n", w/2, esc(p.Title))
+	}
+	x0, y0 := margin, margin/2+10
+	x1, y1 := float64(w)-margin/3, float64(h)-margin*0.8
+
+	lox, hix, loy, hiy := p.bounds()
+	sx := func(v float64) float64 {
+		v = p.txX(v)
+		return x0 + (v-lox)/(hix-lox)*(x1-x0)
+	}
+	sy := func(v float64) float64 {
+		v = p.txY(v)
+		return y1 - (v-loy)/(hiy-loy)*(y1-y0)
+	}
+
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		x0, y0, x1-x0, y1-y0)
+	// Ticks and grid.
+	for _, t := range ticks(lox, hix, p.XLog) {
+		px := x0 + (t-lox)/(hix-lox)*(x1-x0)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", px, y0, px, y1)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n", px, y1+16, tickLabel(t, p.XLog))
+	}
+	for _, t := range ticks(loy, hiy, p.YLog) {
+		py := y1 - (t-loy)/(hiy-loy)*(y1-y0)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", x0, py, x1, py)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n", x0-4, py+4, tickLabel(t, p.YLog))
+	}
+	// Axis labels.
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			(x0+x1)/2, float64(h)-8, esc(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			(y0+y1)/2, (y0+y1)/2, esc(p.YLabel))
+	}
+	// Series.
+	for i, s := range p.series {
+		color := palette[i%len(palette)]
+		if s.Points {
+			for j := range s.X {
+				if !p.finite(s.X[j], s.Y[j]) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s"/>`+"\n", sx(s.X[j]), sy(s.Y[j]), color)
+			}
+		} else {
+			var pts []string
+			for j := range s.X {
+				if !p.finite(s.X[j], s.Y[j]) {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+			}
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6,4"`
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
+		}
+		// Legend entry.
+		ly := y0 + 14 + float64(i)*15
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			x1-120, ly, x1-100, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", x1-95, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func (p *Plot) txX(v float64) float64 {
+	if p.XLog {
+		return math.Log10(v)
+	}
+	return v
+}
+
+func (p *Plot) txY(v float64) float64 {
+	if p.YLog {
+		return math.Log10(v)
+	}
+	return v
+}
+
+// finite reports whether the point survives the axis transforms.
+func (p *Plot) finite(x, y float64) bool {
+	if p.XLog && x <= 0 {
+		return false
+	}
+	if p.YLog && y <= 0 {
+		return false
+	}
+	tx, ty := p.txX(x), p.txY(y)
+	return !math.IsNaN(tx) && !math.IsInf(tx, 0) && !math.IsNaN(ty) && !math.IsInf(ty, 0)
+}
+
+// bounds returns the transformed data extents, padded.
+func (p *Plot) bounds() (lox, hix, loy, hiy float64) {
+	lox, loy = math.Inf(1), math.Inf(1)
+	hix, hiy = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.series {
+		for j := range s.X {
+			if !p.finite(s.X[j], s.Y[j]) {
+				continue
+			}
+			x, y := p.txX(s.X[j]), p.txY(s.Y[j])
+			lox, hix = math.Min(lox, x), math.Max(hix, x)
+			loy, hiy = math.Min(loy, y), math.Max(hiy, y)
+		}
+	}
+	if math.IsInf(lox, 0) { // empty plot
+		return 0, 1, 0, 1
+	}
+	if hix == lox {
+		hix = lox + 1
+	}
+	if hiy == loy {
+		hiy = loy + 1
+	}
+	padx, pady := (hix-lox)*0.04, (hiy-loy)*0.06
+	return lox - padx, hix + padx, loy - pady, hiy + pady
+}
+
+// ticks returns ~5 tick positions in transformed coordinates.
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		// Integer decades within range.
+		var out []float64
+		for d := math.Ceil(lo); d <= math.Floor(hi)+1e-9; d++ {
+			out = append(out, d)
+		}
+		if len(out) >= 2 {
+			return out
+		}
+		// Fall through to linear ticks in log space.
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for span/step > 8 {
+		step *= 2
+	}
+	for span/step < 3 {
+		step /= 2
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-9*span; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// tickLabel formats a transformed tick value back into data units.
+func tickLabel(t float64, log bool) string {
+	if log {
+		v := math.Pow(10, t)
+		if v >= 0.001 && v < 1e6 {
+			return trimZeros(fmt.Sprintf("%g", round3(v)))
+		}
+		return fmt.Sprintf("1e%d", int(math.Round(t)))
+	}
+	return trimZeros(fmt.Sprintf("%.3g", t))
+}
+
+func round3(v float64) float64 {
+	mag := math.Pow(10, math.Floor(math.Log10(math.Abs(v)))-2)
+	return math.Round(v/mag) * mag
+}
+
+func trimZeros(s string) string { return s }
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// StackedBars renders a per-bin stacked bar chart (the Fig. 10/11
+// byte-per-minute timelines): total bars with shaded sub-series.
+type StackedBars struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	// Layers from back (total) to front (subsets); each must have the
+	// same length. Front layers draw over back layers.
+	Layers []Series
+}
+
+// SVG renders the stacked bar chart.
+func (sb *StackedBars) SVG() string {
+	w, h := sb.Width, sb.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 300
+	}
+	if len(sb.Layers) == 0 || len(sb.Layers[0].Y) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"></svg>`
+	}
+	n := len(sb.Layers[0].Y)
+	for _, l := range sb.Layers {
+		if len(l.Y) != n {
+			panic("plot: stacked layers must share length")
+		}
+	}
+	maxY := 0.0
+	for _, v := range sb.Layers[0].Y {
+		maxY = math.Max(maxY, v)
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if sb.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" text-anchor="middle" font-size="13">%s</text>`+"\n", w/2, esc(sb.Title))
+	}
+	x0, y0 := margin, 28.0
+	x1, y1 := float64(w)-10, float64(h)-30
+	colors := []string{"#c6d8ec", "#7fa8d0", "#1a1a1a"}
+	bw := (x1 - x0) / float64(n)
+	for li, layer := range sb.Layers {
+		color := colors[li%len(colors)]
+		for i, v := range layer.Y {
+			if v <= 0 {
+				continue
+			}
+			bh := v / maxY * (y1 - y0)
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x0+float64(i)*bw, y1-bh, math.Max(bw-0.5, 0.5), bh, color)
+		}
+		ly := y0 + float64(li)*14
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", x1-130, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", x1-116, ly+9, esc(layer.Name))
+	}
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", x0, y1, x1, y1)
+	if sb.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n", (x0+x1)/2, float64(h)-8, esc(sb.XLabel))
+	}
+	if sb.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			(y0+y1)/2, (y0+y1)/2, esc(sb.YLabel))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// DotRows renders the paper's Fig. 4/14/15 arrival dot plots: one row
+// per series, a dot per positive count.
+type DotRows struct {
+	Title  string
+	XLabel string
+	Width  int
+	Rows   []Series // Y holds counts per bin; X is ignored
+}
+
+// SVG renders the dot-row plot.
+func (d *DotRows) SVG() string {
+	w := d.Width
+	if w == 0 {
+		w = 800
+	}
+	rowH := 26
+	h := 40 + rowH*len(d.Rows) + 24
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if d.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" text-anchor="middle" font-size="13">%s</text>`+"\n", w/2, esc(d.Title))
+	}
+	x0 := 90.0
+	x1 := float64(w) - 14
+	for ri, row := range d.Rows {
+		y := float64(40 + ri*rowH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n", x0-6, y+4, esc(row.Name))
+		n := len(row.Y)
+		if n == 0 {
+			continue
+		}
+		for i, v := range row.Y {
+			if v <= 0 {
+				continue
+			}
+			px := x0 + float64(i)/float64(n)*(x1-x0)
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.1f" width="1.4" height="8" fill="#1a1a1a"/>`+"\n", px, y-4)
+		}
+	}
+	if d.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", (x0+x1)/2, h-6, esc(d.XLabel))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG as XML to catch broken markup.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLinePlotSVG(t *testing.T) {
+	p := &Plot{Title: "VT plot", XLabel: "M", YLabel: "var", XLog: true, YLog: true}
+	p.Line("trace", []float64{1, 10, 100, 1000}, []float64{1, 0.3, 0.1, 0.03})
+	p.Add(Series{Name: "EXP", X: []float64{1, 10, 100}, Y: []float64{1, 0.1, 0.01}, Dashed: true})
+	svg := p.SVG()
+	wellFormed(t, svg)
+	for _, want := range []string{"polyline", "VT plot", "trace", "EXP", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestPointsSeries(t *testing.T) {
+	p := &Plot{}
+	p.Add(Series{Name: "pts", X: []float64{1, 2}, Y: []float64{3, 4}, Points: true})
+	svg := p.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<circle") {
+		t.Error("points series should render circles")
+	}
+}
+
+func TestLogAxisDropsNonPositive(t *testing.T) {
+	p := &Plot{XLog: true}
+	p.Line("x", []float64{-1, 0, 1, 10}, []float64{1, 2, 3, 4})
+	svg := p.SVG()
+	wellFormed(t, svg)
+	// Only two finite points survive: polyline has exactly two pairs.
+	i := strings.Index(svg, `<polyline points="`)
+	if i < 0 {
+		t.Fatal("no polyline")
+	}
+	rest := svg[i+len(`<polyline points="`):]
+	pts := strings.Split(rest[:strings.Index(rest, `"`)], " ")
+	if len(pts) != 2 {
+		t.Errorf("polyline points %d want 2", len(pts))
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	wellFormed(t, p.SVG())
+}
+
+func TestEscaping(t *testing.T) {
+	p := &Plot{Title: `a<b & "c"`}
+	p.Line("s<1>", []float64{1}, []float64{1})
+	svg := p.SVG()
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestSeriesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&Plot{}).Line("bad", []float64{1, 2}, []float64{1})
+}
+
+func TestStackedBars(t *testing.T) {
+	sb := &StackedBars{
+		Title:  "Fig10",
+		XLabel: "minute",
+		YLabel: "bytes",
+		Layers: []Series{
+			{Name: "total", Y: []float64{10, 5, 0, 8}},
+			{Name: "top2%", Y: []float64{6, 0, 0, 8}},
+		},
+	}
+	svg := sb.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "top2%") || !strings.Contains(svg, "<rect") {
+		t.Error("stacked bars missing content")
+	}
+	// Zero-height bins render no bar: count rects for layer 2 (2 bars + legend swatch).
+}
+
+func TestStackedBarsMismatchPanics(t *testing.T) {
+	sb := &StackedBars{Layers: []Series{{Y: []float64{1, 2}}, {Y: []float64{1}}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	sb.SVG()
+}
+
+func TestStackedBarsEmpty(t *testing.T) {
+	wellFormed(t, (&StackedBars{}).SVG())
+}
+
+func TestDotRows(t *testing.T) {
+	d := &DotRows{
+		Title:  "Fig14",
+		XLabel: "bin",
+		Rows: []Series{
+			{Name: "seed 1", Y: []float64{0, 1, 0, 2, 0}},
+			{Name: "seed 2", Y: []float64{1, 1, 1, 0, 0}},
+		},
+	}
+	svg := d.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "seed 1") || !strings.Contains(svg, "seed 2") {
+		t.Error("dot rows missing labels")
+	}
+}
+
+func TestTicksLogDecades(t *testing.T) {
+	got := ticks(0, 3, true) // decades 1..1000 in log space
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("log ticks %v", got)
+	}
+	lin := ticks(0, 10, false)
+	if len(lin) < 3 || len(lin) > 12 {
+		t.Errorf("linear ticks %v", lin)
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	if tickLabel(2, true) != "100" {
+		t.Errorf("decade label %q", tickLabel(2, true))
+	}
+	if tickLabel(7, true) != "1e7" {
+		t.Errorf("big decade label %q", tickLabel(7, true))
+	}
+	if tickLabel(2.5, false) != "2.5" {
+		t.Errorf("linear label %q", tickLabel(2.5, false))
+	}
+}

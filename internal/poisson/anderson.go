@@ -1,0 +1,165 @@
+// Package poisson implements the paper's Appendix A methodology for
+// testing whether an arrival process is consistent with a
+// (nonhomogeneous) Poisson process with rates fixed over intervals of a
+// chosen length.
+//
+// The trace is split into intervals of length I. Each interval's
+// interarrival times are tested twice: for exponentiality, with the
+// Anderson–Darling A² empirical-distribution test (with the rate
+// estimated from the interval, using Stephens' modification), and for
+// independence, via the lag-one sample autocorrelation. If the arrivals
+// are truly Poisson, about 95% of intervals pass each 5%-level test;
+// binomial meta-tests over the per-interval outcomes decide whether the
+// whole trace is statistically consistent with Poisson arrivals, and a
+// sign meta-test flags consistently positive or negative correlation
+// (the "+"/"−" annotations of Fig. 2).
+package poisson
+
+import (
+	"math"
+	"sort"
+)
+
+// ADStatistic computes the Anderson–Darling A² statistic for sorted
+// probability-transformed observations u_i = F(x_i) (ascending):
+//
+//	A² = -n - (1/n) Σ (2i-1)·(ln u_i + ln(1 - u_{n+1-i})).
+//
+// The caller is responsible for applying the hypothesized CDF and
+// sorting. Values are clamped away from {0,1} to keep the logs finite.
+func ADStatistic(u []float64) float64 {
+	n := len(u)
+	if n == 0 {
+		panic("poisson: A² of empty sample")
+	}
+	const eps = 1e-12
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		ui := clamp(u[i], eps, 1-eps)
+		uj := clamp(u[n-1-i], eps, 1-eps)
+		sum += float64(2*i+1) * (math.Log(ui) + math.Log1p(-uj))
+	}
+	return -float64(n) - sum/float64(n)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Significance levels supported by the embedded Anderson–Darling
+// critical-value tables (from D'Agostino & Stephens, Goodness-of-Fit
+// Techniques, 1986 — reference [10] of the paper).
+var sigLevels = []float64{0.10, 0.05, 0.025, 0.01}
+
+// Critical values for the exponential null with mean estimated from the
+// data, applied to the modified statistic A* = A²·(1 + 0.6/n).
+var expEstimatedCrit = []float64{1.062, 1.321, 1.591, 1.959}
+
+// Critical values for a fully specified continuous null (case 0),
+// applied to A² directly; valid for n >= 5.
+var fullySpecifiedCrit = []float64{1.933, 2.492, 3.070, 3.857}
+
+func critFor(table []float64, sig float64) float64 {
+	for i, s := range sigLevels {
+		if math.Abs(s-sig) < 1e-9 {
+			return table[i]
+		}
+	}
+	panic("poisson: unsupported significance level (use 0.10, 0.05, 0.025 or 0.01)")
+}
+
+// ExponentialADTest tests whether the interarrival sample is consistent
+// with an exponential distribution whose mean is estimated from the
+// sample (the situation of Appendix A: the rate is fixed so the
+// expected count matches the observed count). It reports whether the
+// sample passes at the given significance level, along with the
+// modified statistic A*.
+func ExponentialADTest(interarrivals []float64, sig float64) (pass bool, aStar float64) {
+	n := len(interarrivals)
+	if n < 2 {
+		panic("poisson: exponential test needs at least two interarrivals")
+	}
+	mean := 0.0
+	for _, x := range interarrivals {
+		if x < 0 {
+			panic("poisson: negative interarrival")
+		}
+		mean += x
+	}
+	mean /= float64(n)
+	if mean == 0 {
+		return false, math.Inf(1)
+	}
+	u := make([]float64, n)
+	for i, x := range interarrivals {
+		u[i] = -math.Expm1(-x / mean)
+	}
+	sort.Float64s(u)
+	a2 := ADStatistic(u)
+	aStar = a2 * (1 + 0.6/float64(n))
+	return aStar < critFor(expEstimatedCrit, sig), aStar
+}
+
+// FullySpecifiedADTest tests the sample against an arbitrary fully
+// specified continuous CDF at the given significance level (case 0).
+// The paper uses this form when the null has no estimated parameters.
+func FullySpecifiedADTest(xs []float64, cdf func(float64) float64, sig float64) (pass bool, a2 float64) {
+	n := len(xs)
+	if n < 5 {
+		panic("poisson: case-0 test needs at least five observations")
+	}
+	u := make([]float64, n)
+	for i, x := range xs {
+		u[i] = cdf(x)
+	}
+	sort.Float64s(u)
+	a2 = ADStatistic(u)
+	return a2 < critFor(fullySpecifiedCrit, sig), a2
+}
+
+// Critical values for the normal null with both parameters estimated
+// (case 3), applied to the modified statistic
+// A* = A²·(1 + 0.75/n + 2.25/n²).
+var normalEstimatedCrit = []float64{0.631, 0.752, 0.873, 1.035}
+
+// NormalADTest tests whether a sample is consistent with a normal
+// distribution whose mean and variance are estimated from the sample
+// (Stephens' case 3). Applied to log-transformed data it tests the
+// log-normal fits the paper uses for connection sizes and FTPDATA
+// spacings (Sections V and VI).
+func NormalADTest(xs []float64, sig float64) (pass bool, aStar float64) {
+	n := len(xs)
+	if n < 8 {
+		panic("poisson: normal test needs at least eight observations")
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varSum += d * d
+	}
+	sd := math.Sqrt(varSum / float64(n-1))
+	if sd == 0 {
+		return false, math.Inf(1)
+	}
+	u := make([]float64, n)
+	for i, x := range xs {
+		z := (x - mean) / sd
+		u[i] = 0.5 * (1 + math.Erf(z/math.Sqrt2))
+	}
+	sort.Float64s(u)
+	a2 := ADStatistic(u)
+	fn := float64(n)
+	aStar = a2 * (1 + 0.75/fn + 2.25/(fn*fn))
+	return aStar < critFor(normalEstimatedCrit, sig), aStar
+}

@@ -1,0 +1,48 @@
+package poisson_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wantraffic/internal/poisson"
+)
+
+// ExampleEvaluate runs the Appendix A methodology on a homogeneous
+// Poisson process: it passes the tests.
+func ExampleEvaluate() {
+	rng := rand.New(rand.NewSource(8))
+	var times []float64
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * 15
+		if t >= 24*3600 {
+			break
+		}
+		times = append(times, t)
+	}
+	res := poisson.Evaluate(times, 24*3600, poisson.DefaultConfig(3600))
+	fmt.Println("intervals tested:", res.Tested)
+	fmt.Println("judged Poisson:", res.Poisson)
+	// Output:
+	// intervals tested: 24
+	// judged Poisson: true
+}
+
+// ExampleExponentialADTest rejects heavy-tailed interarrivals.
+func ExampleExponentialADTest() {
+	rng := rand.New(rand.NewSource(9))
+	pareto := make([]float64, 100)
+	for i := range pareto {
+		// Pareto(1, 0.9): far heavier than exponential.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		pareto[i] = math.Pow(u, -1/0.9)
+	}
+	pass, _ := poisson.ExponentialADTest(pareto, 0.05)
+	fmt.Println("heavy-tailed sample passes:", pass)
+	// Output:
+	// heavy-tailed sample passes: false
+}

@@ -1,0 +1,187 @@
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"wantraffic/internal/dist"
+	"wantraffic/internal/stats"
+)
+
+// Config controls the Appendix A testing pipeline.
+type Config struct {
+	// IntervalLen is the fixed-rate interval length in seconds
+	// (3600 for the paper's one-hour tests, 600 for ten minutes).
+	IntervalLen float64
+	// Significance is the per-interval test level; the paper uses 0.05.
+	Significance float64
+	// MinArrivals is the smallest number of arrivals for which an
+	// interval is tested; intervals with fewer are skipped (a nearly
+	// empty interval carries no evidence either way).
+	MinArrivals int
+	// MetaSignificance is the level of the binomial meta-tests over
+	// interval outcomes; the paper uses 0.05 (and 0.025 per side for
+	// the correlation-sign test).
+	MetaSignificance float64
+}
+
+// DefaultConfig returns the paper's settings for the given interval
+// length.
+func DefaultConfig(intervalLen float64) Config {
+	return Config{
+		IntervalLen:      intervalLen,
+		Significance:     0.05,
+		MinArrivals:      10,
+		MetaSignificance: 0.05,
+	}
+}
+
+// IntervalOutcome records the two per-interval tests of Appendix A.
+type IntervalOutcome struct {
+	Start        float64 // interval start time
+	Arrivals     int
+	ExpPass      bool    // Anderson–Darling exponentiality test
+	AStar        float64 // modified A² statistic
+	IndepPass    bool    // |lag-1 autocorrelation| within white-noise band
+	Lag1         float64 // lag-1 sample autocorrelation of interarrivals
+	Lag1Positive bool
+}
+
+// CorrSign summarizes the consistent-correlation meta-test.
+type CorrSign int
+
+// Correlation-sign verdicts: the "+" and "−" annotations in Fig. 2.
+const (
+	CorrNone CorrSign = iota
+	CorrPositive
+	CorrNegative
+)
+
+// String renders the Fig. 2 annotation.
+func (c CorrSign) String() string {
+	switch c {
+	case CorrPositive:
+		return "+"
+	case CorrNegative:
+		return "-"
+	default:
+		return ""
+	}
+}
+
+// Result is the whole-trace verdict of the Appendix A methodology.
+type Result struct {
+	Config    Config
+	Intervals []IntervalOutcome
+
+	Tested   int     // number of intervals tested
+	PctExp   float64 // percentage passing the exponential test (x-axis of Fig. 2)
+	PctIndep float64 // percentage passing the independence test (y-axis of Fig. 2)
+	ExpOK    bool    // exponential pass count consistent with Binomial(N, 0.95)
+	IndepOK  bool    // independence pass count consistent with Binomial(N, 0.95)
+	Poisson  bool    // both meta-tests pass: "statistically indistinguishable from Poisson"
+	Sign     CorrSign
+}
+
+// String renders a one-line summary in the spirit of a Fig. 2 point.
+func (r Result) String() string {
+	mark := ""
+	if r.Poisson {
+		mark = " [POISSON]"
+	}
+	return fmt.Sprintf("exp %.1f%% indep %.1f%% over %d intervals%s%s",
+		r.PctExp, r.PctIndep, r.Tested, r.Sign, mark)
+}
+
+// SplitIntervals partitions sorted arrival times into consecutive
+// intervals of the given length starting at t=0 and ending at horizon.
+// Returned slices alias the input.
+func SplitIntervals(times []float64, intervalLen, horizon float64) [][]float64 {
+	if intervalLen <= 0 || horizon <= 0 {
+		panic("poisson: interval length and horizon must be positive")
+	}
+	n := int(math.Ceil(horizon / intervalLen))
+	out := make([][]float64, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		end := float64(i+1) * intervalLen
+		hi := lo
+		for hi < len(times) && times[hi] < end {
+			hi++
+		}
+		out[i] = times[lo:hi]
+		lo = hi
+	}
+	return out
+}
+
+// Evaluate runs the full Appendix A pipeline on sorted arrival times
+// over [0, horizon) and returns the per-interval outcomes and the
+// whole-trace verdict.
+func Evaluate(times []float64, horizon float64, cfg Config) Result {
+	if cfg.Significance == 0 {
+		cfg.Significance = 0.05
+	}
+	if cfg.MetaSignificance == 0 {
+		cfg.MetaSignificance = 0.05
+	}
+	if cfg.MinArrivals < 3 {
+		cfg.MinArrivals = 3
+	}
+	res := Result{Config: cfg}
+	for i, iv := range SplitIntervals(times, cfg.IntervalLen, horizon) {
+		if len(iv) < cfg.MinArrivals {
+			continue
+		}
+		inter := stats.Diff(iv)
+		out := IntervalOutcome{
+			Start:    float64(i) * cfg.IntervalLen,
+			Arrivals: len(iv),
+		}
+		out.ExpPass, out.AStar = ExponentialADTest(inter, cfg.Significance)
+		out.Lag1 = stats.Autocorrelation(inter, 1)
+		// The sample lag-1 autocorrelation of i.i.d. interarrivals is
+		// negatively biased with null median ≈ -1/n, so the sign test
+		// centers there rather than at zero; otherwise truly Poisson
+		// traces would be flagged consistently negative.
+		out.Lag1Positive = out.Lag1 > -1/float64(len(inter))
+		bound := 1.96 / math.Sqrt(float64(len(inter)))
+		out.IndepPass = math.Abs(out.Lag1) <= bound
+		res.Intervals = append(res.Intervals, out)
+	}
+	res.Tested = len(res.Intervals)
+	if res.Tested == 0 {
+		return res
+	}
+	var expPass, indepPass, positive int
+	for _, o := range res.Intervals {
+		if o.ExpPass {
+			expPass++
+		}
+		if o.IndepPass {
+			indepPass++
+		}
+		if o.Lag1Positive {
+			positive++
+		}
+	}
+	n := res.Tested
+	res.PctExp = 100 * float64(expPass) / float64(n)
+	res.PctIndep = 100 * float64(indepPass) / float64(n)
+	// Binomial meta-test: under the Poisson null each interval passes
+	// with probability 1 - Significance. The trace is inconsistent if
+	// the observed pass count is in the lower MetaSignificance tail.
+	p := 1 - cfg.Significance
+	res.ExpOK = dist.BinomialCDF(n, expPass, p) >= cfg.MetaSignificance
+	res.IndepOK = dist.BinomialCDF(n, indepPass, p) >= cfg.MetaSignificance
+	res.Poisson = res.ExpOK && res.IndepOK
+	// Sign meta-test: positives ~ Binomial(N, 0.5) under independence;
+	// each side tested at MetaSignificance/2 (paper: 2.5%).
+	side := cfg.MetaSignificance / 2
+	if dist.BinomialUpperTail(n, positive, 0.5) < side {
+		res.Sign = CorrPositive
+	} else if dist.BinomialCDF(n, positive, 0.5) < side {
+		res.Sign = CorrNegative
+	}
+	return res
+}

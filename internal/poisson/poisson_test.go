@@ -1,0 +1,349 @@
+package poisson
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wantraffic/internal/dist"
+)
+
+// poissonArrivals generates homogeneous Poisson arrival times on
+// [0, horizon) with the given rate (events per second).
+func poissonArrivals(rng *rand.Rand, rate, horizon float64) []float64 {
+	var times []float64
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rate
+		if t >= horizon {
+			return times
+		}
+		times = append(times, t)
+	}
+}
+
+func TestADStatisticUniform(t *testing.T) {
+	// Perfectly uniform spacings give a tiny A².
+	n := 100
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = (float64(i) + 0.5) / float64(n)
+	}
+	if a := ADStatistic(u); a > 0.3 {
+		t.Errorf("A² of ideal uniform sample = %g, want small", a)
+	}
+	// Clearly non-uniform values give a large A².
+	bad := make([]float64, n)
+	for i := range bad {
+		bad[i] = 0.01 + 0.001*float64(i)/float64(n)
+	}
+	if a := ADStatistic(bad); a < 10 {
+		t.Errorf("A² of degenerate sample = %g, want large", a)
+	}
+}
+
+func TestExponentialADTestCalibration(t *testing.T) {
+	// True exponential samples should pass at ~95% when tested at 5%.
+	rng := rand.New(rand.NewSource(1))
+	const trials = 1500
+	pass := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 60)
+		for j := range xs {
+			xs[j] = rng.ExpFloat64() * 3
+		}
+		ok, _ := ExponentialADTest(xs, 0.05)
+		if ok {
+			pass++
+		}
+	}
+	rate := float64(pass) / trials
+	if rate < 0.92 || rate > 0.975 {
+		t.Errorf("calibration pass rate %.3f, want ~0.95", rate)
+	}
+}
+
+func TestExponentialADTestPower(t *testing.T) {
+	// Heavy-tailed Pareto interarrivals must be rejected nearly always.
+	rng := rand.New(rand.NewSource(2))
+	p := dist.NewPareto(0.05, 0.9)
+	reject := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 80)
+		for j := range xs {
+			xs[j] = p.Rand(rng)
+		}
+		ok, _ := ExponentialADTest(xs, 0.05)
+		if !ok {
+			reject++
+		}
+	}
+	if rate := float64(reject) / trials; rate < 0.9 {
+		t.Errorf("power against Pareto %.3f, want > 0.9", rate)
+	}
+}
+
+func TestFullySpecifiedADTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := dist.Exp(2)
+	pass := 0
+	const trials = 800
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 50)
+		for j := range xs {
+			xs[j] = e.Rand(rng)
+		}
+		ok, _ := FullySpecifiedADTest(xs, e.CDF, 0.05)
+		if ok {
+			pass++
+		}
+	}
+	rate := float64(pass) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("case-0 calibration %.3f, want ~0.95", rate)
+	}
+	// Wrong null must be rejected.
+	xs := make([]float64, 200)
+	for j := range xs {
+		xs[j] = e.Rand(rng)
+	}
+	sort.Float64s(xs)
+	if ok, _ := FullySpecifiedADTest(xs, dist.Exp(10).CDF, 0.05); ok {
+		t.Error("wrong-mean null should be rejected")
+	}
+}
+
+func TestSplitIntervals(t *testing.T) {
+	times := []float64{0.5, 1.5, 1.7, 3.2, 5.9}
+	ivs := SplitIntervals(times, 2, 6)
+	if len(ivs) != 3 {
+		t.Fatalf("intervals %d", len(ivs))
+	}
+	if len(ivs[0]) != 3 || len(ivs[1]) != 1 || len(ivs[2]) != 1 {
+		t.Errorf("splits %v", ivs)
+	}
+	// Conservation.
+	total := 0
+	for _, iv := range ivs {
+		total += len(iv)
+	}
+	if total != len(times) {
+		t.Error("events lost in split")
+	}
+}
+
+func TestEvaluatePoissonPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	horizon := 72 * 3600.0
+	times := poissonArrivals(rng, 0.05, horizon) // ~180/hour
+	res := Evaluate(times, horizon, DefaultConfig(3600))
+	if !res.Poisson {
+		t.Errorf("homogeneous Poisson judged non-Poisson: %v", res)
+	}
+	if res.Tested != 72 {
+		t.Errorf("tested %d intervals, want 72", res.Tested)
+	}
+	if res.Sign != CorrNone {
+		t.Errorf("spurious correlation sign %v", res.Sign)
+	}
+}
+
+func TestEvaluateHourlyVaryingRateStillPasses(t *testing.T) {
+	// A nonhomogeneous process whose rate is constant within each hour
+	// should still pass the hourly-interval test (the whole point of
+	// the paper's "fixed hourly rates" model).
+	rng := rand.New(rand.NewSource(5))
+	var times []float64
+	for h := 0; h < 48; h++ {
+		rate := 0.02 + 0.08*math.Abs(math.Sin(float64(h)*math.Pi/12))
+		for _, t0 := range poissonArrivals(rng, rate, 3600) {
+			times = append(times, float64(h)*3600+t0)
+		}
+	}
+	res := Evaluate(times, 48*3600, DefaultConfig(3600))
+	if !res.Poisson {
+		t.Errorf("hourly-fixed-rate process judged non-Poisson: %v", res)
+	}
+}
+
+func TestEvaluateRejectsClusteredArrivals(t *testing.T) {
+	// Arrivals in tight clusters (like FTPDATA connections within
+	// bursts) must fail: heavy clustering breaks exponentiality.
+	rng := rand.New(rand.NewSource(6))
+	var times []float64
+	t0 := 0.0
+	horizon := 24 * 3600.0
+	for t0 < horizon {
+		t0 += rng.ExpFloat64() * 300 // burst every ~5 minutes
+		k := 3 + rng.Intn(20)
+		tb := t0
+		for i := 0; i < k && tb < horizon; i++ {
+			tb += rng.ExpFloat64() * 0.5
+			if tb < horizon {
+				times = append(times, tb)
+			}
+		}
+	}
+	sort.Float64s(times)
+	res := Evaluate(times, horizon, DefaultConfig(3600))
+	if res.Poisson {
+		t.Errorf("clustered arrivals judged Poisson: %v", res)
+	}
+	if res.PctExp > 50 {
+		t.Errorf("clustered arrivals pass exponential test %v%% of the time", res.PctExp)
+	}
+}
+
+func TestEvaluateDetectsPositiveCorrelation(t *testing.T) {
+	// Interarrivals with strong positive serial correlation should be
+	// flagged "+" even if marginally exponential-ish.
+	rng := rand.New(rand.NewSource(7))
+	var times []float64
+	t0 := 0.0
+	horizon := 40 * 3600.0
+	x := 1.0
+	for t0 < horizon {
+		// AR(1) in log space: consecutive gaps strongly correlated.
+		x = math.Exp(0.9*math.Log(x) + 0.3*rng.NormFloat64())
+		t0 += 20 * x
+		if t0 < horizon {
+			times = append(times, t0)
+		}
+	}
+	res := Evaluate(times, horizon, DefaultConfig(3600))
+	if res.Sign != CorrPositive {
+		t.Errorf("sign = %q, want +; result %v", res.Sign.String(), res)
+	}
+	if res.IndepOK {
+		t.Error("independence meta-test should fail for AR(1) gaps")
+	}
+}
+
+func TestEvaluateSkipsSparseIntervals(t *testing.T) {
+	times := []float64{1, 2, 3} // single sparse interval
+	res := Evaluate(times, 3600, DefaultConfig(3600))
+	if res.Tested != 0 {
+		t.Errorf("tested %d, want 0", res.Tested)
+	}
+	if res.Poisson {
+		t.Error("no evidence should not yield a Poisson verdict")
+	}
+}
+
+func TestCorrSignString(t *testing.T) {
+	if CorrPositive.String() != "+" || CorrNegative.String() != "-" || CorrNone.String() != "" {
+		t.Error("sign rendering wrong")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{PctExp: 95.5, PctIndep: 94.2, Tested: 30, Poisson: true}
+	s := r.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("unhelpful String: %q", s)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ad empty":    func() { ADStatistic(nil) },
+		"exp short":   func() { ExponentialADTest([]float64{1}, 0.05) },
+		"exp neg":     func() { ExponentialADTest([]float64{1, -1, 2}, 0.05) },
+		"bad sig":     func() { ExponentialADTest([]float64{1, 2, 3}, 0.07) },
+		"case0 short": func() { FullySpecifiedADTest([]float64{1, 2}, func(float64) float64 { return 0.5 }, 0.05) },
+		"split":       func() { SplitIntervals(nil, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkExponentialADTest(b *testing.B) {
+	rng := rand.New(rand.NewSource(100))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExponentialADTest(xs, 0.05)
+	}
+}
+
+func BenchmarkEvaluateDay(b *testing.B) {
+	rng := rand.New(rand.NewSource(101))
+	times := poissonArrivals(rng, 0.05, 86400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(times, 86400, DefaultConfig(3600))
+	}
+}
+
+func TestNormalADTestCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	pass := 0
+	const trials = 800
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 60)
+		for j := range xs {
+			xs[j] = 3 + 2*rng.NormFloat64()
+		}
+		if ok, _ := NormalADTest(xs, 0.05); ok {
+			pass++
+		}
+	}
+	rate := float64(pass) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("normal AD calibration %.3f, want ~0.95", rate)
+	}
+}
+
+func TestNormalADTestPower(t *testing.T) {
+	// Exponential data is decisively non-normal.
+	rng := rand.New(rand.NewSource(41))
+	reject := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 80)
+		for j := range xs {
+			xs[j] = rng.ExpFloat64()
+		}
+		if ok, _ := NormalADTest(xs, 0.05); !ok {
+			reject++
+		}
+	}
+	if rate := float64(reject) / trials; rate < 0.9 {
+		t.Errorf("power against exponential %.3f", rate)
+	}
+}
+
+// TestLogNormalSizesPassNormalAD ties the case-3 test to the paper's
+// Section V fit: log2 of log2-normal connection sizes is normal.
+func TestLogNormalSizesPassNormalAD(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ln := dist.NewLog2Normal(math.Log2(100), 2.24)
+	logs := make([]float64, 200)
+	for i := range logs {
+		logs[i] = math.Log2(ln.Rand(rng))
+	}
+	if ok, aStar := NormalADTest(logs, 0.05); !ok {
+		t.Errorf("log2 sizes rejected as normal (A* = %g)", aStar)
+	}
+}
+
+func TestNormalADPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NormalADTest([]float64{1, 2, 3}, 0.05)
+}

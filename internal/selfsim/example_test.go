@@ -1,0 +1,43 @@
+package selfsim_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wantraffic/internal/selfsim"
+)
+
+// ExampleWhittle fits fractional Gaussian noise to an exact synthetic
+// sample and recovers the Hurst parameter.
+func ExampleWhittle() {
+	rng := rand.New(rand.NewSource(4))
+	x := selfsim.FGN(rng, 8192, 0.8, 1)
+	res := selfsim.Whittle(x)
+	fmt.Printf("H recovered within 0.05: %v\n", res.H > 0.75 && res.H < 0.85)
+	fmt.Println("Beran accepts fGn:", res.GoodnessOK)
+	// Output:
+	// H recovered within 0.05: true
+	// Beran accepts fGn: true
+}
+
+// ExampleAnalyzeBurstLull summarizes the burst/lull structure of a
+// count process (Appendix C).
+func ExampleAnalyzeBurstLull() {
+	counts := []float64{2, 1, 0, 0, 0, 5, 0, 1, 1, 1}
+	bl := selfsim.AnalyzeBurstLull(counts)
+	fmt.Println("bursts:", bl.Bursts, "lulls:", bl.Lulls)
+	fmt.Printf("mean burst length: %.0f bins\n", bl.MeanBurstLen)
+	// Output:
+	// bursts: 3 lulls: 2
+	// mean burst length: 2 bins
+}
+
+// ExampleMGInfinityTheoreticalH shows Appendix D's Hurst formula for
+// the M/G/∞ construction with Pareto lifetimes.
+func ExampleMGInfinityTheoreticalH() {
+	fmt.Printf("beta=1.4 -> H=%.1f\n", selfsim.MGInfinityTheoreticalH(1.4))
+	fmt.Printf("beta=1.2 -> H=%.1f\n", selfsim.MGInfinityTheoreticalH(1.2))
+	// Output:
+	// beta=1.4 -> H=0.8
+	// beta=1.2 -> H=0.9
+}

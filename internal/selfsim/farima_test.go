@@ -1,0 +1,181 @@
+package selfsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wantraffic/internal/stats"
+)
+
+func TestFARIMAAutocovariance(t *testing.T) {
+	// d=0 is white noise.
+	if math.Abs(FARIMAAutocovariance(0, 0, 2)-2) > 1e-12 {
+		t.Error("gamma(0) at d=0")
+	}
+	for k := 1; k < 5; k++ {
+		if math.Abs(FARIMAAutocovariance(k, 0, 1)) > 1e-12 {
+			t.Errorf("d=0 gamma(%d) != 0", k)
+		}
+	}
+	// Positive d: positive, hyperbolically decaying autocovariance
+	// γ(k) ~ c·k^{2d-1}.
+	d := 0.3
+	k1 := FARIMAAutocovariance(1000, d, 1)
+	k2 := FARIMAAutocovariance(2000, d, 1)
+	gotExp := math.Log(k2/k1) / math.Log(2)
+	if math.Abs(gotExp-(2*d-1)) > 0.01 {
+		t.Errorf("decay exponent %g want %g", gotExp, 2*d-1)
+	}
+}
+
+func TestFARIMASampleMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := 0.3
+	const reps = 10
+	n := 4096
+	acc := make([]float64, 5)
+	var varAcc float64
+	for r := 0; r < reps; r++ {
+		x := FARIMA(rng, n, d, 1)
+		varAcc += stats.Variance(x) / reps
+		for k := range acc {
+			acc[k] += stats.Autocorrelation(x, k) / reps
+		}
+	}
+	g0 := FARIMAAutocovariance(0, d, 1)
+	if math.Abs(varAcc-g0)/g0 > 0.15 {
+		t.Errorf("sample variance %g want %g", varAcc, g0)
+	}
+	for k := 1; k < len(acc); k++ {
+		want := FARIMAAutocovariance(k, d, 1) / g0
+		if math.Abs(acc[k]-want) > 0.05 {
+			t.Errorf("ACF(%d) = %g want %g", k, acc[k], want)
+		}
+	}
+}
+
+func TestWhittleFARIMARecoversD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []float64{0.1, 0.25, 0.4} {
+		x := FARIMA(rng, 4096, d, 1)
+		res := WhittleFARIMA(x)
+		if math.Abs(res.H-(d+0.5)) > 0.05 {
+			t.Errorf("d=%g: H %g want %g", d, res.H, d+0.5)
+		}
+		if !res.GoodnessOK {
+			t.Errorf("d=%g: Beran rejects true fARIMA (z=%g)", d, res.BeranZ)
+		}
+	}
+}
+
+func TestFGNWhittleOnFARIMAApproximates(t *testing.T) {
+	// fGn and fARIMA share the same low-frequency behaviour; the fGn
+	// Whittle fit of a fARIMA sample should land near d + 1/2.
+	rng := rand.New(rand.NewSource(3))
+	d := 0.3
+	x := FARIMA(rng, 8192, d, 1)
+	res := Whittle(x)
+	if math.Abs(res.H-(d+0.5)) > 0.08 {
+		t.Errorf("fGn Whittle on fARIMA: H %g want ~%g", res.H, d+0.5)
+	}
+}
+
+func TestFARIMAPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for name, f := range map[string]func(){
+		"d range":  func() { FARIMA(rng, 10, 0.6, 1) },
+		"n":        func() { FARIMA(rng, 0, 0.3, 1) },
+		"var":      func() { FARIMA(rng, 10, 0.3, 0) },
+		"gamma d":  func() { FARIMAAutocovariance(1, 0.7, 1) },
+		"spectrum": func() { FARIMASpectrum(0, 0.3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRSWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 16384)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	h := HurstRS(x)
+	if h < 0.45 || h > 0.65 {
+		t.Errorf("white-noise R/S Hurst %g, want ~0.5-0.6", h)
+	}
+}
+
+func TestRSLongRangeDependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := FGN(rng, 16384, 0.85, 1)
+	h := HurstRS(x)
+	// R/S is biased but must clearly separate LRD from white noise.
+	if h < 0.7 {
+		t.Errorf("fGn(0.85) R/S Hurst %g, want > 0.7", h)
+	}
+}
+
+func TestRSAnalysisStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	pts := RSAnalysis(x, 16)
+	if len(pts) < 5 {
+		t.Fatalf("only %d pox points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].N <= pts[i-1].N {
+			t.Fatal("block sizes not increasing")
+		}
+		if pts[i].RS <= 0 {
+			t.Fatal("nonpositive R/S")
+		}
+	}
+}
+
+func TestRSPanicsOnShortSeries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RSAnalysis(make([]float64, 10), 8)
+}
+
+func TestHurstVT(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := FGN(rng, 1<<15, 0.8, 1)
+	for i := range x {
+		x[i] += 100 // make it a plausible count process
+	}
+	h := HurstVT(x, 500)
+	if math.Abs(h-0.8) > 0.08 {
+		t.Errorf("VT Hurst %g want 0.8", h)
+	}
+}
+
+func BenchmarkFARIMA4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < b.N; i++ {
+		FARIMA(rng, 4096, 0.3, 1)
+	}
+}
+
+func BenchmarkWhittle8192(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := FGN(rng, 8192, 0.8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Whittle(x)
+	}
+}

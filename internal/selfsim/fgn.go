@@ -1,0 +1,99 @@
+package selfsim
+
+import (
+	"math"
+	"math/rand"
+
+	"wantraffic/internal/fft"
+)
+
+// FGN generates n samples of exact fractional Gaussian noise with
+// Hurst parameter H, mean 0 and variance sigma2, using Davies–Harte
+// circulant embedding. The covariance of the output matches
+// FGNAutocovariance exactly (up to floating point), making it the
+// reference self-similar process the paper compares traffic against
+// ("the simplest type of self-similar process, fractional Gaussian
+// noise").
+func FGN(rng *rand.Rand, n int, H, sigma2 float64) []float64 {
+	if n < 1 {
+		panic("selfsim: FGN length must be positive")
+	}
+	if H <= 0 || H >= 1 {
+		panic("selfsim: Hurst parameter outside (0, 1)")
+	}
+	if sigma2 <= 0 {
+		panic("selfsim: FGN variance must be positive")
+	}
+	if n == 1 {
+		return []float64{math.Sqrt(sigma2) * rng.NormFloat64()}
+	}
+	m := 2 * (n - 1)
+	// First row of the circulant embedding of the covariance matrix.
+	c := make([]complex128, m)
+	for k := 0; k <= n-1; k++ {
+		c[k] = complex(FGNAutocovariance(k, H, sigma2), 0)
+	}
+	for k := n; k < m; k++ {
+		c[k] = c[m-k]
+	}
+	eig := fft.Forward(c)
+	// For fGn the circulant eigenvalues are provably nonnegative;
+	// clamp tiny negative rounding noise.
+	w := make([]complex128, m)
+	fm := float64(m)
+	g := func() float64 { return rng.NormFloat64() }
+	for k := 0; k <= m/2; k++ {
+		lam := real(eig[k])
+		if lam < 0 {
+			if lam < -1e-8*sigma2 {
+				panic("selfsim: circulant embedding not nonnegative definite")
+			}
+			lam = 0
+		}
+		switch k {
+		case 0, m / 2:
+			w[k] = complex(math.Sqrt(lam/fm)*g(), 0)
+		default:
+			re := math.Sqrt(lam/(2*fm)) * g()
+			im := math.Sqrt(lam/(2*fm)) * g()
+			w[k] = complex(re, im)
+			w[m-k] = complex(re, -im)
+		}
+	}
+	z := fft.Forward(w)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = real(z[i])
+	}
+	return out
+}
+
+// FBMFromFGN returns the cumulative sums of an fGn sample: discrete
+// fractional Brownian motion, B[i] = Σ_{j<=i} fgn[j].
+func FBMFromFGN(fgn []float64) []float64 {
+	out := make([]float64, len(fgn))
+	sum := 0.0
+	for i, v := range fgn {
+		sum += v
+		out[i] = sum
+	}
+	return out
+}
+
+// FGNTraffic converts an fGn sample into a nonnegative count process
+// with the given mean and standard deviation by shifting/scaling and
+// truncating at zero. This is the "model multiplexed link traffic as
+// self-similar without modeling individual connections" approach that
+// Section VII-D discusses for simulation cross-traffic.
+func FGNTraffic(rng *rand.Rand, n int, H, mean, sd float64) []float64 {
+	x := FGN(rng, n, H, 1)
+	out := make([]float64, n)
+	for i, v := range x {
+		c := mean + sd*v
+		if c < 0 {
+			c = 0
+		}
+		out[i] = c
+	}
+	return out
+}

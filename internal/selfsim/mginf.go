@@ -1,0 +1,150 @@
+package selfsim
+
+import (
+	"math"
+	"math/rand"
+
+	"wantraffic/internal/dist"
+)
+
+// Lifetime is a service-time (connection-lifetime) distribution for the
+// M/G/∞ construction, measured in bins.
+type Lifetime interface {
+	Rand(rng *rand.Rand) float64
+}
+
+// MGInfinity simulates the M/G/∞ queue count process of Appendix D:
+// customers arrive according to a Poisson process with rate `rate` per
+// bin and remain in the system for a lifetime drawn from `life`
+// (in bins). The returned series X_t is the number of customers in the
+// system during bins 0..n-1.
+//
+// With heavy-tailed (Pareto, 1 < β < 2) lifetimes the count process is
+// asymptotically self-similar with H = (3-β)/2 (Appendix D); with
+// log-normal lifetimes it is long-tailed but NOT long-range dependent
+// (Appendix E) — the contrast exercised by the appxDE experiment.
+//
+// To approach stationarity the simulation warms up for `warmup` bins
+// before bin 0 (customers arriving during warmup may still be in
+// service at time 0). Lifetimes are truncated to warmup+n bins, which
+// only affects a vanishing fraction of customers for β > 1.
+func MGInfinity(rng *rand.Rand, n int, rate float64, life Lifetime, warmup int) []float64 {
+	if n < 1 || rate <= 0 || warmup < 0 {
+		panic("selfsim: invalid M/G/∞ parameters")
+	}
+	total := warmup + n
+	// diff[i] accumulates +1 at service start and -1 after service end;
+	// a prefix sum then yields the occupancy.
+	diff := make([]float64, total+1)
+	for t := 0; t < total; t++ {
+		k := dist.PoissonRand(rng, rate)
+		for i := 0; i < k; i++ {
+			d := life.Rand(rng)
+			if d < 1 {
+				d = 1
+			}
+			end := t + int(d)
+			if end > total {
+				end = total
+			}
+			diff[t]++
+			diff[end]--
+		}
+	}
+	out := make([]float64, n)
+	occ := 0.0
+	for t := 0; t < total; t++ {
+		occ += diff[t]
+		if t >= warmup {
+			out[t-warmup] = occ
+		}
+	}
+	return out
+}
+
+// MGInfinityTheoreticalH returns the asymptotic Hurst parameter of the
+// M/G/∞ count process with Pareto(β) lifetimes, H = (3-β)/2, valid for
+// 1 < β < 2.
+func MGInfinityTheoreticalH(beta float64) float64 {
+	if beta <= 1 || beta >= 2 {
+		panic("selfsim: M/G/∞ Hurst formula needs 1 < beta < 2")
+	}
+	return (3 - beta) / 2
+}
+
+// MGInfinityAutocovariance returns the theoretical autocovariance of
+// the M/G/∞ count process at lag k for lifetime distribution F with
+// arrival rate rate (Appendix D, eq. 4):
+//
+//	r(k) = rate · ∫_k^∞ (1 - F(x)) dx,
+//
+// computed numerically out to the given horizon.
+func MGInfinityAutocovariance(rate float64, cdf func(float64) float64, k float64, horizon float64) float64 {
+	if horizon <= k {
+		return 0
+	}
+	// Simpson-style midpoint integration on a log-spaced grid to
+	// capture heavy tails efficiently.
+	const steps = 4000
+	lo := k
+	if lo < 1e-9 {
+		lo = 1e-9
+	}
+	sum := 0.0
+	logLo, logHi := math.Log(lo), math.Log(horizon)
+	dx := (logHi - logLo) / steps
+	for i := 0; i < steps; i++ {
+		u := logLo + (float64(i)+0.5)*dx
+		x := math.Exp(u)
+		sum += (1 - cdf(x)) * x * dx // substitute x = e^u, dx = x du
+	}
+	return rate * sum
+}
+
+// OnOffSource generates one ON/OFF source's contribution to a count
+// process: alternating ON and OFF periods with heavy-tailed lengths
+// (in bins), emitting `rate` events per bin while ON. Multiplexing many
+// such sources is the first construction of self-similar traffic the
+// paper cites from Willinger et al. (Section VII-B).
+type OnOffSource struct {
+	On, Off Lifetime
+	Rate    float64
+}
+
+// Counts returns the source's event counts over n bins, starting in the
+// OFF state at a uniformly random phase.
+func (s OnOffSource) Counts(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	t := -rng.Float64() * s.Off.Rand(rng) // random initial phase
+	on := false
+	for t < float64(n) {
+		d := math.Max(1, math.Floor(func() float64 {
+			if on {
+				return s.On.Rand(rng)
+			}
+			return s.Off.Rand(rng)
+		}()))
+		if on {
+			lo := int(math.Max(0, t))
+			hi := int(math.Min(float64(n), t+d))
+			for i := lo; i < hi; i++ {
+				out[i] += s.Rate
+			}
+		}
+		t += d
+		on = !on
+	}
+	return out
+}
+
+// MultiplexOnOff sums k independent ON/OFF sources over n bins.
+func MultiplexOnOff(rng *rand.Rand, k, n int, mk func(int) OnOffSource) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < k; i++ {
+		src := mk(i)
+		for j, v := range src.Counts(rng, n) {
+			out[j] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package selfsim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"wantraffic/internal/dist"
+)
+
+// MGK simulates the M/G/k queue variant Section VII-C2 proposes for
+// incorporating limited bandwidth into the M/G/∞ construction:
+// "because there are only k servers, the actual arrival times of
+// individuals at a server would occasionally have to be delayed until
+// there was available capacity. While this limited capacity would have
+// the effect of reducing the fit of the multiplexed traffic to a
+// self-similar model, it does not eliminate the underlying large-scale
+// correlations."
+//
+// Customers arrive Poisson at `rate` per bin and require a lifetime
+// drawn from `life` (bins) of continuous service; at most k are served
+// concurrently (FIFO admission). The returned series is the number of
+// busy servers in each of the n bins after warmup.
+func MGK(rng *rand.Rand, n int, rate float64, life Lifetime, k, warmup int) []float64 {
+	if n < 1 || rate <= 0 || k < 1 || warmup < 0 {
+		panic("selfsim: invalid M/G/k parameters")
+	}
+	total := warmup + n
+	busy := &intHeap{} // completion bins of in-service customers
+	heap.Init(busy)
+	var waiting []float64 // service demands of queued customers (FIFO)
+	out := make([]float64, n)
+	for t := 0; t < total; t++ {
+		// Finish services due by this bin.
+		for busy.Len() > 0 && (*busy)[0] <= t {
+			heap.Pop(busy)
+		}
+		// New arrivals join the queue.
+		for i := dist.PoissonRand(rng, rate); i > 0; i-- {
+			d := life.Rand(rng)
+			if d < 1 {
+				d = 1
+			}
+			waiting = append(waiting, d)
+		}
+		// Admit while servers are free.
+		for busy.Len() < k && len(waiting) > 0 {
+			end := t + int(waiting[0])
+			if end > total+1 {
+				end = total + 1
+			}
+			heap.Push(busy, end)
+			waiting = waiting[1:]
+		}
+		if t >= warmup {
+			out[t-warmup] = float64(busy.Len())
+		}
+	}
+	return out
+}
+
+// intHeap is a min-heap of ints.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

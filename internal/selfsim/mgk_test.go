@@ -1,0 +1,85 @@
+package selfsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"wantraffic/internal/dist"
+	"wantraffic/internal/stats"
+)
+
+func TestMGKOccupancyBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := 10
+	x := MGK(rng, 5000, 3, dist.Exp(3), k, 1000)
+	for _, v := range x {
+		if v < 0 || v > float64(k) {
+			t.Fatalf("occupancy %g outside [0,%d]", v, k)
+		}
+	}
+}
+
+func TestMGKMatchesMGInfinityWhenUncontended(t *testing.T) {
+	// With k far above the offered load, M/G/k behaves like M/G/∞:
+	// mean occupancy ≈ rate·E[life].
+	rng := rand.New(rand.NewSource(2))
+	life := dist.Exp(4)
+	x := MGK(rng, 20000, 2, life, 1000, 2000)
+	want := 2 * 4.0
+	got := stats.Mean(x)
+	if got < 0.85*want || got > 1.15*want {
+		t.Errorf("uncontended M/G/k mean %g want %g", got, want)
+	}
+}
+
+func TestMGKSaturatesUnderOverload(t *testing.T) {
+	// Offered load above k keeps all servers busy.
+	rng := rand.New(rand.NewSource(3))
+	x := MGK(rng, 2000, 10, dist.Exp(5), 8, 500)
+	m := stats.Mean(x)
+	if m < 7.9 {
+		t.Errorf("overloaded M/G/k mean %g, want ~8", m)
+	}
+}
+
+// TestMGKKeepsLargeScaleCorrelations is the Section VII-C2 claim:
+// limited capacity reduces but does not eliminate the long-range
+// dependence induced by heavy-tailed lifetimes.
+func TestMGKKeepsLargeScaleCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	life := dist.NewPareto(1, 1.4) // mean 3.5 bins
+	rate := 5.0
+	// k modestly above the mean occupancy 17.5 so contention bites.
+	x := MGK(rng, 1<<15, rate, life, 25, 1<<13)
+	pts := stats.VarianceTime(x, 500, 5)
+	slope := stats.VTSlope(pts, 10, 500)
+	if slope < -0.8 {
+		t.Errorf("M/G/k VT slope %g: capacity limit should not erase LRD", slope)
+	}
+	// Compare against the uncapped process: finite k reduces variance
+	// at the largest scales (the truncation effect) but both remain
+	// far from the Poisson slope of -1.
+	y := MGInfinity(rng, 1<<15, rate, life, 1<<13)
+	ySlope := stats.VTSlope(stats.VarianceTime(y, 500, 5), 10, 500)
+	if ySlope < -0.8 {
+		t.Errorf("M/G/inf slope %g unexpectedly steep", ySlope)
+	}
+}
+
+func TestMGKPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for name, f := range map[string]func(){
+		"n":    func() { MGK(rng, 0, 1, dist.Exp(1), 1, 0) },
+		"rate": func() { MGK(rng, 10, 0, dist.Exp(1), 1, 0) },
+		"k":    func() { MGK(rng, 10, 1, dist.Exp(1), 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

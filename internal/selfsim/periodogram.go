@@ -1,0 +1,89 @@
+// Package selfsim implements the long-range dependence toolkit of
+// Section VII and Appendices C–E: periodogram estimation, the
+// fractional Gaussian noise (fGn) spectral density, Whittle's estimator
+// of the Hurst parameter, Beran's goodness-of-fit test against fGn,
+// exact fGn synthesis by Davies–Harte circulant embedding, the M/G/∞
+// count-process construction of (asymptotically) self-similar traffic,
+// and the i.i.d.-Pareto-renewal "pseudo-self-similar" count process
+// with its burst/lull scaling analysis.
+package selfsim
+
+import (
+	"math"
+	"math/cmplx"
+
+	"wantraffic/internal/fft"
+	"wantraffic/internal/stats"
+)
+
+// Periodogram returns the periodogram ordinates of the (mean-removed)
+// series x at the Fourier frequencies λ_j = 2πj/n for j = 1..⌊(n-1)/2⌋:
+//
+//	I(λ_j) = |Σ_t x_t e^{-iλ_j t}|² / (2πn).
+//
+// The j=0 (mean) and Nyquist ordinates are omitted, as is conventional
+// for Whittle estimation.
+func Periodogram(x []float64) (lambda, I []float64) {
+	n := len(x)
+	if n < 8 {
+		panic("selfsim: series too short for a periodogram")
+	}
+	m := (n - 1) / 2
+	mean := stats.Mean(x)
+	c := make([]complex128, n)
+	for t, v := range x {
+		c[t] = complex(v-mean, 0)
+	}
+	spec := fft.Forward(c)
+	lambda = make([]float64, m)
+	I = make([]float64, m)
+	for j := 1; j <= m; j++ {
+		lambda[j-1] = 2 * math.Pi * float64(j) / float64(n)
+		a := cmplx.Abs(spec[j])
+		I[j-1] = a * a / (2 * math.Pi * float64(n))
+	}
+	return lambda, I
+}
+
+// FGNSpectrum returns the spectral density shape of fractional
+// Gaussian noise with Hurst parameter H at frequency λ ∈ (0, π],
+// up to a positive constant factor:
+//
+//	f*(λ; H) = (1 - cos λ) · Σ_{k ∈ Z} |λ + 2πk|^{-2H-1}.
+//
+// The infinite sum is truncated at |k| <= 50 with an integral tail
+// correction; Whittle estimation and the Beran test profile out the
+// scale, so only the shape matters.
+func FGNSpectrum(lambda, H float64) float64 {
+	if lambda <= 0 || lambda > math.Pi {
+		panic("selfsim: fGn spectrum frequency outside (0, π]")
+	}
+	if H <= 0 || H >= 1 {
+		panic("selfsim: Hurst parameter outside (0, 1)")
+	}
+	const K = 50
+	e := -2*H - 1
+	sum := math.Pow(lambda, e)
+	for k := 1; k <= K; k++ {
+		sum += math.Pow(2*math.Pi*float64(k)+lambda, e) +
+			math.Pow(2*math.Pi*float64(k)-lambda, e)
+	}
+	// Integral approximation of the remaining tail Σ_{|k| > K}.
+	a := 2 * math.Pi * float64(K+1)
+	tail := (math.Pow(a+lambda, e+1) + math.Pow(a-lambda, e+1)) / (-(e + 1) * 2 * math.Pi)
+	sum += tail
+	return (1 - math.Cos(lambda)) * sum
+}
+
+// FGNAutocovariance returns the autocovariance of fGn with variance
+// sigma2 at lag k:
+//
+//	γ(k) = σ²/2 · (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}).
+func FGNAutocovariance(k int, H, sigma2 float64) float64 {
+	if k < 0 {
+		k = -k
+	}
+	fk := float64(k)
+	h2 := 2 * H
+	return sigma2 / 2 * (math.Pow(fk+1, h2) - 2*math.Pow(fk, h2) + math.Pow(math.Abs(fk-1), h2))
+}

@@ -1,0 +1,119 @@
+package selfsim
+
+import (
+	"math"
+
+	"wantraffic/internal/stats"
+)
+
+// This file implements R/S (rescaled-range) analysis, the classical
+// Hurst estimator Mandelbrot popularized (the paper's reference [29]
+// lineage); it complements the variance-time and Whittle estimators as
+// an independent check of long-range dependence.
+
+// RSPoint is one point of the pox plot: block size N and the mean
+// rescaled range R/S over blocks of that size.
+type RSPoint struct {
+	N  int
+	RS float64
+}
+
+// RSAnalysis computes mean R/S statistics for logarithmically spaced
+// block sizes between minN and len(x)/4. For a short-range dependent
+// process E[R/S] grows like N^0.5; for a long-range dependent process
+// like N^H.
+func RSAnalysis(x []float64, minN int) []RSPoint {
+	if minN < 8 {
+		minN = 8
+	}
+	maxN := len(x) / 4
+	if maxN < minN {
+		panic("selfsim: series too short for R/S analysis")
+	}
+	var pts []RSPoint
+	for n := minN; n <= maxN; n = int(math.Ceil(float64(n) * 1.6)) {
+		sum, blocks := 0.0, 0
+		for start := 0; start+n <= len(x); start += n {
+			rs := rescaledRange(x[start : start+n])
+			if !math.IsNaN(rs) && rs > 0 {
+				sum += rs
+				blocks++
+			}
+		}
+		if blocks > 0 {
+			pts = append(pts, RSPoint{N: n, RS: sum / float64(blocks)})
+		}
+	}
+	return pts
+}
+
+// rescaledRange computes R/S for one block: the range of the
+// mean-adjusted cumulative sums divided by the block's standard
+// deviation.
+func rescaledRange(block []float64) float64 {
+	mean := stats.Mean(block)
+	sd := stats.StdDev(block)
+	if sd == 0 {
+		return math.NaN()
+	}
+	cum, lo, hi := 0.0, 0.0, 0.0
+	for _, v := range block {
+		cum += v - mean
+		if cum < lo {
+			lo = cum
+		}
+		if cum > hi {
+			hi = cum
+		}
+	}
+	return (hi - lo) / sd
+}
+
+// HurstRS estimates the Hurst parameter as the least-squares slope of
+// log(R/S) versus log(N).
+func HurstRS(x []float64) float64 {
+	pts := RSAnalysis(x, 10)
+	var xs, ys []float64
+	for _, p := range pts {
+		xs = append(xs, math.Log(float64(p.N)))
+		ys = append(ys, math.Log(p.RS))
+	}
+	slope, _ := stats.LeastSquares(xs, ys)
+	return slope
+}
+
+// HurstVT estimates the Hurst parameter from the variance-time slope:
+// H = 1 + slope/2 where the slope is fit over aggregation levels
+// [10, maxM] (the "aggregated variance" estimator).
+func HurstVT(counts []float64, maxM int) float64 {
+	pts := stats.VarianceTime(counts, maxM, 5)
+	return 1 + stats.VTSlope(pts, 10, maxM)/2
+}
+
+// HurstGPH estimates the Hurst parameter with the Geweke–Porter-Hudak
+// log-periodogram regression: over the lowest m = n^0.5 Fourier
+// frequencies, log I(λ_j) regressed on log(4 sin²(λ_j/2)) has slope -d
+// with H = d + 1/2. It is the semiparametric complement to the fully
+// parametric Whittle fits: no spectral model beyond the low-frequency
+// power law is assumed.
+func HurstGPH(x []float64) float64 {
+	lambda, I := Periodogram(x)
+	m := int(math.Sqrt(float64(len(x))))
+	if m > len(lambda) {
+		m = len(lambda)
+	}
+	if m < 4 {
+		return math.NaN()
+	}
+	var xs, ys []float64
+	for j := 0; j < m; j++ {
+		if I[j] <= 0 {
+			continue
+		}
+		s := 2 * math.Sin(lambda[j]/2)
+		xs = append(xs, math.Log(s*s))
+		ys = append(ys, math.Log(I[j]))
+	}
+	slope, _ := stats.LeastSquares(xs, ys)
+	return 0.5 - slope
+}

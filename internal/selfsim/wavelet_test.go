@@ -1,0 +1,133 @@
+package selfsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogscaleDiagramStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	pts := LogscaleDiagram(x, 8)
+	if len(pts) < 5 {
+		t.Fatalf("octaves %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Octave != i+1 {
+			t.Errorf("octave numbering %v", p)
+		}
+		wantCoeffs := 1024 >> (i + 1)
+		if p.Coeffs != wantCoeffs {
+			t.Errorf("octave %d coeffs %d want %d", p.Octave, p.Coeffs, wantCoeffs)
+		}
+		if p.Energy < 0 {
+			t.Error("negative energy")
+		}
+	}
+}
+
+func TestLogscaleDiagramWhiteNoiseFlat(t *testing.T) {
+	// White noise has equal energy at every octave (flat diagram).
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 1<<15)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	pts := LogscaleDiagram(x, 32)
+	for _, p := range pts {
+		if math.Abs(p.Energy-1) > 0.35 {
+			t.Errorf("octave %d energy %g, want ~1", p.Octave, p.Energy)
+		}
+	}
+}
+
+func TestHurstWaveletRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, h := range []float64{0.6, 0.8, 0.9} {
+		x := FGN(rng, 1<<15, h, 1)
+		got := HurstWavelet(x)
+		if math.Abs(got-h) > 0.08 {
+			t.Errorf("wavelet H %g want %g", got, h)
+		}
+	}
+	// White noise: H ≈ 0.5.
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if got := HurstWavelet(x); math.Abs(got-0.5) > 0.08 {
+		t.Errorf("white-noise wavelet H %g want 0.5", got)
+	}
+}
+
+func TestWaveletPanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LogscaleDiagram([]float64{1, 2}, 1)
+}
+
+func TestWhittleAcrossScalesStableForFGN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := FGN(rng, 1<<14, 0.8, 1)
+	// Make it a count-like series (aggregation sums, so positivity
+	// keeps the scales comparable).
+	for i := range x {
+		x[i] += 20
+	}
+	res := WhittleAcrossScales(x, 512)
+	if len(res) < 3 {
+		t.Fatalf("scales %d", len(res))
+	}
+	for i, r := range res {
+		if math.Abs(r.H-0.8) > 0.1 {
+			t.Errorf("scale %d: H %g drifted from 0.8", i, r.H)
+		}
+	}
+}
+
+func BenchmarkHurstWavelet(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := FGN(rng, 1<<14, 0.8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HurstWavelet(x)
+	}
+}
+
+func TestHurstGPH(t *testing.T) {
+	// GPH is noisy on a single path; average a few independent runs.
+	rng := rand.New(rand.NewSource(6))
+	const reps = 5
+	for _, h := range []float64{0.6, 0.85} {
+		got := 0.0
+		for r := 0; r < reps; r++ {
+			got += HurstGPH(FGN(rng, 1<<14, h, 1)) / reps
+		}
+		if math.Abs(got-h) > 0.1 {
+			t.Errorf("GPH H %g want %g", got, h)
+		}
+	}
+	// White noise ≈ 0.5.
+	got := 0.0
+	for r := 0; r < reps; r++ {
+		x := make([]float64, 1<<14)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got += HurstGPH(x) / reps
+	}
+	if math.Abs(got-0.5) > 0.1 {
+		t.Errorf("white-noise GPH H %g", got)
+	}
+	// Degenerate short series (too few low frequencies).
+	if !math.IsNaN(HurstGPH(make([]float64, 8))) {
+		t.Error("short series should give NaN")
+	}
+}

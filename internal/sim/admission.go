@@ -1,0 +1,71 @@
+package sim
+
+import "wantraffic/internal/stats"
+
+// MeasuredAdmission models the Section VIII measurement-based
+// admission control pitfall: a controller that estimates a class's
+// bandwidth demand from a window of recent traffic "could be easily
+// misled following a long period of fairly low traffic rates" when the
+// class is long-range dependent. (The paper's California-earthquake
+// analogy.)
+type MeasuredAdmission struct {
+	// Window is the number of recent count-process observations the
+	// controller averages over.
+	Window int
+	// Headroom multiplies the measured mean to form the admitted
+	// reservation (e.g. 1.5 = 50% margin).
+	Headroom float64
+}
+
+// AdmissionOutcome reports how often the measured reservation was
+// violated by the traffic that followed.
+type AdmissionOutcome struct {
+	Decisions  int // number of admission decisions evaluated
+	Violations int // future demand exceeded the reservation
+	// MeanOvershoot is the average ratio of the violating period's
+	// demand to the reservation, over violations.
+	MeanOvershoot float64
+}
+
+// ViolationRate returns the fraction of decisions whose reservation
+// the subsequent traffic violated.
+func (o AdmissionOutcome) ViolationRate() float64 {
+	if o.Decisions == 0 {
+		return 0
+	}
+	return float64(o.Violations) / float64(o.Decisions)
+}
+
+// Evaluate slides the controller along a count process: at each step
+// it measures the mean of the previous Window observations and
+// reserves Headroom times that. The reservation is violated when the
+// *sustained* demand of the following window — its mean — exceeds the
+// reservation. Sustained overload is what a long-range dependent
+// "swell" produces and what short-range traffic with the same marginal
+// distribution essentially never does; comparing window means rather
+// than peaks isolates the temporal-dependence effect the paper warns
+// about.
+func (a MeasuredAdmission) Evaluate(counts []float64) AdmissionOutcome {
+	if a.Window <= 0 || a.Headroom <= 0 {
+		panic("sim: invalid admission parameters")
+	}
+	var out AdmissionOutcome
+	var overshootSum float64
+	for start := a.Window; start+a.Window <= len(counts); start += a.Window {
+		recent := stats.Mean(counts[start-a.Window : start])
+		reservation := a.Headroom * recent
+		demand := stats.Mean(counts[start : start+a.Window])
+		out.Decisions++
+		if reservation > 0 && demand > reservation {
+			out.Violations++
+			overshootSum += demand / reservation
+		} else if reservation == 0 && demand > 0 {
+			out.Violations++
+			overshootSum += 2 // arbitrary finite overshoot for a zero base
+		}
+	}
+	if out.Violations > 0 {
+		out.MeanOvershoot = overshootSum / float64(out.Violations)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package sim provides a small discrete-event simulation engine and a
+// FIFO single-server queue. Section IV argues that feeding exponential
+// instead of Tcplib interarrivals into a queueing simulation
+// "significantly underestimates the average queueing delay for TELNET
+// packets"; the queue here makes that implication experiment concrete
+// (the `delay` experiment).
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Run executes at the event's time and
+// may schedule further events.
+type Event struct {
+	Time float64
+	Run  func(e *Engine)
+
+	index int
+	seq   uint64 // tie-break so equal-time events run FIFO
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with a simulated clock.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule enqueues fn to run at time t, which must not precede the
+// current clock.
+func (e *Engine) Schedule(t float64, fn func(*Engine)) {
+	if t < e.now {
+		panic("sim: scheduling into the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, &Event{Time: t, Run: fn, seq: e.seq})
+}
+
+// ScheduleAfter enqueues fn to run after delay d >= 0.
+func (e *Engine) ScheduleAfter(d float64, fn func(*Engine)) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Run executes events in time order until the queue empties or the
+// clock would pass horizon; events at exactly the horizon do not run.
+// It returns the number of events executed.
+func (e *Engine) Run(horizon float64) int {
+	n := 0
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.Time >= horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.Time
+		next.Run(e)
+		n++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }

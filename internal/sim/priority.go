@@ -1,0 +1,157 @@
+package sim
+
+import "math"
+
+// PriorityQueue simulates a link with strict priority scheduling
+// between two traffic classes, the Section VIII scenario: "interactive
+// traffic such as TELNET might be given priority over bulk-data
+// traffic such as FTP. If the higher priority class has long-range
+// dependence and a high degree of variability over long time scales,
+// then the bursts from the higher priority traffic could starve the
+// lower priority traffic for long periods of time."
+//
+// The link serves fixed-size jobs; a high-priority job always
+// preempts the head of the low-priority queue (non-preemptive of the
+// job in service). Arrivals are fed in time order via ArriveHigh /
+// ArriveLow.
+type PriorityQueue struct {
+	ServiceTime float64
+
+	now       float64
+	busyUntil float64
+	highQ     []float64 // arrival times of waiting high-priority jobs
+	lowQ      []float64
+
+	// Per-class statistics.
+	HighServed, LowServed   int
+	HighWait, LowWait       float64 // total queueing delays
+	HighMaxWait, LowMaxWait float64
+	// LowStarvation records, per low-priority job, time spent waiting
+	// behind high-priority traffic; exposed as the starvation episode
+	// distribution.
+	LowWaits []float64
+}
+
+// NewPriorityQueue returns a two-class strict-priority link with the
+// given per-job service time.
+func NewPriorityQueue(serviceTime float64) *PriorityQueue {
+	if serviceTime <= 0 {
+		panic("sim: service time must be positive")
+	}
+	return &PriorityQueue{ServiceTime: serviceTime}
+}
+
+// advance serves queued jobs until time t.
+func (q *PriorityQueue) advance(t float64) {
+	for {
+		start := math.Max(q.now, q.busyUntil)
+		if start >= t {
+			break
+		}
+		if len(q.highQ) > 0 && q.highQ[0] <= start {
+			arr := q.highQ[0]
+			q.highQ = q.highQ[1:]
+			w := start - arr
+			q.HighServed++
+			q.HighWait += w
+			if w > q.HighMaxWait {
+				q.HighMaxWait = w
+			}
+			q.busyUntil = start + q.ServiceTime
+			continue
+		}
+		if len(q.lowQ) > 0 && q.lowQ[0] <= start {
+			arr := q.lowQ[0]
+			q.lowQ = q.lowQ[1:]
+			w := start - arr
+			q.LowServed++
+			q.LowWait += w
+			q.LowWaits = append(q.LowWaits, w)
+			if w > q.LowMaxWait {
+				q.LowMaxWait = w
+			}
+			q.busyUntil = start + q.ServiceTime
+			continue
+		}
+		// Idle until the next arrival already queued, or until t.
+		next := t
+		if len(q.highQ) > 0 && q.highQ[0] < next {
+			next = q.highQ[0]
+		}
+		if len(q.lowQ) > 0 && q.lowQ[0] < next {
+			next = q.lowQ[0]
+		}
+		if next <= start {
+			break
+		}
+		if q.busyUntil < next {
+			q.busyUntil = next
+		}
+		if next >= t {
+			break
+		}
+	}
+	q.now = t
+}
+
+// ArriveHigh offers a high-priority job at time t (non-decreasing
+// across all Arrive calls).
+func (q *PriorityQueue) ArriveHigh(t float64) {
+	q.checkTime(t)
+	q.advance(t)
+	q.highQ = append(q.highQ, t)
+}
+
+// ArriveLow offers a low-priority job at time t.
+func (q *PriorityQueue) ArriveLow(t float64) {
+	q.checkTime(t)
+	q.advance(t)
+	q.lowQ = append(q.lowQ, t)
+}
+
+func (q *PriorityQueue) checkTime(t float64) {
+	if t < q.now {
+		panic("sim: arrivals must be time-ordered")
+	}
+}
+
+// Drain serves all remaining queued jobs (runs the clock forward until
+// both queues empty).
+func (q *PriorityQueue) Drain() {
+	for len(q.highQ)+len(q.lowQ) > 0 {
+		q.advance(q.busyUntil + q.ServiceTime*float64(len(q.highQ)+len(q.lowQ)+1))
+	}
+}
+
+// MeanHighWait returns the average high-priority queueing delay.
+func (q *PriorityQueue) MeanHighWait() float64 {
+	if q.HighServed == 0 {
+		return 0
+	}
+	return q.HighWait / float64(q.HighServed)
+}
+
+// MeanLowWait returns the average low-priority queueing delay.
+func (q *PriorityQueue) MeanLowWait() float64 {
+	if q.LowServed == 0 {
+		return 0
+	}
+	return q.LowWait / float64(q.LowServed)
+}
+
+// RunClasses feeds two time-sorted arrival streams through the queue
+// and drains it.
+func (q *PriorityQueue) RunClasses(high, low []float64) *PriorityQueue {
+	i, j := 0, 0
+	for i < len(high) || j < len(low) {
+		if j >= len(low) || (i < len(high) && high[i] <= low[j]) {
+			q.ArriveHigh(high[i])
+			i++
+		} else {
+			q.ArriveLow(low[j])
+			j++
+		}
+	}
+	q.Drain()
+	return q
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPriorityHighGoesFirst(t *testing.T) {
+	// Low job at t=0, high job at t=0.1; service 1. The low job enters
+	// service at 0 (non-preemptive), the high job at 1. A second low
+	// job at 0.2 waits for the high job: served at 2.
+	q := NewPriorityQueue(1)
+	q.ArriveLow(0)
+	q.ArriveHigh(0.1)
+	q.ArriveLow(0.2)
+	q.Drain()
+	if q.HighServed != 1 || q.LowServed != 2 {
+		t.Fatalf("served %d/%d", q.HighServed, q.LowServed)
+	}
+	if math.Abs(q.HighMaxWait-0.9) > 1e-9 {
+		t.Errorf("high wait %g want 0.9", q.HighMaxWait)
+	}
+	if math.Abs(q.LowMaxWait-1.8) > 1e-9 { // 0.2 → 2.0
+		t.Errorf("low max wait %g want 1.8", q.LowMaxWait)
+	}
+}
+
+func TestPriorityWorkConservation(t *testing.T) {
+	// All jobs are served exactly once regardless of interleaving.
+	rng := rand.New(rand.NewSource(1))
+	var high, low []float64
+	for i := 0; i < 500; i++ {
+		high = append(high, rng.Float64()*100)
+		low = append(low, rng.Float64()*100)
+	}
+	sort.Float64s(high)
+	sort.Float64s(low)
+	q := NewPriorityQueue(0.05).RunClasses(high, low)
+	if q.HighServed != 500 || q.LowServed != 500 {
+		t.Errorf("served %d/%d want 500/500", q.HighServed, q.LowServed)
+	}
+	if len(q.LowWaits) != 500 {
+		t.Errorf("low waits recorded %d", len(q.LowWaits))
+	}
+}
+
+func TestPriorityIdleLink(t *testing.T) {
+	// Widely spaced jobs see no queueing at all.
+	q := NewPriorityQueue(0.1)
+	q.ArriveHigh(0)
+	q.ArriveLow(10)
+	q.ArriveHigh(20)
+	q.Drain()
+	if q.MeanHighWait() != 0 || q.MeanLowWait() != 0 {
+		t.Errorf("idle link waits %g %g", q.MeanHighWait(), q.MeanLowWait())
+	}
+}
+
+// TestPriorityStarvation is the Section VIII scenario in miniature: a
+// sustained high-priority burst stalls low-priority jobs for its whole
+// duration.
+func TestPriorityStarvation(t *testing.T) {
+	q := NewPriorityQueue(0.1)
+	// Low job arrives just after a 100-job high-priority burst starts.
+	q.ArriveHigh(0)
+	q.ArriveLow(0.01)
+	for i := 1; i < 100; i++ {
+		q.ArriveHigh(float64(i) * 0.05) // arrivals faster than service
+	}
+	q.Drain()
+	// The low job must wait for the entire burst: ~100·0.1 s.
+	if q.LowMaxWait < 9 {
+		t.Errorf("low wait %g, want ~10 (starved behind the burst)", q.LowMaxWait)
+	}
+	if q.MeanHighWait() > q.LowMaxWait {
+		t.Error("high class should wait far less than the starved low job")
+	}
+}
+
+func TestPriorityOrderingPanics(t *testing.T) {
+	q := NewPriorityQueue(1)
+	q.ArriveHigh(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	q.ArriveLow(4)
+}
+
+func TestPriorityServiceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPriorityQueue(0)
+}
+
+func TestAdmissionStableTraffic(t *testing.T) {
+	// Near-constant traffic with 50% headroom is essentially never
+	// violated.
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]float64, 10000)
+	for i := range counts {
+		counts[i] = 100 + rng.Float64()*10
+	}
+	out := MeasuredAdmission{Window: 100, Headroom: 1.5}.Evaluate(counts)
+	if out.Decisions < 50 {
+		t.Fatalf("decisions %d", out.Decisions)
+	}
+	if out.ViolationRate() > 0.01 {
+		t.Errorf("stable traffic violation rate %g", out.ViolationRate())
+	}
+}
+
+func TestAdmissionBurstyTrafficViolates(t *testing.T) {
+	// Long lulls followed by long busy periods (heavy-tailed ON/OFF
+	// style) mislead the recent-measurement controller.
+	rng := rand.New(rand.NewSource(3))
+	var counts []float64
+	for len(counts) < 20000 {
+		lull := 200 + rng.Intn(2000)
+		busy := 200 + rng.Intn(2000)
+		for i := 0; i < lull; i++ {
+			counts = append(counts, 5)
+		}
+		for i := 0; i < busy; i++ {
+			counts = append(counts, 300)
+		}
+	}
+	out := MeasuredAdmission{Window: 100, Headroom: 1.5}.Evaluate(counts)
+	if out.ViolationRate() < 0.05 {
+		t.Errorf("bursty violation rate %g, want substantial", out.ViolationRate())
+	}
+	if out.MeanOvershoot < 2 {
+		t.Errorf("overshoot %g, want large", out.MeanOvershoot)
+	}
+}
+
+func TestAdmissionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MeasuredAdmission{}.Evaluate([]float64{1, 2, 3})
+}

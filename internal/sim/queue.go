@@ -1,0 +1,100 @@
+package sim
+
+import "math"
+
+// FIFOQueue simulates a single-server FIFO queue with deterministic
+// per-job service times, driven directly by arrival timestamps. It is
+// the substrate for the paper's queueing-delay implication: the same
+// packet counts arranged with Tcplib versus exponential interarrivals
+// produce very different delays.
+type FIFOQueue struct {
+	// ServiceTime is the fixed service time per job in seconds.
+	ServiceTime float64
+	// Capacity bounds the number of waiting-or-in-service jobs;
+	// arrivals beyond it are dropped. Zero means unbounded.
+	Capacity int
+
+	busyUntil float64
+	inSystem  []float64 // departure times of jobs currently in system
+
+	// Results, accumulated over Arrive calls.
+	Served    int
+	Dropped   int
+	TotalWait float64 // total queueing delay (excluding service)
+	MaxWait   float64
+	TotalLen  float64 // time-integral of queue length (for mean length)
+	lastT     float64
+}
+
+// NewFIFOQueue returns a queue with the given per-job service time.
+func NewFIFOQueue(serviceTime float64) *FIFOQueue {
+	if serviceTime <= 0 {
+		panic("sim: service time must be positive")
+	}
+	return &FIFOQueue{ServiceTime: serviceTime}
+}
+
+// purge drops departed jobs from the in-system list as of time t and
+// accumulates the queue-length integral.
+func (q *FIFOQueue) purge(t float64) {
+	// Integrate queue length piecewise between departures.
+	cur := q.lastT
+	for len(q.inSystem) > 0 && q.inSystem[0] <= t {
+		dep := q.inSystem[0]
+		q.TotalLen += float64(len(q.inSystem)) * (dep - cur)
+		cur = dep
+		q.inSystem = q.inSystem[1:]
+	}
+	q.TotalLen += float64(len(q.inSystem)) * (t - cur)
+	q.lastT = t
+}
+
+// Arrive offers the queue a job at time t (non-decreasing across
+// calls). It returns the job's queueing delay and whether it was
+// accepted.
+func (q *FIFOQueue) Arrive(t float64) (wait float64, accepted bool) {
+	if t < q.lastT {
+		panic("sim: arrivals must be time-ordered")
+	}
+	q.purge(t)
+	if q.Capacity > 0 && len(q.inSystem) >= q.Capacity {
+		q.Dropped++
+		return 0, false
+	}
+	start := math.Max(t, q.busyUntil)
+	wait = start - t
+	q.busyUntil = start + q.ServiceTime
+	q.inSystem = append(q.inSystem, q.busyUntil)
+	q.Served++
+	q.TotalWait += wait
+	if wait > q.MaxWait {
+		q.MaxWait = wait
+	}
+	return wait, true
+}
+
+// MeanWait returns the average queueing delay of accepted jobs.
+func (q *FIFOQueue) MeanWait() float64 {
+	if q.Served == 0 {
+		return 0
+	}
+	return q.TotalWait / float64(q.Served)
+}
+
+// MeanQueueLength returns the time-averaged number of jobs in system
+// up to the last arrival processed.
+func (q *FIFOQueue) MeanQueueLength() float64 {
+	if q.lastT == 0 {
+		return 0
+	}
+	return q.TotalLen / q.lastT
+}
+
+// RunArrivals feeds a sorted slice of arrival times through the queue
+// and returns it for chaining.
+func (q *FIFOQueue) RunArrivals(times []float64) *FIFOQueue {
+	for _, t := range times {
+		q.Arrive(t)
+	}
+	return q
+}

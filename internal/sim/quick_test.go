@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQueueConservationProperty: for arbitrary arrival patterns, every
+// job is either served or dropped, waits are non-negative, and with
+// unbounded capacity nothing drops.
+func TestQueueConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(raw []uint16, svcRaw uint8) bool {
+		times := make([]float64, len(raw))
+		for i, v := range raw {
+			times[i] = float64(v) / 100
+		}
+		sort.Float64s(times)
+		svc := 0.01 + float64(svcRaw)/100
+		q := NewFIFOQueue(svc)
+		for _, tm := range times {
+			w, ok := q.Arrive(tm)
+			if w < 0 {
+				return false
+			}
+			if !ok {
+				return false // unbounded queue must accept everything
+			}
+		}
+		return q.Served+q.Dropped == len(times) && q.Dropped == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueLindleyProperty: waits satisfy the Lindley recursion
+// W_{i+1} = max(0, W_i + S - A_{i+1}) for a FIFO single server with
+// deterministic service time S and interarrival A.
+func TestQueueLindleyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		times := make([]float64, len(raw))
+		for i, v := range raw {
+			times[i] = float64(v) / 50
+		}
+		sort.Float64s(times)
+		const svc = 0.7
+		q := NewFIFOQueue(svc)
+		var waits []float64
+		for _, tm := range times {
+			w, _ := q.Arrive(tm)
+			waits = append(waits, w)
+		}
+		for i := 1; i < len(times); i++ {
+			want := math.Max(0, waits[i-1]+svc-(times[i]-times[i-1]))
+			if math.Abs(waits[i]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineExecutesAllEventsProperty: every event scheduled strictly
+// before the horizon runs exactly once, in non-decreasing time order.
+func TestEngineExecutesAllEventsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		const horizon = 1000.0
+		want := 0
+		var ran []float64
+		for _, v := range raw {
+			tm := float64(v) / 60
+			if tm < horizon {
+				want++
+			}
+			e.Schedule(tm, func(e *Engine) { ran = append(ran, e.Now()) })
+		}
+		e.Run(horizon)
+		if len(ran) != want {
+			return false
+		}
+		return sort.Float64sAreSorted(ran)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	for _, ti := range []float64{5, 1, 3, 2, 4} {
+		ti := ti
+		e.Schedule(ti, func(e *Engine) { order = append(order, e.Now()) })
+	}
+	n := e.Run(10)
+	if n != 5 {
+		t.Fatalf("ran %d events", n)
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("out of order: %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock %g want 10", e.Now())
+	}
+}
+
+func TestEngineEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func(*Engine) { order = append(order, i) })
+	}
+	e.Run(2)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineHorizonStopsEarly(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func(*Engine) { ran = true })
+	if n := e.Run(5); n != 0 || ran {
+		t.Error("event at horizon must not run")
+	}
+	if e.Pending() != 1 {
+		t.Error("event should remain pending")
+	}
+	// Continuing past the horizon runs it.
+	if n := e.Run(6); n != 1 || !ran {
+		t.Error("event should run on continued Run")
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	// Events scheduling further events.
+	e := NewEngine()
+	count := 0
+	var tick func(*Engine)
+	tick = func(e *Engine) {
+		count++
+		e.ScheduleAfter(1, tick)
+	}
+	e.Schedule(0, tick)
+	e.Run(10.5)
+	if count != 11 { // t = 0..10
+		t.Errorf("ticks %d want 11", count)
+	}
+}
+
+func TestEnginePanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(*Engine) {})
+	e.Run(10)
+	for name, f := range map[string]func(){
+		"past":  func() { e.Schedule(3, func(*Engine) {}) },
+		"delay": func() { e.ScheduleAfter(-1, func(*Engine) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQueueNoContention(t *testing.T) {
+	q := NewFIFOQueue(0.1)
+	q.RunArrivals([]float64{0, 1, 2, 3})
+	if q.MeanWait() != 0 || q.Served != 4 || q.Dropped != 0 {
+		t.Errorf("idle queue should have zero wait: %+v", q)
+	}
+}
+
+func TestQueueBackToBack(t *testing.T) {
+	// Three simultaneous arrivals with unit service: waits 0, 1, 2.
+	q := NewFIFOQueue(1)
+	w0, _ := q.Arrive(0)
+	w1, _ := q.Arrive(0)
+	w2, _ := q.Arrive(0)
+	if w0 != 0 || w1 != 1 || w2 != 2 {
+		t.Errorf("waits %g %g %g", w0, w1, w2)
+	}
+	if q.MaxWait != 2 || math.Abs(q.MeanWait()-1) > 1e-12 {
+		t.Errorf("stats %+v", q)
+	}
+}
+
+func TestQueueCapacityDrops(t *testing.T) {
+	q := NewFIFOQueue(10)
+	q.Capacity = 2
+	q.Arrive(0)
+	q.Arrive(0)
+	_, ok := q.Arrive(0)
+	if ok || q.Dropped != 1 {
+		t.Error("third arrival should drop")
+	}
+	// After the first job departs at t=10, there is room again.
+	_, ok = q.Arrive(10)
+	if !ok {
+		t.Error("arrival after departure should be accepted")
+	}
+}
+
+func TestQueueMM1MeanWait(t *testing.T) {
+	// M/D/1: mean wait = ρ·s/(2(1-ρ)). λ=0.5, s=1 → ρ=0.5, wait=0.5.
+	rng := rand.New(rand.NewSource(1))
+	var times []float64
+	t0 := 0.0
+	for i := 0; i < 200000; i++ {
+		t0 += rng.ExpFloat64() / 0.5
+		times = append(times, t0)
+	}
+	q := NewFIFOQueue(1).RunArrivals(times)
+	want := 0.5
+	if got := q.MeanWait(); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("M/D/1 mean wait %g want %g", got, want)
+	}
+}
+
+func TestQueueOrderingPanic(t *testing.T) {
+	q := NewFIFOQueue(1)
+	q.Arrive(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-order arrival")
+		}
+	}()
+	q.Arrive(4)
+}
+
+func TestQueueMeanLength(t *testing.T) {
+	// One job arrives at t=0, serves until 1; second arrival at t=2.
+	q := NewFIFOQueue(1)
+	q.Arrive(0)
+	q.Arrive(2)
+	// Over [0,2]: length 1 during [0,1], 0 during [1,2] → integral 1.
+	if got := q.MeanQueueLength(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mean length %g want 0.5", got)
+	}
+}
+
+func TestServiceTimeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFIFOQueue(0)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram bins observations into fixed-width or logarithmically
+// spaced buckets — the workhorse behind the interarrival-distribution
+// views of Figs. 3 and 8.
+type Histogram struct {
+	edges  []float64 // len = bins+1, ascending
+	counts []int
+	under  int // below the first edge
+	over   int // at or above the last edge
+	total  int
+	log    bool
+}
+
+// NewHistogram returns a linear histogram with the given number of
+// equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("stats: histogram needs bins >= 1 and hi > lo")
+	}
+	edges := make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
+	}
+	return &Histogram{edges: edges, counts: make([]int, bins)}
+}
+
+// NewLogHistogram returns a histogram with logarithmically spaced bin
+// edges over [lo, hi); lo must be positive. Interarrival times spanning
+// milliseconds to minutes need log bins to be readable.
+func NewLogHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || lo <= 0 || hi <= lo {
+		panic("stats: log histogram needs bins >= 1 and hi > lo > 0")
+	}
+	edges := make([]float64, bins+1)
+	ratio := math.Log(hi / lo)
+	for i := range edges {
+		edges[i] = lo * math.Exp(ratio*float64(i)/float64(bins))
+	}
+	edges[bins] = hi // avoid rounding drift at the top edge
+	return &Histogram{edges: edges, counts: make([]int, bins), log: true}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.edges[0]:
+		h.under++
+	case x >= h.edges[len(h.edges)-1]:
+		h.over++
+	default:
+		h.counts[h.bucket(x)]++
+	}
+}
+
+// AddAll records a slice of observations.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// bucket locates x by binary search over the edges.
+func (h *Histogram) bucket(x float64) int {
+	lo, hi := 0, len(h.counts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if x >= h.edges[mid] {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Bins returns the number of buckets.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count of bucket i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Edges returns the bucket boundaries [lo_i, hi_i) for bucket i.
+func (h *Histogram) Edges(i int) (lo, hi float64) { return h.edges[i], h.edges[i+1] }
+
+// Total returns the number of observations recorded, including
+// under/overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow returns the count of observations at or above the top edge.
+func (h *Histogram) Overflow() int { return h.over }
+
+// CDFAt returns the empirical CDF at bucket boundary i (fraction of
+// observations below edges[i]), treating overflow as above everything.
+func (h *Histogram) CDFAt(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	c := h.under
+	for j := 0; j < i; j++ {
+		c += h.counts[j]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// String renders an ASCII bar chart, one row per bucket.
+func (h *Histogram) String() string {
+	maxCount := 1
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		lo, hi := h.Edges(i)
+		bar := strings.Repeat("#", c*50/maxCount)
+		fmt.Fprintf(&b, "%10.4g-%-10.4g %7d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%21s %7d\n", "underflow", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "%21s %7d\n", "overflow", h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramLinear(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0, 1.9, 2, 5, 9.99, 10, 100})
+	if h.Total() != 8 {
+		t.Errorf("total %d", h.Total())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Errorf("under %d over %d", h.Underflow(), h.Overflow())
+	}
+	// Buckets: [0,2) has 0 and 1.9; [2,4) has 2; [4,6) has 5; [8,10) has 9.99.
+	want := []int{2, 1, 1, 0, 1}
+	for i, w := range want {
+		if h.Count(i) != w {
+			t.Errorf("bucket %d count %d want %d", i, h.Count(i), w)
+		}
+	}
+	lo, hi := h.Edges(1)
+	if lo != 2 || hi != 4 {
+		t.Errorf("edges %g %g", lo, hi)
+	}
+}
+
+func TestHistogramLogSpacing(t *testing.T) {
+	h := NewLogHistogram(0.001, 1000, 6)
+	// Edges should be decades: 1e-3, 1e-2, ..., 1e3.
+	for i := 0; i <= 6; i++ {
+		want := math.Pow(10, float64(i-3))
+		lo := h.edges[i]
+		if math.Abs(lo-want)/want > 1e-9 {
+			t.Errorf("edge %d = %g want %g", i, lo, want)
+		}
+	}
+	h.Add(0.5) // decade [0.1, 1): bucket 2
+	if h.Count(2) != 1 {
+		t.Error("log bucketing wrong")
+	}
+}
+
+// TestHistogramConservation: every observation lands in exactly one
+// place (bucket, underflow or overflow).
+func TestHistogramConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(raw []float64) bool {
+		h := NewHistogram(-5, 5, 7)
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		sum := h.Underflow() + h.Overflow()
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == n && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCDFAt(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.AddAll([]float64{1, 2, 3, 7, 20})
+	// Below 5: three observations of five.
+	if got := h.CDFAt(1); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("CDFAt(1) = %g", got)
+	}
+	if h.CDFAt(0) != 0 {
+		t.Error("CDFAt(0) should be 0 with no underflow")
+	}
+	if got := h.CDFAt(2); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("CDFAt(top) = %g (overflow excluded)", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewLogHistogram(0.01, 100, 4)
+	h.AddAll([]float64{0.5, 0.6, 5, 1000})
+	s := h.String()
+	if !strings.Contains(s, "#") || !strings.Contains(s, "overflow") {
+		t.Errorf("unhelpful rendering:\n%s", s)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bins":   func() { NewHistogram(0, 1, 0) },
+		"range":  func() { NewHistogram(1, 1, 3) },
+		"log lo": func() { NewLogHistogram(0, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

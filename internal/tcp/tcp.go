@@ -1,0 +1,311 @@
+// Package tcp implements a packet-level simulation of TCP Reno-style
+// congestion control over a shared drop-tail bottleneck.
+//
+// Section VII-C2 of the paper argues that FTPDATA packet timing "is
+// intimately related to the dynamics of TCP's congestion control
+// algorithms": within a round-trip time the rate is not constant (each
+// packet is clocked by an ACK), across round trips the rate follows
+// the congestion window sawtooth, and different connections see
+// different average rates. The paper concludes that simulations must
+// model individual sources with "a direct implementation of TCP's
+// congestion control algorithms" — this package is that substrate.
+//
+// The model is deliberately the textbook single-bottleneck abstraction:
+// senders adjacent to a drop-tail FIFO bottleneck, a fixed two-way
+// propagation delay, cumulative ACKs, slow start, congestion
+// avoidance, fast retransmit on three duplicate ACKs, and timeout
+// recovery. It reproduces the dynamics the paper appeals to (window
+// oscillation, self-clocking, rate disparity across connections)
+// without modeling details irrelevant to arrival-process analysis
+// (SACK, delayed ACKs, Nagle).
+package tcp
+
+import (
+	"math"
+
+	"wantraffic/internal/sim"
+)
+
+// Path describes the shared bottleneck.
+type Path struct {
+	// RTT is the two-way propagation delay in seconds (excluding
+	// queueing).
+	RTT float64
+	// Rate is the bottleneck bandwidth in bytes/second.
+	Rate float64
+	// QueueCap is the drop-tail queue capacity in packets (including
+	// the packet in service).
+	QueueCap int
+	// MSS is the segment size in bytes.
+	MSS int
+}
+
+// DefaultPath returns a path resembling the paper's wide-area
+// environment: 80 ms RTT, a T1-class 192 kB/s bottleneck, 20-packet
+// buffer, 512-byte segments.
+func DefaultPath() Path {
+	return Path{RTT: 0.08, Rate: 192000, QueueCap: 20, MSS: 512}
+}
+
+// BDP returns the bandwidth-delay product in segments.
+func (p Path) BDP() float64 { return p.Rate * p.RTT / float64(p.MSS) }
+
+func (p Path) validate() {
+	if p.RTT <= 0 || p.Rate <= 0 || p.QueueCap < 2 || p.MSS <= 0 {
+		panic("tcp: invalid path parameters")
+	}
+}
+
+// TransferSpec is one connection to simulate.
+type TransferSpec struct {
+	// Start is the connection's start time (seconds).
+	Start float64
+	// Bytes is the transfer size; it is rounded up to whole segments.
+	Bytes int64
+	// RTT optionally overrides the path's two-way propagation delay
+	// for this connection (long-haul connections share the bottleneck
+	// with nearby ones). Zero means use the path RTT.
+	RTT float64
+}
+
+// Result summarizes one simulated connection.
+type Result struct {
+	ConnID    int
+	Segments  int       // data segments delivered
+	Retrans   int       // retransmitted segments
+	Done      float64   // completion time, or NaN if unfinished at horizon
+	Losses    int       // segments dropped at the bottleneck
+	MaxCwnd   float64   // largest congestion window reached (segments)
+	CwndTrace []float64 // cwnd sampled at each ACK arrival
+}
+
+// Throughput returns the achieved goodput in bytes/second.
+func (r Result) Throughput(start float64, mss int) float64 {
+	if math.IsNaN(r.Done) || r.Done <= start {
+		return 0
+	}
+	return float64(r.Segments*mss) / (r.Done - start)
+}
+
+// Departure is one data segment crossing the bottleneck — the "packet
+// arrival" an observer tapping the link would record (the LBL and DEC
+// traces were captured exactly this way).
+type Departure struct {
+	Time   float64
+	ConnID int
+	Size   int
+}
+
+// Simulate runs the given transfers over one shared bottleneck until
+// horizon and returns the wire-level departures plus per-connection
+// results.
+func Simulate(path Path, specs []TransferSpec, horizon float64) ([]Departure, []Result) {
+	path.validate()
+	if horizon <= 0 {
+		panic("tcp: horizon must be positive")
+	}
+	eng := sim.NewEngine()
+	net := &network{
+		path:    path,
+		horizon: horizon,
+		svc:     float64(path.MSS) / path.Rate,
+	}
+	net.results = make([]Result, len(specs))
+	for i, spec := range specs {
+		segs := int((spec.Bytes + int64(path.MSS) - 1) / int64(path.MSS))
+		if segs < 1 {
+			segs = 1
+		}
+		rtt := spec.RTT
+		if rtt <= 0 {
+			rtt = path.RTT
+		}
+		s := &sender{
+			net:      net,
+			id:       i,
+			total:    segs,
+			rtt:      rtt,
+			cwnd:     1,
+			ssthresh: 64,
+			rto:      math.Max(1, 3*rtt),
+			received: make(map[int]bool),
+		}
+		net.senders = append(net.senders, s)
+		net.results[i] = Result{ConnID: i, Done: math.NaN()}
+		start := spec.Start
+		eng.Schedule(start, func(e *sim.Engine) { s.sendWindow(e) })
+	}
+	eng.Run(horizon)
+	return net.departures, net.results
+}
+
+// network holds the shared bottleneck state.
+type network struct {
+	path    Path
+	horizon float64
+	svc     float64 // per-segment service time
+
+	queueLen   int     // packets queued or in service
+	busyUntil  float64 // when the server frees up
+	departures []Departure
+	senders    []*sender
+	results    []Result
+}
+
+// enqueue offers a segment to the bottleneck at the current time.
+// It returns false on drop-tail loss.
+func (n *network) enqueue(e *sim.Engine, s *sender, seq int) bool {
+	if n.queueLen >= n.path.QueueCap {
+		n.results[s.id].Losses++
+		return false
+	}
+	n.queueLen++
+	now := e.Now()
+	if n.busyUntil < now {
+		n.busyUntil = now
+	}
+	n.busyUntil += n.svc
+	depart := n.busyUntil
+	e.Schedule(depart, func(e *sim.Engine) {
+		n.queueLen--
+		n.departures = append(n.departures, Departure{Time: e.Now(), ConnID: s.id, Size: n.path.MSS})
+		// The segment reaches the receiver after the remaining one-way
+		// delay; the cumulative ACK returns after the other half.
+		e.Schedule(e.Now()+s.rtt, func(e *sim.Engine) { s.onAck(e, seq) })
+	})
+	return true
+}
+
+// sender is one Reno-style TCP source.
+type sender struct {
+	net   *network
+	id    int
+	total int
+
+	rtt      float64      // this connection's two-way propagation delay
+	sendPtr  int          // next sequence to (re)transmit in this pass
+	cumAck   int          // all segments below this are delivered
+	received map[int]bool // out-of-order segments at the receiver
+	inFlight int          // segments the sender believes are in flight
+
+	cwnd         float64
+	ssthresh     float64
+	dupAcks      int
+	rto          float64
+	lastProgress float64
+	timerArmed   bool
+	finished     bool
+}
+
+// sendWindow transmits segments while the window allows, skipping
+// sequences the receiver already holds (after a timeout the pass
+// restarts at cumAck, giving go-back-N recovery that does not resend
+// delivered data).
+func (s *sender) sendWindow(e *sim.Engine) {
+	if s.finished {
+		return
+	}
+	for s.sendPtr < s.total && float64(s.inFlight) < s.cwnd {
+		if !s.received[s.sendPtr] {
+			s.transmit(e, s.sendPtr)
+		}
+		s.sendPtr++
+	}
+	s.armTimer(e)
+}
+
+// transmit sends one segment (new or retransmitted). The sender cannot
+// observe a drop-tail loss, so the segment counts as in flight either
+// way; losses are recovered by duplicate ACKs or the retransmit timer.
+func (s *sender) transmit(e *sim.Engine, seq int) {
+	s.inFlight++
+	s.net.enqueue(e, s, seq)
+}
+
+// onAck processes the receiver's cumulative ACK generated by the
+// arrival of segment seq.
+func (s *sender) onAck(e *sim.Engine, seq int) {
+	if s.finished {
+		return
+	}
+	if s.inFlight > 0 {
+		s.inFlight--
+	}
+	s.received[seq] = true
+	prevCum := s.cumAck
+	for s.received[s.cumAck] {
+		s.cumAck++
+	}
+	res := &s.net.results[s.id]
+	res.CwndTrace = append(res.CwndTrace, s.cwnd)
+
+	if s.cumAck > prevCum {
+		// New data acknowledged.
+		s.dupAcks = 0
+		s.lastProgress = e.Now()
+		if s.cwnd < s.ssthresh {
+			s.cwnd++ // slow start: one segment per ACK
+		} else {
+			s.cwnd += 1 / s.cwnd // congestion avoidance
+		}
+		if s.cwnd > res.MaxCwnd {
+			res.MaxCwnd = s.cwnd
+		}
+		if s.cumAck > s.sendPtr {
+			s.sendPtr = s.cumAck
+		}
+		if s.cumAck >= s.total {
+			s.finished = true
+			res.Segments = s.total
+			res.Done = e.Now()
+			return
+		}
+	} else {
+		// Duplicate ACK (a gap at cumAck).
+		s.dupAcks++
+		if s.dupAcks == 3 {
+			// Fast retransmit + simplified fast recovery: halve once,
+			// resend the hole, and let later duplicate ACKs clock out
+			// further segments without halving again this window.
+			s.ssthresh = math.Max(2, s.cwnd/2)
+			s.cwnd = s.ssthresh
+			res.Retrans++
+			s.transmit(e, s.cumAck)
+		}
+	}
+	s.sendWindow(e)
+}
+
+// armTimer (re)schedules the retransmission timeout check.
+func (s *sender) armTimer(e *sim.Engine) {
+	if s.timerArmed || s.finished {
+		return
+	}
+	s.timerArmed = true
+	e.ScheduleAfter(s.rto, func(e *sim.Engine) {
+		s.timerArmed = false
+		if s.finished {
+			return
+		}
+		if e.Now()-s.lastProgress >= s.rto {
+			// Timeout: collapse the window and restart the sending
+			// pass at the first hole.
+			s.ssthresh = math.Max(2, s.cwnd/2)
+			s.cwnd = 1
+			s.inFlight = 0
+			s.dupAcks = 0
+			s.net.results[s.id].Retrans++
+			s.lastProgress = e.Now()
+			s.sendPtr = s.cumAck
+			s.sendWindow(e)
+		}
+		s.armTimer(e)
+	})
+}
+
+// Transfer simulates a single connection in isolation and returns its
+// wire departures and result.
+func Transfer(path Path, bytes int64, horizon float64) ([]Departure, Result) {
+	deps, res := Simulate(path, []TransferSpec{{Start: 0, Bytes: bytes}}, horizon)
+	return deps, res[0]
+}

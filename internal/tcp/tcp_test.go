@@ -1,0 +1,185 @@
+package tcp
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"wantraffic/internal/poisson"
+	"wantraffic/internal/stats"
+)
+
+func TestSingleTransferCompletes(t *testing.T) {
+	path := DefaultPath()
+	deps, res := Transfer(path, 1<<20, 600) // 1 MB
+	if math.IsNaN(res.Done) {
+		t.Fatal("transfer did not complete")
+	}
+	wantSegs := (1 << 20) / path.MSS
+	if res.Segments != wantSegs {
+		t.Errorf("segments %d want %d", res.Segments, wantSegs)
+	}
+	// All departures precede completion; counts are consistent
+	// (original segments + retransmitted copies).
+	if len(deps) < wantSegs {
+		t.Errorf("departures %d < segments %d", len(deps), wantSegs)
+	}
+	for i := 1; i < len(deps); i++ {
+		if deps[i].Time < deps[i-1].Time {
+			t.Fatal("departures out of order")
+		}
+	}
+}
+
+func TestThroughputApproachesBottleneck(t *testing.T) {
+	// A long transfer should keep the pipe nearly full: goodput within
+	// ~70-100% of the bottleneck rate (Reno sawtooth costs some).
+	path := DefaultPath()
+	_, res := Transfer(path, 8<<20, 600)
+	if math.IsNaN(res.Done) {
+		t.Fatal("did not complete")
+	}
+	gp := res.Throughput(0, path.MSS)
+	if gp < 0.6*path.Rate || gp > 1.01*path.Rate {
+		t.Errorf("goodput %.0f B/s vs bottleneck %.0f B/s", gp, path.Rate)
+	}
+}
+
+func TestCwndSawtooth(t *testing.T) {
+	// With a long transfer the window must repeatedly grow and halve:
+	// losses occur, max cwnd is near BDP+queue, and the trace has many
+	// decreases.
+	path := DefaultPath()
+	_, res := Transfer(path, 8<<20, 600)
+	if res.Losses == 0 {
+		t.Error("no losses: queue never overflowed, no sawtooth")
+	}
+	limit := path.BDP() + float64(path.QueueCap)
+	if res.MaxCwnd < 0.5*limit || res.MaxCwnd > 1.7*limit {
+		t.Errorf("max cwnd %.1f vs BDP+Q %.1f", res.MaxCwnd, limit)
+	}
+	drops := 0
+	for i := 1; i < len(res.CwndTrace); i++ {
+		if res.CwndTrace[i] < res.CwndTrace[i-1]-0.5 {
+			drops++
+		}
+	}
+	if drops < 3 {
+		t.Errorf("only %d window reductions; want a sawtooth", drops)
+	}
+}
+
+func TestSlowStartIsExponential(t *testing.T) {
+	// Early in a transfer (before any loss) cwnd doubles per RTT:
+	// after k RTTs the window is ~2^k.
+	path := DefaultPath()
+	path.QueueCap = 10000 // no loss
+	_, res := Transfer(path, 1<<20, 600)
+	if res.Losses != 0 {
+		t.Fatal("unexpected loss with huge queue")
+	}
+	// cwnd trace grows monotonically in slow start up to ssthresh.
+	prev := 0.0
+	for i, c := range res.CwndTrace {
+		if i > 0 && c < prev-1e-9 && prev < 64 {
+			t.Fatalf("cwnd decreased during slow start at ack %d", i)
+		}
+		prev = c
+	}
+}
+
+func TestTwoConnectionsShareBandwidth(t *testing.T) {
+	path := DefaultPath()
+	specs := []TransferSpec{
+		{Start: 0, Bytes: 4 << 20},
+		{Start: 0, Bytes: 4 << 20},
+	}
+	_, res := Simulate(path, specs, 1200)
+	for i, r := range res {
+		if math.IsNaN(r.Done) {
+			t.Fatalf("connection %d unfinished", i)
+		}
+	}
+	// Combined goodput near the bottleneck; individual shares within
+	// a factor ~3 of each other (Reno is only approximately fair).
+	g0 := res[0].Throughput(0, path.MSS)
+	g1 := res[1].Throughput(0, path.MSS)
+	if g0+g1 < 0.6*path.Rate {
+		t.Errorf("combined goodput %.0f too low", g0+g1)
+	}
+	ratio := g0 / g1
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > 3.5 {
+		t.Errorf("share ratio %.1f, want rough fairness", ratio)
+	}
+}
+
+// TestWireInterarrivalsNotExponential is the paper's point (via ref
+// [12]): FTPDATA packet interarrivals are far from exponential because
+// of ACK clocking and window dynamics.
+func TestWireInterarrivalsNotExponential(t *testing.T) {
+	path := DefaultPath()
+	deps, _ := Transfer(path, 4<<20, 600)
+	times := make([]float64, len(deps))
+	for i, d := range deps {
+		times[i] = d.Time
+	}
+	sort.Float64s(times)
+	inter := stats.Diff(times)
+	pass, aStar := poisson.ExponentialADTest(inter, 0.05)
+	if pass {
+		t.Errorf("TCP wire interarrivals judged exponential (A*=%g)", aStar)
+	}
+}
+
+// TestRateVariesAcrossConnections: connections on different paths see
+// different average rates (Section VII-C2's third observation).
+func TestRateVariesAcrossConnections(t *testing.T) {
+	fast := DefaultPath()
+	slow := DefaultPath()
+	slow.RTT = 0.4 // long-haul connection
+	_, resFast := Transfer(fast, 2<<20, 600)
+	_, resSlow := Transfer(slow, 2<<20, 600)
+	if resSlow.Throughput(0, slow.MSS) >= resFast.Throughput(0, fast.MSS) {
+		t.Error("longer-RTT connection should achieve lower throughput")
+	}
+}
+
+func TestTimeoutRecovery(t *testing.T) {
+	// A brutal path (tiny queue) forces losses; the transfer must
+	// still complete via retransmissions.
+	path := DefaultPath()
+	path.QueueCap = 3
+	_, res := Transfer(path, 1<<20, 3000)
+	if math.IsNaN(res.Done) {
+		t.Fatal("transfer with heavy loss never completed")
+	}
+	if res.Retrans == 0 {
+		t.Error("expected retransmissions on a lossy path")
+	}
+}
+
+func TestSimulatePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"path":    func() { Simulate(Path{}, nil, 10) },
+		"horizon": func() { Simulate(DefaultPath(), nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkTransfer1MB(b *testing.B) {
+	path := DefaultPath()
+	for i := 0; i < b.N; i++ {
+		Transfer(path, 1<<20, 600)
+	}
+}

@@ -1,0 +1,125 @@
+package tcplib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wantraffic/internal/fit"
+	"wantraffic/internal/stats"
+)
+
+// TestPaperFactsHold verifies that the reconstruction satisfies every
+// quantitative constraint the paper states about the Tcplib TELNET
+// interarrival distribution.
+func TestPaperFactsHold(t *testing.T) {
+	d := TelnetInterarrivals()
+	// "under 2% were less than 8 ms apart"
+	if f := d.CDF(0.008); f >= 0.02 {
+		t.Errorf("F(8ms) = %g, want < 0.02", f)
+	}
+	// "over 15% were more than 1 s apart" (pinned at exactly 15%)
+	if f := d.CDF(1.0); math.Abs(f-OneSecondP) > 0.005 {
+		t.Errorf("F(1s) = %g, want %g", f, OneSecondP)
+	}
+	// Sampled mean ≈ 1.1 s.
+	if m := d.Mean(); math.Abs(m-TargetMean) > 0.05 {
+		t.Errorf("mean %g, want %g", m, TargetMean)
+	}
+}
+
+func TestBodyIsPareto09(t *testing.T) {
+	// Between the 10th and 95th percentiles, survival should follow
+	// S(x) = 0.15·x^{-0.9}: check the log-log slope.
+	d := TelnetInterarrivals()
+	var xs, ys []float64
+	for p := 0.10; p <= 0.95; p += 0.05 {
+		x := d.Quantile(p)
+		xs = append(xs, math.Log(x))
+		ys = append(ys, math.Log(1-p))
+	}
+	slope, _ := stats.LeastSquares(xs, ys)
+	if math.Abs(slope-(-BodyShape)) > 0.02 {
+		t.Errorf("body log-log slope %g, want %g", slope, -BodyShape)
+	}
+}
+
+func TestTailIsPareto095(t *testing.T) {
+	// Fit the upper tail of a large sample with the Hill estimator.
+	rng := rand.New(rand.NewSource(1))
+	d := TelnetInterarrivals()
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = d.Rand(rng)
+	}
+	p := fit.HillTailFraction(xs, 0.02)
+	// The table truncates the Pareto(0.95) tail so the mean is finite
+	// (as the real, bounded Tcplib table does); truncation biases the
+	// Hill estimate upward, so accept a Pareto-like shape near 1
+	// rather than exactly the 0.95 generation parameter.
+	if p.Beta < 0.8 || p.Beta > 1.35 {
+		t.Errorf("tail Hill shape %g, want Pareto-like ≈ %g-1.3", p.Beta, TailShape)
+	}
+}
+
+func TestMuchBurstierThanExponential(t *testing.T) {
+	// The defining qualitative property: far more short and far more
+	// long interarrivals than an exponential of the same mean
+	// (Fig. 3's comparison).
+	d := TelnetInterarrivals()
+	mean := d.Mean()
+	// Exponential with same mean: P[X > 1s] = exp(-1/1.1) ≈ 0.40 —
+	// no wait, that's larger. The burstiness contrast the paper makes
+	// is against the geometric-mean fit for the short end and the
+	// heavy tail at multi-second scales:
+	// P[X > 10s] under exponential(1.1) = 1.1e-4; Tcplib ≈ 2%.
+	expTail := math.Exp(-10 / mean)
+	tcplibTail := 1 - d.CDF(10)
+	if tcplibTail < 50*expTail {
+		t.Errorf("10s tail %g not ≫ exponential %g", tcplibTail, expTail)
+	}
+}
+
+func TestDistributionIsShared(t *testing.T) {
+	if TelnetInterarrivals() != TelnetInterarrivals() {
+		t.Error("TelnetInterarrivals should be memoized")
+	}
+}
+
+func TestConnectionSizeDistributions(t *testing.T) {
+	pk := TelnetConnectionSizePackets()
+	if math.Abs(pk.Median()-100) > 1e-6 {
+		t.Errorf("packet-size median %g, want 100", pk.Median())
+	}
+	by := TelnetConnectionSizeBytes()
+	// The byte distribution should be heavier than the packet
+	// distribution in the upper tail (Section V's observed mismatch).
+	if by.Quantile(0.99) <= pk.Quantile(0.99) {
+		t.Error("byte law should have the heavier upper quantile")
+	}
+}
+
+func TestTelnetPacketCount(t *testing.T) {
+	if TelnetPacketCount(1e-9) < 1 {
+		t.Error("packet count must be at least 1")
+	}
+	if TelnetPacketCount(0.5) != 100 {
+		t.Errorf("median packet count %d, want 100", TelnetPacketCount(0.5))
+	}
+	if TelnetPacketCount(0.99) <= TelnetPacketCount(0.5) {
+		t.Error("quantiles must increase")
+	}
+}
+
+func TestSampleMeanMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := TelnetInterarrivals()
+	sum := 0.0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += d.Rand(rng)
+	}
+	if m := sum / n; math.Abs(m-TargetMean) > 0.1 {
+		t.Errorf("sampled mean %g, want ≈ %g", m, TargetMean)
+	}
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace codec. The text codec is convenient for inspection and
+// interchange, but month-long connection traces and million-packet
+// traces benefit from a compact fixed-width binary format:
+//
+//	magic (4 bytes: "WCT1" conn / "WPT1" packet)
+//	nameLen uint16, name bytes
+//	horizon float64
+//	count uint64, then fixed-width records
+//
+// All integers are little-endian; floats are IEEE-754 bits.
+
+var (
+	connMagic   = [4]byte{'W', 'C', 'T', '1'}
+	packetMagic = [4]byte{'W', 'P', 'T', '1'}
+)
+
+// WriteConnTraceBinary encodes a connection trace in the binary format.
+func WriteConnTraceBinary(w io.Writer, t *ConnTrace) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, connMagic, t.Name, t.Horizon, uint64(len(t.Conns))); err != nil {
+		return err
+	}
+	for _, c := range t.Conns {
+		var rec [41]byte
+		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(c.Start))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(c.Duration))
+		rec[16] = byte(c.Proto)
+		binary.LittleEndian.PutUint64(rec[17:], uint64(c.BytesOrig))
+		binary.LittleEndian.PutUint64(rec[25:], uint64(c.BytesResp))
+		binary.LittleEndian.PutUint64(rec[33:], uint64(c.SessionID))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadConnTraceBinary decodes a binary connection trace.
+func ReadConnTraceBinary(r io.Reader) (*ConnTrace, error) {
+	br := bufio.NewReader(r)
+	name, horizon, count, err := readHeader(br, connMagic)
+	if err != nil {
+		return nil, err
+	}
+	// Preallocation is capped: a corrupt header must not force a huge
+	// allocation before the (short) stream disproves its record count.
+	t := &ConnTrace{Name: name, Horizon: horizon, Conns: make([]Conn, 0, capAlloc(count))}
+	var rec [41]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		t.Conns = append(t.Conns, Conn{
+			Start:     math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+			Duration:  math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+			Proto:     Protocol(rec[16]),
+			BytesOrig: int64(binary.LittleEndian.Uint64(rec[17:])),
+			BytesResp: int64(binary.LittleEndian.Uint64(rec[25:])),
+			SessionID: int64(binary.LittleEndian.Uint64(rec[33:])),
+		})
+	}
+	return t, nil
+}
+
+// capAlloc bounds an untrusted record count for slice preallocation.
+func capAlloc(count uint64) int {
+	const max = 1 << 16
+	if count > max {
+		return max
+	}
+	return int(count)
+}
+
+// WritePacketTraceBinary encodes a packet trace in the binary format.
+func WritePacketTraceBinary(w io.Writer, t *PacketTrace) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, packetMagic, t.Name, t.Horizon, uint64(len(t.Packets))); err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		var rec [21]byte
+		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(p.Time))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(p.Size))
+		rec[12] = byte(p.Proto)
+		binary.LittleEndian.PutUint64(rec[13:], uint64(p.ConnID))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPacketTraceBinary decodes a binary packet trace.
+func ReadPacketTraceBinary(r io.Reader) (*PacketTrace, error) {
+	br := bufio.NewReader(r)
+	name, horizon, count, err := readHeader(br, packetMagic)
+	if err != nil {
+		return nil, err
+	}
+	t := &PacketTrace{Name: name, Horizon: horizon, Packets: make([]Packet, 0, capAlloc(count))}
+	var rec [21]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		t.Packets = append(t.Packets, Packet{
+			Time:   math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+			Size:   int(binary.LittleEndian.Uint32(rec[8:])),
+			Proto:  Protocol(rec[12]),
+			ConnID: int64(binary.LittleEndian.Uint64(rec[13:])),
+		})
+	}
+	return t, nil
+}
+
+func writeHeader(w io.Writer, magic [4]byte, name string, horizon float64, count uint64) error {
+	if len(name) > math.MaxUint16 {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(name))
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint16(buf[:2], uint16(len(name)))
+	if _, err := w.Write(buf[:2]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(horizon))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[:], count)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHeader(r io.Reader, magic [4]byte) (name string, horizon float64, count uint64, err error) {
+	var m [4]byte
+	if _, err = io.ReadFull(r, m[:]); err != nil {
+		return "", 0, 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return "", 0, 0, fmt.Errorf("trace: bad magic %q (want %q)", m[:], magic[:])
+	}
+	var lenBuf [2]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", 0, 0, err
+	}
+	nameBytes := make([]byte, binary.LittleEndian.Uint16(lenBuf[:]))
+	if _, err = io.ReadFull(r, nameBytes); err != nil {
+		return "", 0, 0, err
+	}
+	var buf [8]byte
+	if _, err = io.ReadFull(r, buf[:]); err != nil {
+		return "", 0, 0, err
+	}
+	horizon = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	if _, err = io.ReadFull(r, buf[:]); err != nil {
+		return "", 0, 0, err
+	}
+	count = binary.LittleEndian.Uint64(buf[:])
+	const maxRecords = 1 << 31
+	if count > maxRecords {
+		return "", 0, 0, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	return string(nameBytes), horizon, count, nil
+}

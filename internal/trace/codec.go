@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text codec writes one record per line with space-separated
+// fields, preceded by a header line carrying trace metadata:
+//
+//	#conntrace <name> <horizon>
+//	<start> <duration> <proto> <bytesOrig> <bytesResp> <sessionID>
+//
+//	#pkttrace <name> <horizon>
+//	<time> <size> <proto> <connID>
+//
+// Lines beginning with '#' after the header are comments.
+
+// WriteConnTrace encodes a connection trace to w.
+func WriteConnTrace(w io.Writer, t *ConnTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#conntrace %s %g\n", nameField(t.Name), t.Horizon); err != nil {
+		return err
+	}
+	for _, c := range t.Conns {
+		if _, err := fmt.Fprintf(bw, "%g %g %s %d %d %d\n",
+			c.Start, c.Duration, c.Proto, c.BytesOrig, c.BytesResp, c.SessionID); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadConnTrace decodes a connection trace from r.
+func ReadConnTrace(r io.Reader) (*ConnTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	name, horizon, err := parseHeader(sc.Text(), "#conntrace")
+	if err != nil {
+		return nil, err
+	}
+	t := &ConnTrace{Name: name, Horizon: horizon}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 6 {
+			return nil, fmt.Errorf("trace: line %d: want 6 fields, got %d", line, len(f))
+		}
+		var c Conn
+		if c.Start, err = strconv.ParseFloat(f[0], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: start: %w", line, err)
+		}
+		if c.Duration, err = strconv.ParseFloat(f[1], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: duration: %w", line, err)
+		}
+		c.Proto = ParseProtocol(f[2])
+		if c.BytesOrig, err = strconv.ParseInt(f[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bytesOrig: %w", line, err)
+		}
+		if c.BytesResp, err = strconv.ParseInt(f[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bytesResp: %w", line, err)
+		}
+		if c.SessionID, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: sessionID: %w", line, err)
+		}
+		t.Conns = append(t.Conns, c)
+	}
+	return t, sc.Err()
+}
+
+// WritePacketTrace encodes a packet trace to w.
+func WritePacketTrace(w io.Writer, t *PacketTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#pkttrace %s %g\n", nameField(t.Name), t.Horizon); err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		if _, err := fmt.Fprintf(bw, "%g %d %s %d\n", p.Time, p.Size, p.Proto, p.ConnID); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPacketTrace decodes a packet trace from r.
+func ReadPacketTrace(r io.Reader) (*PacketTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	name, horizon, err := parseHeader(sc.Text(), "#pkttrace")
+	if err != nil {
+		return nil, err
+	}
+	t := &PacketTrace{Name: name, Horizon: horizon}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(f))
+		}
+		var p Packet
+		if p.Time, err = strconv.ParseFloat(f[0], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: time: %w", line, err)
+		}
+		if p.Size, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: size: %w", line, err)
+		}
+		p.Proto = ParseProtocol(f[2])
+		if p.ConnID, err = strconv.ParseInt(f[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: connID: %w", line, err)
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	return t, sc.Err()
+}
+
+// nameField makes a trace name safe for the single-token header field.
+func nameField(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(name, " ", "_")
+}
+
+func parseHeader(line, magic string) (name string, horizon float64, err error) {
+	f := strings.Fields(line)
+	if len(f) != 3 || f[0] != magic {
+		return "", 0, fmt.Errorf("trace: bad header %q (want %q)", line, magic+" <name> <horizon>")
+	}
+	horizon, err = strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("trace: bad horizon: %w", err)
+	}
+	return f[1], horizon, nil
+}

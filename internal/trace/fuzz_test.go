@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadConnTrace checks the text reader never panics and that any
+// trace it accepts round-trips through the writer.
+func FuzzReadConnTrace(f *testing.F) {
+	f.Add("#conntrace x 3600\n1 2 TELNET 3 4 5\n")
+	f.Add("#conntrace y 10\n")
+	f.Add("garbage")
+	f.Add("#conntrace z 1e9\n0.5 0 FTPDATA 0 1048576 42\n# comment\n\n1 1 WWW 1 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadConnTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteConnTrace(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		if _, err := ReadConnTrace(&buf); err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", err)
+		}
+	})
+}
+
+// FuzzReadConnTraceBinary checks the binary reader is robust against
+// arbitrary input (no panics, no unbounded allocation).
+func FuzzReadConnTraceBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteConnTraceBinary(&seed, sampleConnTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("WCT1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := ReadConnTraceBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteConnTraceBinary(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadPacketTraceBinary mirrors the above for packet traces.
+func FuzzReadPacketTraceBinary(f *testing.F) {
+	var seed bytes.Buffer
+	pt := &PacketTrace{Name: "p", Horizon: 10, Packets: []Packet{{Time: 1, Size: 2, Proto: SMTP, ConnID: 3}}}
+	if err := WritePacketTraceBinary(&seed, pt); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("WPT1\x00\x00"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		_, _ = ReadPacketTraceBinary(bytes.NewReader(in))
+	})
+}

@@ -1,0 +1,163 @@
+// Package wantraffic is a from-scratch Go reproduction of Paxson &
+// Floyd, "Wide-Area Traffic: The Failure of Poisson Modeling"
+// (IEEE/ACM Transactions on Networking 3(3), 1995; SIGCOMM '94).
+//
+// It provides, as a library:
+//
+//   - the Appendix A statistical methodology for testing whether an
+//     arrival process is Poisson with fixed hourly rates
+//     (EvaluatePoisson, TestPoissonArrivals);
+//   - the paper's traffic source models: hourly-Poisson user sessions
+//     with diurnal profiles, the FULL-TEL TELNET model with Tcplib
+//     packet interarrivals, and the FTP session → burst → connection
+//     hierarchy with Pareto burst sizes (GenerateTelnet, GenerateFTP,
+//     FullTelnet, ...);
+//   - the Section VI burst analyses (ExtractBursts, TailShare);
+//   - the Section VII long-range dependence toolkit: variance-time
+//     plots, Whittle's Hurst estimator, Beran's goodness-of-fit test
+//     against fractional Gaussian noise, exact fGn synthesis, and the
+//     M/G/∞ and Pareto-renewal constructions of Appendices C–E
+//     (AssessSelfSimilarity, EstimateHurst, GenerateFGN).
+//
+// The heavy lifting lives in the internal packages (dist, stats, fft,
+// fit, poisson, selfsim, tcplib, trace, sim, model, datasets, core,
+// experiments); this package re-exports the surface a downstream user
+// needs. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the paper-versus-measured record of every table and figure.
+package wantraffic
+
+import (
+	"math/rand"
+
+	"wantraffic/internal/core"
+	"wantraffic/internal/model"
+	"wantraffic/internal/poisson"
+	"wantraffic/internal/selfsim"
+	"wantraffic/internal/tcplib"
+	"wantraffic/internal/trace"
+)
+
+// Re-exported trace types: the SYN/FIN connection records of Table I
+// and the packet records of Table II.
+type (
+	// Conn is one TCP connection from a SYN/FIN-style trace.
+	Conn = trace.Conn
+	// ConnTrace is a connection-level trace.
+	ConnTrace = trace.ConnTrace
+	// Packet is one packet arrival.
+	Packet = trace.Packet
+	// PacketTrace is a packet-level trace.
+	PacketTrace = trace.PacketTrace
+	// Protocol identifies a TCP application protocol.
+	Protocol = trace.Protocol
+)
+
+// Re-exported protocol constants.
+const (
+	Telnet  = trace.Telnet
+	Rlogin  = trace.Rlogin
+	X11     = trace.X11
+	FTP     = trace.FTP
+	FTPData = trace.FTPData
+	SMTP    = trace.SMTP
+	NNTP    = trace.NNTP
+	WWW     = trace.WWW
+)
+
+// Re-exported analysis types.
+type (
+	// PoissonResult is the Appendix A whole-trace verdict.
+	PoissonResult = poisson.Result
+	// PoissonConfig controls the Appendix A pipeline.
+	PoissonConfig = poisson.Config
+	// Burst is one Section VI FTPDATA connection burst.
+	Burst = core.Burst
+	// SelfSimilarity is the Section VII assessment of a count process.
+	SelfSimilarity = core.SelfSimilarity
+	// WhittleResult is a fitted Hurst parameter with its Beran
+	// goodness-of-fit verdict.
+	WhittleResult = selfsim.WhittleResult
+	// Scheme selects a TELNET packet-interarrival law (TCPLIB, EXP,
+	// VAR-EXP).
+	Scheme = model.Scheme
+	// FTPConfig parameterizes the FTP traffic hierarchy.
+	FTPConfig = model.FTPConfig
+)
+
+// Re-exported scheme constants.
+const (
+	SchemeTcplib = model.SchemeTcplib
+	SchemeExp    = model.SchemeExp
+	SchemeVarExp = model.SchemeVarExp
+)
+
+// DefaultBurstCutoff is the paper's 4 s FTPDATA burst spacing rule.
+const DefaultBurstCutoff = core.DefaultBurstCutoff
+
+// EvaluatePoisson runs the Appendix A methodology on one protocol's
+// connection arrivals within a trace, over intervals of intervalLen
+// seconds (3600 and 600 in the paper).
+func EvaluatePoisson(tr *ConnTrace, proto Protocol, intervalLen float64) PoissonResult {
+	return core.EvaluatePoisson(tr, proto, intervalLen)
+}
+
+// TestPoissonArrivals runs the Appendix A methodology directly on
+// sorted arrival times over [0, horizon).
+func TestPoissonArrivals(times []float64, horizon, intervalLen float64) PoissonResult {
+	return poisson.Evaluate(times, horizon, poisson.DefaultConfig(intervalLen))
+}
+
+// ExtractBursts coalesces a trace's FTPDATA connections into Section
+// VI bursts using the given spacing cutoff (DefaultBurstCutoff in the
+// paper).
+func ExtractBursts(tr *ConnTrace, cutoff float64) []Burst {
+	return core.ExtractBursts(tr, cutoff)
+}
+
+// TailShare returns the fraction of all burst bytes carried by the
+// largest frac of bursts.
+func TailShare(bursts []Burst, frac float64) float64 {
+	return core.TailShare(bursts, frac)
+}
+
+// AssessSelfSimilarity runs the Section VII variance-time and
+// Whittle/Beran analyses on a count process.
+func AssessSelfSimilarity(counts []float64, maxM int) SelfSimilarity {
+	return core.AssessSelfSimilarity(counts, maxM)
+}
+
+// EstimateHurst fits fractional Gaussian noise to a series by
+// Whittle's method and tests the fit with Beran's statistic.
+func EstimateHurst(series []float64) WhittleResult {
+	return selfsim.Whittle(series)
+}
+
+// GenerateFGN synthesizes exact fractional Gaussian noise by
+// Davies–Harte circulant embedding.
+func GenerateFGN(rng *rand.Rand, n int, hurst, variance float64) []float64 {
+	return selfsim.FGN(rng, n, hurst, variance)
+}
+
+// FullTelnet generates a packet trace from the Section V FULL-TEL
+// model, parameterized only by the hourly connection arrival rate.
+func FullTelnet(rng *rand.Rand, name string, connsPerHour, horizon float64) *PacketTrace {
+	return model.FullTelnet(rng, name, connsPerHour, horizon)
+}
+
+// GenerateFTP generates FTP sessions and their FTPDATA connections
+// from the Section VI hierarchy.
+func GenerateFTP(rng *rand.Rand, cfg FTPConfig) []Conn {
+	return model.GenerateFTP(rng, cfg)
+}
+
+// DefaultFTPConfig returns FTP model parameters calibrated to the
+// paper's burst-tail findings.
+func DefaultFTPConfig(sessionsPerDay float64, days int) FTPConfig {
+	return model.DefaultFTPConfig(sessionsPerDay, days)
+}
+
+// TelnetInterarrivalQuantile exposes the reconstructed Tcplib TELNET
+// packet-interarrival distribution's quantile function (seconds).
+func TelnetInterarrivalQuantile(p float64) float64 {
+	return tcplib.TelnetInterarrivals().Quantile(p)
+}

@@ -1,0 +1,98 @@
+package wantraffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestPublicAPIHeadline exercises the facade end-to-end on the paper's
+// headline claims: session arrivals are Poisson, packet arrivals are
+// not, FTP bytes concentrate in the largest bursts, and the traffic is
+// long-range correlated.
+func TestPublicAPIHeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	// FTP hierarchy: sessions Poisson, FTPDATA not.
+	conns := GenerateFTP(rng, DefaultFTPConfig(400, 8))
+	tr := &ConnTrace{Name: "api", Horizon: 8 * 86400, Conns: conns}
+	tr.SortByStart()
+	if res := EvaluatePoisson(tr, FTP, 3600); !res.Poisson {
+		t.Errorf("FTP sessions should be Poisson: %v", res)
+	}
+	if res := EvaluatePoisson(tr, FTPData, 3600); res.Poisson {
+		t.Errorf("FTPDATA should not be Poisson: %v", res)
+	}
+
+	// Burst tail dominance.
+	bursts := ExtractBursts(tr, DefaultBurstCutoff)
+	if len(bursts) < 1000 {
+		t.Fatalf("bursts %d", len(bursts))
+	}
+	if share := TailShare(bursts, 0.005); share < 0.2 {
+		t.Errorf("top 0.5%% share %g suspiciously low", share)
+	}
+
+	// Hurst estimation round trip on exact fGn.
+	fgn := GenerateFGN(rng, 4096, 0.8, 1)
+	w := EstimateHurst(fgn)
+	if math.Abs(w.H-0.8) > 0.06 {
+		t.Errorf("H %g want ~0.8", w.H)
+	}
+
+	// FULL-TEL produces bursty traffic.
+	pt := FullTelnet(rng, "full-tel", 137, 3600)
+	if len(pt.Packets) == 0 {
+		t.Fatal("no packets")
+	}
+}
+
+func TestTestPoissonArrivalsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var times []float64
+	tm := 0.0
+	for {
+		tm += rng.ExpFloat64() * 20
+		if tm >= 48*3600 {
+			break
+		}
+		times = append(times, tm)
+	}
+	res := TestPoissonArrivals(times, 48*3600, 3600)
+	if !res.Poisson {
+		t.Errorf("Poisson arrivals rejected: %v", res)
+	}
+}
+
+func TestTelnetInterarrivalQuantile(t *testing.T) {
+	var prev float64
+	for _, p := range []float64{0.1, 0.5, 0.85, 0.99} {
+		q := TelnetInterarrivalQuantile(p)
+		if q <= prev {
+			t.Fatalf("quantiles must increase: q(%g)=%g", p, q)
+		}
+		prev = q
+	}
+	// The pinned fact: 15% of interarrivals exceed 1 s.
+	if q := TelnetInterarrivalQuantile(0.85); math.Abs(q-1) > 0.05 {
+		t.Errorf("q(0.85) = %g, want 1 s", q)
+	}
+}
+
+func TestAssessSelfSimilarityFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]float64, 4096)
+	for i := range counts {
+		counts[i] = float64(rng.Intn(20))
+	}
+	ss := AssessSelfSimilarity(counts, 300)
+	if ss.LargeScaleCorrelated {
+		t.Errorf("iid counts flagged correlated: slope %g", ss.VTSlope)
+	}
+	sort.Float64s(counts) // monotone ramp: strongly "correlated"
+	ss2 := AssessSelfSimilarity(counts, 300)
+	if !ss2.LargeScaleCorrelated {
+		t.Errorf("monotone ramp not flagged: slope %g", ss2.VTSlope)
+	}
+}
