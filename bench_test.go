@@ -11,6 +11,8 @@ package wantraffic
 // EXPERIMENTS.md exactly.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"wantraffic/internal/experiments"
@@ -51,6 +53,7 @@ func BenchmarkFig13(b *testing.B)        { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B)        { benchExperiment(b, "fig14") }
 func BenchmarkFig15(b *testing.B)        { benchExperiment(b, "fig15") }
 func BenchmarkFTPDyn(b *testing.B)       { benchExperiment(b, "ftpdyn") }
+func BenchmarkAppxA(b *testing.B)        { benchExperiment(b, "appxa") }
 func BenchmarkAppxC(b *testing.B)        { benchExperiment(b, "appxc") }
 func BenchmarkAppxDE(b *testing.B)       { benchExperiment(b, "appxde") }
 func BenchmarkModelCmp(b *testing.B)     { benchExperiment(b, "modelcmp") }
@@ -58,3 +61,22 @@ func BenchmarkDelay(b *testing.B)        { benchExperiment(b, "delay") }
 func BenchmarkImplications(b *testing.B) { benchExperiment(b, "implications") }
 func BenchmarkResponder(b *testing.B)    { benchExperiment(b, "responder") }
 func BenchmarkAblation(b *testing.B)     { benchExperiment(b, "ablation") }
+
+// benchAll regenerates the entire corpus through the experiment
+// engine with the given worker count. Comparing BenchmarkAllSerial to
+// BenchmarkAllParallel measures the engine's wall-clock speedup; the
+// artifact text is byte-identical between the two (the golden suite
+// and the root determinism test enforce it).
+func benchAll(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep := RunExperiments(context.Background(), RunOptions{Workers: workers})
+		if failed := rep.Failed(); len(failed) > 0 {
+			b.Fatalf("experiments failed: %v", failed)
+		}
+	}
+}
+
+func BenchmarkAllSerial(b *testing.B) { benchAll(b, 1) }
+
+func BenchmarkAllParallel(b *testing.B) { benchAll(b, runtime.GOMAXPROCS(0)) }

@@ -6,22 +6,36 @@
 //	paperfig -list           list experiment ids
 //	paperfig -exp fig2       run one experiment
 //	paperfig -exp all        run everything (the EXPERIMENTS.md corpus)
+//	paperfig -exp all -parallel          fan out across GOMAXPROCS workers
+//	paperfig -exp all -parallel -json    emit the run report as JSON
+//	paperfig -exp all -timeout 2m        bound each experiment's wall time
 //	paperfig -svgdir figs -exp ""   write the figures as SVG files only
+//
+// The artifact text is byte-identical between serial and parallel
+// runs: every driver owns its RNG, and the engine keeps results in
+// registry order (see internal/runner for the determinism contract;
+// the golden suite in internal/experiments enforces it).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"os/signal"
 
 	"wantraffic/internal/experiments"
+	"wantraffic/internal/runner"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
 	svgDir := flag.String("svgdir", "", "also write the figures as SVG files into this directory")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (workers bounded by -workers)")
+	workers := flag.Int("workers", 0, "worker count for -parallel; 0 means GOMAXPROCS")
+	jsonOut := flag.Bool("json", false, "emit the run report (metrics + output digests) as JSON instead of artifact text")
+	timeout := flag.Duration("timeout", 0, "per-experiment timeout, e.g. 2m; 0 means no limit")
 	flag.Parse()
 
 	if *svgDir != "" {
@@ -44,22 +58,54 @@ func main() {
 		}
 		return
 	}
+
+	var selected []experiments.Experiment
 	if *exp == "all" {
-		for _, e := range experiments.All() {
-			run(e)
+		selected = experiments.All()
+	} else {
+		e, ok := experiments.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperfig: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
 		}
-		return
+		selected = []experiments.Experiment{e}
 	}
-	e, ok := experiments.Get(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "paperfig: unknown experiment %q (try -list)\n", *exp)
+
+	jobs := make([]runner.Job, len(selected))
+	for i, e := range selected {
+		jobs[i] = runner.Job{ID: e.ID, Title: e.Title, Run: e.Run}
+	}
+	opts := runner.Options{Workers: 1, Timeout: *timeout}
+	if *parallel {
+		opts.Workers = *workers // 0 → GOMAXPROCS inside the engine
+	}
+
+	// Ctrl-C cancels gracefully: running experiments are abandoned and
+	// recorded as canceled, queued ones never start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep := runner.Run(ctx, jobs, opts)
+
+	if *jsonOut {
+		raw, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", raw)
+	} else {
+		for _, res := range rep.Results {
+			if !res.OK() {
+				fmt.Printf("### %s — %s: %s\n\n", res.ID, res.Title, res.Err)
+				continue
+			}
+			fmt.Printf("### %s — %s (%.1fs)\n\n%s\n", res.ID, res.Title, res.WallMS/1000, res.Output)
+		}
+		if *parallel || *timeout != 0 {
+			fmt.Fprint(os.Stderr, rep.Text())
+		}
+	}
+	if len(rep.Failed()) > 0 {
 		os.Exit(1)
 	}
-	run(e)
-}
-
-func run(e experiments.Experiment) {
-	start := time.Now()
-	out := e.Run()
-	fmt.Printf("### %s — %s (%.1fs)\n\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), out)
 }

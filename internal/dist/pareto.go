@@ -121,10 +121,17 @@ func (t TruncatedPareto) CDF(x float64) float64 {
 	return t.Pareto.CDF(x) / t.mass()
 }
 
-// Quantile inverts the truncated CDF.
+// Quantile inverts the truncated CDF. The result is clamped to Max:
+// near q = 1 the untruncated inversion loses the tail mass
+// (~(A/Max)^β, often below one ulp of 1) to cancellation and would
+// otherwise step past the truncation point.
 func (t TruncatedPareto) Quantile(q float64) float64 {
 	checkProb(q)
-	return t.Pareto.Quantile(q * t.mass())
+	x := t.Pareto.Quantile(q * t.mass())
+	if x > t.Max {
+		x = t.Max
+	}
+	return x
 }
 
 // Rand draws from the truncated law by inverse transform.

@@ -43,6 +43,7 @@ func All() []Experiment {
 		{"fig14", "Fig. 14: Pareto-renewal count process, b=10^3", Fig14},
 		{"fig15", "Fig. 15: Pareto-renewal count process, large bins", Fig15},
 		{"ftpdyn", "Sec. VII-C2: TCP congestion-control dynamics of FTPDATA", FTPDynamics},
+		{"appxa", "Appendix A: methodology calibration on known arrival processes", AppendixA},
 		{"appxc", "Appendix C: burst/lull scaling across shapes", AppendixC},
 		{"appxde", "Appendices D/E: M/G/inf and M/G/k lifetimes", AppendixDE},
 		{"modelcmp", "Sec. VII-D: fGn vs fARIMA vs R/S Hurst estimates", ModelComparison},

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"wantraffic/internal/runner"
+)
+
+// updateGolden regenerates testdata/golden from the serial path:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files from current driver output")
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// TestGolden pins the byte-exact output of every registered driver.
+// The corpus is executed through the experiment engine with parallel
+// workers, so a single run checks both properties the engine promises:
+// each artifact matches the golden (no regression in internal/dist,
+// internal/selfsim, ... moves a number silently), and the parallel
+// path reproduces the serial path byte for byte (goldens are written
+// with -update, which forces Workers: 1).
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite regenerates every artifact (slow)")
+	}
+	all := All()
+	jobs := make([]runner.Job, len(all))
+	for i, e := range all {
+		jobs[i] = runner.Job{ID: e.ID, Title: e.Title, Run: e.Run}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // always exercise the concurrent path
+	}
+	if *updateGolden {
+		workers = 1 // goldens are defined by the serial path
+	}
+	rep := runner.Run(context.Background(), jobs, runner.Options{Workers: workers})
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, res := range rep.Results {
+		res := res
+		t.Run(res.ID, func(t *testing.T) {
+			if !res.OK() {
+				t.Fatalf("driver failed: %s", res.Err)
+			}
+			if len(res.Output) < 40 {
+				t.Fatalf("suspiciously small artifact (%d bytes)", len(res.Output))
+			}
+			path := goldenPath(res.ID)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(res.Output), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if string(want) != res.Output {
+				t.Errorf("output differs from golden %s:\n%s", path, firstDiff(string(want), res.Output))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line with context, so a golden
+// failure reports which number moved rather than dumping two full
+// artifacts.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}

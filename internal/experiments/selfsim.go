@@ -8,19 +8,27 @@ import (
 	"wantraffic/internal/core"
 	"wantraffic/internal/datasets"
 	"wantraffic/internal/dist"
+	"wantraffic/internal/par"
 	"wantraffic/internal/selfsim"
 	"wantraffic/internal/stats"
 )
 
 // figVT renders Fig. 12/13: variance-time curves of packet traces at
-// 0.01 s bins, plus the Whittle/Beran assessment of each.
+// 0.01 s bins, plus the Whittle/Beran assessment of each. The datasets
+// are analyzed with bounded parallelism — each dataset's builder owns
+// an RNG seeded from its name (see internal/datasets), so per-slot
+// results and hence the rendered figure are independent of the worker
+// count.
 func figVT(title string, names []string) string {
-	series := map[string][]stats.VTPoint{}
-	var verdicts strings.Builder
-	for _, name := range names {
+	type vtResult struct {
+		pts     []stats.VTPoint
+		verdict string
+	}
+	results := par.MapSlots(len(names), 0, func(i int) vtResult {
+		name := names[i]
 		tr := datasets.Packet(name)
 		counts := stats.CountProcess(tr.AllTimes(), 0.01, tr.Horizon)
-		series[name] = stats.VarianceTime(counts, 3163, 5)
+		pts := stats.VarianceTime(counts, 3163, 5)
 		ss := core.AssessSelfSimilarity(counts, 3163)
 		fgn := "consistent with fGn"
 		if !ss.ConsistentWithFGN {
@@ -33,9 +41,16 @@ func figVT(title string, names []string) string {
 		if !ss.LargeScaleCorrelated {
 			lsc = "no large-scale correlations"
 		}
-		verdicts.WriteString(fmt.Sprintf("%s: VT slope %.2f (H_vt %.2f), Whittle H %.2f [%.2f,%.2f], Beran z %.2f -> %s; %s\n",
+		verdict := fmt.Sprintf("%s: VT slope %.2f (H_vt %.2f), Whittle H %.2f [%.2f,%.2f], Beran z %.2f -> %s; %s\n",
 			name, ss.VTSlope, ss.HFromVT, ss.Whittle.H, ss.Whittle.CILow, ss.Whittle.CIHigh,
-			ss.Whittle.BeranZ, fgn, lsc))
+			ss.Whittle.BeranZ, fgn, lsc)
+		return vtResult{pts: pts, verdict: verdict}
+	})
+	series := map[string][]stats.VTPoint{}
+	var verdicts strings.Builder
+	for i, name := range names {
+		series[name] = results[i].pts
+		verdicts.WriteString(results[i].verdict)
 	}
 	return title + " (0.01 s bins)\n" + renderVT(names, series) + verdicts.String()
 }

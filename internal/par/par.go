@@ -1,0 +1,85 @@
+// Package par provides the bounded, deterministic parallelism
+// primitive shared by the experiment engine and the inner loops of the
+// statistics pipeline.
+//
+// The repo-wide determinism rule: a parallel decomposition may only
+// fan out work units whose results land in pre-assigned slots, with
+// every slot computed wholly by one goroutine. No partial-sum
+// reductions across goroutines — reassociating floating-point
+// additions would change low-order bits and break the byte-identical
+// guarantee the golden suite enforces. Under that rule the output of
+// ForEach is bitwise independent of the worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines. workers <= 0 selects runtime.GOMAXPROCS(0). Each index
+// is handled entirely by one goroutine, so writes to disjoint,
+// index-addressed slots need no locking and the results do not depend
+// on scheduling. ForEach returns once every call has finished.
+//
+// fn must not panic across goroutines silently: a panic in fn is
+// re-raised on the caller's goroutine after the pool drains, so the
+// usual test-failure and crash semantics are preserved.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// MapSlots allocates a slice of n results and fills out[i] = fn(i)
+// with ForEach's bounded workers — the common slot-addressed pattern.
+func MapSlots[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,63 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+}
+
+// TestForEachDeterministicSlots checks the core guarantee: the slot
+// contents are identical no matter the worker count, including for
+// floating-point work where evaluation order within a slot matters.
+func TestForEachDeterministicSlots(t *testing.T) {
+	slot := func(i int) float64 {
+		s := 0.0
+		for j := 0; j < 100; j++ {
+			s += float64(i+1) / float64(j+3)
+		}
+		return s
+	}
+	want := MapSlots(257, 1, slot)
+	for _, workers := range []int{2, 3, 16} {
+		got := MapSlots(257, workers, slot)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d differs: %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in fn not propagated")
+		}
+	}()
+	ForEach(100, 4, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wantraffic/internal/dist"
+	"wantraffic/internal/par"
 	"wantraffic/internal/stats"
 )
 
@@ -129,9 +130,16 @@ func Evaluate(times []float64, horizon float64, cfg Config) Result {
 		cfg.MinArrivals = 3
 	}
 	res := Result{Config: cfg}
-	for i, iv := range SplitIntervals(times, cfg.IntervalLen, horizon) {
+	ivs := SplitIntervals(times, cfg.IntervalLen, horizon)
+	// The per-interval tests are independent pure functions of disjoint
+	// slices, so they run under bounded parallelism (one interval per
+	// slot; see internal/par for the determinism rule). Intervals below
+	// MinArrivals are left as zero slots and compacted afterwards, in
+	// order, so the Result is bitwise identical to a serial evaluation.
+	outcomes := par.MapSlots(len(ivs), 0, func(i int) IntervalOutcome {
+		iv := ivs[i]
 		if len(iv) < cfg.MinArrivals {
-			continue
+			return IntervalOutcome{Arrivals: -1}
 		}
 		inter := stats.Diff(iv)
 		out := IntervalOutcome{
@@ -147,7 +155,12 @@ func Evaluate(times []float64, horizon float64, cfg Config) Result {
 		out.Lag1Positive = out.Lag1 > -1/float64(len(inter))
 		bound := 1.96 / math.Sqrt(float64(len(inter)))
 		out.IndepPass = math.Abs(out.Lag1) <= bound
-		res.Intervals = append(res.Intervals, out)
+		return out
+	})
+	for _, out := range outcomes {
+		if out.Arrivals >= cfg.MinArrivals {
+			res.Intervals = append(res.Intervals, out)
+		}
 	}
 	res.Tested = len(res.Intervals)
 	if res.Tested == 0 {

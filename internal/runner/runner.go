@@ -1,0 +1,203 @@
+// Package runner is the experiment engine: it executes a set of
+// independent jobs (the paper's table/figure drivers) across a bounded
+// worker pool and records per-job run metrics into a Report.
+//
+// Determinism contract: every job owns its RNG (each driver seeds its
+// own rand.Rand; the dataset builders derive seeds from dataset names)
+// and shares no mutable state with other jobs, so the engine's only
+// obligations are to call each Run exactly once and to keep results in
+// slot order. Under those rules the outputs are byte-identical to a
+// serial run for any worker count — the golden suite and the root
+// determinism test enforce this.
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"wantraffic/internal/par"
+)
+
+// Job is one unit of work: an experiment driver with its identity.
+type Job struct {
+	ID    string
+	Title string
+	Run   func() string
+}
+
+// Result records one job's output and run metrics.
+type Result struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Output is the artifact text. It is excluded from the JSON report
+	// (which pins it by digest instead); callers that need the text
+	// read it from the in-memory Report.
+	Output string `json:"-"`
+
+	WallMS       float64 `json:"wall_ms"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	OutputBytes  int     `json:"output_bytes"`
+	OutputSHA256 string  `json:"output_sha256,omitempty"`
+	TimedOut     bool    `json:"timed_out,omitempty"`
+	Err          string  `json:"error,omitempty"`
+}
+
+// OK reports whether the job produced its artifact.
+func (r Result) OK() bool { return r.Err == "" && !r.TimedOut }
+
+// Report is the engine's run record: per-job results in job order plus
+// whole-run totals.
+type Report struct {
+	Workers   int     `json:"workers"`
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	// AllocsApprox is set when workers > 1: per-job allocation deltas
+	// come from runtime.ReadMemStats around each job, so concurrent
+	// jobs bleed into each other's deltas. Serial runs attribute
+	// exactly.
+	AllocsApprox bool     `json:"allocs_approx,omitempty"`
+	Results      []Result `json:"results"`
+}
+
+// Options configures a run.
+type Options struct {
+	// Workers bounds the pool; <= 0 selects runtime.GOMAXPROCS(0) and
+	// 1 runs serially on the calling goroutine.
+	Workers int
+	// Timeout bounds each job's wall time; 0 means no limit. A job
+	// that exceeds it is recorded as TimedOut and the engine stops
+	// waiting for it (drivers are pure functions and not preemptible,
+	// so the goroutine is abandoned, not killed).
+	Timeout time.Duration
+}
+
+// Run executes the jobs and returns the report. Results hold slot
+// order (Results[i] belongs to jobs[i]) regardless of completion
+// order. Cancelling ctx stops the engine gracefully: running jobs are
+// abandoned and recorded as canceled, queued jobs never start.
+func Run(ctx context.Context, jobs []Job, opts Options) *Report {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	rep := &Report{
+		Workers:      workers,
+		TimeoutMS:    float64(opts.Timeout) / float64(time.Millisecond),
+		AllocsApprox: workers > 1,
+		Results:      make([]Result, len(jobs)),
+	}
+	start := time.Now()
+	par.ForEach(len(jobs), workers, func(i int) {
+		rep.Results[i] = runOne(ctx, jobs[i], opts.Timeout)
+	})
+	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return rep
+}
+
+// runOne executes a single job with metrics, timeout and cancellation.
+func runOne(ctx context.Context, job Job, timeout time.Duration) Result {
+	res := Result{ID: job.ID, Title: job.Title}
+	if err := ctx.Err(); err != nil {
+		res.Err = "canceled before start: " + err.Error()
+		return res
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	type outcome struct {
+		out string
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{err: fmt.Errorf("panic: %v", r)}
+			}
+		}()
+		done <- outcome{out: job.Run()}
+	}()
+
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case o := <-done:
+		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		runtime.ReadMemStats(&after)
+		res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+		if o.err != nil {
+			res.Err = o.err.Error()
+			return res
+		}
+		res.Output = o.out
+		res.OutputBytes = len(o.out)
+		sum := sha256.Sum256([]byte(o.out))
+		res.OutputSHA256 = hex.EncodeToString(sum[:])
+	case <-expired:
+		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		res.TimedOut = true
+		res.Err = fmt.Sprintf("timed out after %s", timeout)
+	case <-ctx.Done():
+		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		res.Err = "canceled: " + ctx.Err().Error()
+	}
+	return res
+}
+
+// Failed returns the ids of jobs that did not complete.
+func (r *Report) Failed() []string {
+	var out []string
+	for _, res := range r.Results {
+		if !res.OK() {
+			out = append(out, res.ID)
+		}
+	}
+	return out
+}
+
+// JSON renders the report (metrics and digests, not artifact text) as
+// indented JSON. The schema is documented in README.md.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Text renders a human-readable metrics table.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %d jobs, %d workers, wall %.1fs", len(r.Results), r.Workers, r.WallMS/1000)
+	if r.TimeoutMS > 0 {
+		fmt.Fprintf(&b, ", per-job timeout %s", time.Duration(r.TimeoutMS*float64(time.Millisecond)))
+	}
+	b.WriteString("\n")
+	alloc := "allocs"
+	if r.AllocsApprox {
+		alloc = "allocs~" // overlapping deltas under parallelism
+	}
+	fmt.Fprintf(&b, "%-12s %9s %12s %10s  %s\n", "id", "wall", alloc, "output", "status")
+	for _, res := range r.Results {
+		status := "ok"
+		switch {
+		case res.TimedOut:
+			status = "TIMEOUT"
+		case res.Err != "":
+			status = "ERROR: " + res.Err
+		}
+		fmt.Fprintf(&b, "%-12s %8.2fs %11.1fM %9dB  %s\n",
+			res.ID, res.WallMS/1000, float64(res.AllocBytes)/1e6, res.OutputBytes, status)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeJobs builds n deterministic jobs whose output depends only on
+// their index.
+func fakeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			ID:    fmt.Sprintf("job%02d", i),
+			Title: fmt.Sprintf("job number %d", i),
+			Run: func() string {
+				s := 0.0
+				for j := 0; j < 2000; j++ {
+					s += float64(i+1) / float64(j+2)
+				}
+				return fmt.Sprintf("job %d -> %.12f\n", i, s)
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunSlotOrderAndDeterminism(t *testing.T) {
+	jobs := fakeJobs(23)
+	serial := Run(context.Background(), jobs, Options{Workers: 1})
+	if serial.AllocsApprox {
+		t.Error("serial run should attribute allocations exactly")
+	}
+	for _, workers := range []int{2, 5, 16} {
+		parallel := Run(context.Background(), jobs, Options{Workers: workers})
+		if parallel.Workers != workers {
+			t.Errorf("workers recorded %d, want %d", parallel.Workers, workers)
+		}
+		if !parallel.AllocsApprox {
+			t.Error("parallel run should flag approximate allocations")
+		}
+		for i := range jobs {
+			s, p := serial.Results[i], parallel.Results[i]
+			if s.ID != jobs[i].ID || p.ID != jobs[i].ID {
+				t.Fatalf("slot %d out of order: %s / %s", i, s.ID, p.ID)
+			}
+			if s.Output != p.Output {
+				t.Errorf("workers=%d: %s output differs between serial and parallel", workers, s.ID)
+			}
+			if s.OutputSHA256 != p.OutputSHA256 {
+				t.Errorf("workers=%d: %s digest differs", workers, s.ID)
+			}
+			if !p.OK() || p.OutputBytes != len(p.Output) {
+				t.Errorf("workers=%d: %s bad result %+v", workers, s.ID, p)
+			}
+		}
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	jobs := []Job{
+		{ID: "fast", Run: func() string { return "ok" }},
+		{ID: "stuck", Run: func() string { <-block; return "late" }},
+	}
+	rep := Run(context.Background(), jobs, Options{Workers: 2, Timeout: 50 * time.Millisecond})
+	if !rep.Results[0].OK() || rep.Results[0].Output != "ok" {
+		t.Errorf("fast job: %+v", rep.Results[0])
+	}
+	if !rep.Results[1].TimedOut || rep.Results[1].OK() {
+		t.Errorf("stuck job should time out: %+v", rep.Results[1])
+	}
+	if got := rep.Failed(); len(got) != 1 || got[0] != "stuck" {
+		t.Errorf("Failed() = %v", got)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	var jobs []Job
+	jobs = append(jobs, Job{ID: "hang", Run: func() string { close(started); <-block; return "" }})
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, fakeJobs(6)[i])
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	rep := Run(ctx, jobs, Options{Workers: 1})
+	if rep.Results[0].Err == "" {
+		t.Error("hanging job not recorded as canceled")
+	}
+	// With one worker the remaining jobs start after cancellation and
+	// must be recorded as canceled-before-start, never run.
+	for _, res := range rep.Results[1:] {
+		if res.Err == "" {
+			t.Errorf("job %s ran after cancellation: %+v", res.ID, res)
+		}
+	}
+}
+
+func TestRunPanicIsolated(t *testing.T) {
+	jobs := []Job{
+		{ID: "boom", Run: func() string { panic("kaboom") }},
+		{ID: "fine", Run: func() string { return "fine output" }},
+	}
+	rep := Run(context.Background(), jobs, Options{Workers: 1})
+	if !strings.Contains(rep.Results[0].Err, "kaboom") {
+		t.Errorf("panic not captured: %+v", rep.Results[0])
+	}
+	if !rep.Results[1].OK() {
+		t.Errorf("panic leaked into next job: %+v", rep.Results[1])
+	}
+}
+
+func TestReportJSONAndText(t *testing.T) {
+	rep := Run(context.Background(), fakeJobs(3), Options{Workers: 2, Timeout: time.Minute})
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Workers int `json:"workers"`
+		Results []struct {
+			ID     string  `json:"id"`
+			WallMS float64 `json:"wall_ms"`
+			SHA    string  `json:"output_sha256"`
+			Output *string `json:"output"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if decoded.Workers != 2 || len(decoded.Results) != 3 {
+		t.Fatalf("bad report: %s", raw)
+	}
+	for _, r := range decoded.Results {
+		if len(r.SHA) != 64 {
+			t.Errorf("%s: missing digest", r.ID)
+		}
+		if r.Output != nil {
+			t.Errorf("%s: artifact text must not leak into JSON", r.ID)
+		}
+	}
+	text := rep.Text()
+	for _, want := range []string{"job00", "job02", "workers", "ok"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package selfsim
 import (
 	"math"
 
+	"wantraffic/internal/par"
 	"wantraffic/internal/stats"
 )
 
@@ -30,8 +31,15 @@ func RSAnalysis(x []float64, minN int) []RSPoint {
 	if maxN < minN {
 		panic("selfsim: series too short for R/S analysis")
 	}
-	var pts []RSPoint
+	var sizes []int
 	for n := minN; n <= maxN; n = int(math.Ceil(float64(n) * 1.6)) {
+		sizes = append(sizes, n)
+	}
+	// One goroutine per block size (bounded by GOMAXPROCS): each pox
+	// point's block scan stays sequential within its slot, so the plot
+	// is bitwise independent of the worker count.
+	raw := par.MapSlots(len(sizes), 0, func(i int) RSPoint {
+		n := sizes[i]
 		sum, blocks := 0.0, 0
 		for start := 0; start+n <= len(x); start += n {
 			rs := rescaledRange(x[start : start+n])
@@ -40,8 +48,15 @@ func RSAnalysis(x []float64, minN int) []RSPoint {
 				blocks++
 			}
 		}
-		if blocks > 0 {
-			pts = append(pts, RSPoint{N: n, RS: sum / float64(blocks)})
+		if blocks == 0 {
+			return RSPoint{N: n, RS: math.NaN()}
+		}
+		return RSPoint{N: n, RS: sum / float64(blocks)}
+	})
+	var pts []RSPoint
+	for _, p := range raw {
+		if !math.IsNaN(p.RS) {
+			pts = append(pts, p)
 		}
 	}
 	return pts

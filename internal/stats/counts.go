@@ -1,6 +1,10 @@
 package stats
 
-import "math"
+import (
+	"math"
+
+	"wantraffic/internal/par"
+)
 
 // CountProcess bins event times (seconds since trace start) into a
 // count process: out[i] is the number of events with
@@ -84,7 +88,7 @@ func VarianceTime(counts []float64, maxM, pointsPerDecade int) []VTPoint {
 	}
 	mean := Mean(counts)
 	norm := mean * mean
-	var pts []VTPoint
+	var levels []int
 	seen := map[int]bool{}
 	for e := 0.0; ; e += 1.0 / float64(pointsPerDecade) {
 		m := int(math.Round(math.Pow(10, e)))
@@ -95,8 +99,15 @@ func VarianceTime(counts []float64, maxM, pointsPerDecade int) []VTPoint {
 			continue
 		}
 		seen[m] = true
-		agg := Aggregate(counts, m)
-		v := Variance(agg)
+		levels = append(levels, m)
+	}
+	// Each aggregation level is an independent O(n) pass, so the curve
+	// is computed with bounded parallelism; every point is produced
+	// wholly by one goroutine (see internal/par), keeping the result
+	// bitwise identical to a serial evaluation.
+	return par.MapSlots(len(levels), 0, func(i int) VTPoint {
+		m := levels[i]
+		v := Variance(Aggregate(counts, m))
 		p := VTPoint{M: m, LogM: math.Log10(float64(m)), Var: v}
 		if norm > 0 {
 			p.NormVar = v / norm
@@ -106,9 +117,8 @@ func VarianceTime(counts []float64, maxM, pointsPerDecade int) []VTPoint {
 		} else {
 			p.LogVar = math.Inf(-1)
 		}
-		pts = append(pts, p)
-	}
-	return pts
+		return p
+	})
 }
 
 // VTSlope fits a least-squares line to the (log10 M, log10 var) points

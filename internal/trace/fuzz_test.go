@@ -28,6 +28,36 @@ func FuzzReadConnTrace(f *testing.F) {
 	})
 }
 
+// truncations returns prefixes of a valid encoding that cut the
+// stream inside the header, between records, and mid-record — the
+// torn-write shapes a reader must reject without panicking.
+func truncations(full []byte) [][]byte {
+	cuts := []int{1, 3, 5} // inside magic / name length
+	if n := len(full); n > 9 {
+		cuts = append(cuts, n/2, n-1) // mid-record, last byte torn
+	}
+	var out [][]byte
+	for _, c := range cuts {
+		if c < len(full) {
+			out = append(out, full[:c])
+		}
+	}
+	return out
+}
+
+// countTampered returns the encoding with extra record-count bytes
+// claimed in the header but absent from the stream (header layout:
+// magic, nameLen+name, horizon, count — count is little-endian at the
+// end of the header).
+func countTampered(magic string, name string) []byte {
+	out := []byte(magic)
+	out = append(out, byte(len(name)), 0)
+	out = append(out, name...)
+	out = append(out, make([]byte, 8)...)                             // horizon 0
+	out = append(out, 0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00) // count 2^32-1, no records
+	return out
+}
+
 // FuzzReadConnTraceBinary checks the binary reader is robust against
 // arbitrary input (no panics, no unbounded allocation).
 func FuzzReadConnTraceBinary(f *testing.F) {
@@ -38,6 +68,17 @@ func FuzzReadConnTraceBinary(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("WCT1"))
 	f.Add([]byte{})
+	// Zero-length trace: a valid header with no records must round-trip.
+	var empty bytes.Buffer
+	if err := WriteConnTraceBinary(&empty, &ConnTrace{Name: "empty", Horizon: 3600}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	// Truncated records: every torn prefix must error cleanly.
+	for _, cut := range truncations(seed.Bytes()) {
+		f.Add(cut)
+	}
+	f.Add(countTampered("WCT1", "big"))
 	f.Fuzz(func(t *testing.T, in []byte) {
 		tr, err := ReadConnTraceBinary(bytes.NewReader(in))
 		if err != nil {
@@ -59,7 +100,59 @@ func FuzzReadPacketTraceBinary(f *testing.F) {
 	}
 	f.Add(seed.Bytes())
 	f.Add([]byte("WPT1\x00\x00"))
+	var empty bytes.Buffer
+	if err := WritePacketTraceBinary(&empty, &PacketTrace{Name: "empty", Horizon: 60}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	for _, cut := range truncations(seed.Bytes()) {
+		f.Add(cut)
+	}
+	f.Add(countTampered("WPT1", "big"))
 	f.Fuzz(func(t *testing.T, in []byte) {
 		_, _ = ReadPacketTraceBinary(bytes.NewReader(in))
 	})
+}
+
+// TestBinaryZeroLengthRoundTrip pins the zero-record case outside the
+// fuzz harness: empty traces are legal and must survive both codecs.
+func TestBinaryZeroLengthRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteConnTraceBinary(&buf, &ConnTrace{Name: "none", Horizon: 10}); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ReadConnTraceBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil || ct.Name != "none" || ct.Horizon != 10 || len(ct.Conns) != 0 {
+		t.Fatalf("conn zero-length round trip: %+v, %v", ct, err)
+	}
+	buf.Reset()
+	if err := WritePacketTraceBinary(&buf, &PacketTrace{Name: "none", Horizon: 10}); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ReadPacketTraceBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil || pt.Name != "none" || len(pt.Packets) != 0 {
+		t.Fatalf("packet zero-length round trip: %+v, %v", pt, err)
+	}
+}
+
+// TestBinaryTruncatedRecordsError pins the torn-stream case: a header
+// that claims more records than the stream holds must error, not hang
+// or over-allocate.
+func TestBinaryTruncatedRecordsError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteConnTraceBinary(&buf, sampleConnTrace()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range truncations(full) {
+		if _, err := ReadConnTraceBinary(bytes.NewReader(cut)); err == nil {
+			t.Errorf("truncation to %d/%d bytes accepted", len(cut), len(full))
+		}
+	}
+	if _, err := ReadConnTraceBinary(bytes.NewReader(countTampered("WCT1", "big"))); err == nil {
+		t.Error("tampered record count accepted")
+	}
+	if _, err := ReadPacketTraceBinary(bytes.NewReader(countTampered("WPT1", "big"))); err == nil {
+		t.Error("tampered packet record count accepted")
+	}
 }

@@ -27,11 +27,14 @@
 package wantraffic
 
 import (
+	"context"
 	"math/rand"
 
 	"wantraffic/internal/core"
+	"wantraffic/internal/experiments"
 	"wantraffic/internal/model"
 	"wantraffic/internal/poisson"
+	"wantraffic/internal/runner"
 	"wantraffic/internal/selfsim"
 	"wantraffic/internal/tcplib"
 	"wantraffic/internal/trace"
@@ -160,4 +163,48 @@ func DefaultFTPConfig(sessionsPerDay float64, days int) FTPConfig {
 // packet-interarrival distribution's quantile function (seconds).
 func TelnetInterarrivalQuantile(p float64) float64 {
 	return tcplib.TelnetInterarrivals().Quantile(p)
+}
+
+// Experiment-engine re-exports: the worker-pool runner that executes
+// the paper's table/figure drivers with per-job wall-time, allocation
+// and output metrics. See internal/runner for the determinism
+// contract (byte-identical output for any worker count).
+type (
+	// RunJob is one experiment driver handed to the engine.
+	RunJob = runner.Job
+	// RunResult is one driver's output plus its run metrics.
+	RunResult = runner.Result
+	// RunReport is the whole-run record, renderable as text or JSON.
+	RunReport = runner.Report
+	// RunOptions bounds the worker pool and per-job wall time.
+	RunOptions = runner.Options
+)
+
+// Experiments returns every registered paper experiment, in paper
+// order, as jobs for RunJobs.
+func Experiments() []RunJob {
+	all := experiments.All()
+	jobs := make([]RunJob, len(all))
+	for i, e := range all {
+		jobs[i] = RunJob{ID: e.ID, Title: e.Title, Run: e.Run}
+	}
+	return jobs
+}
+
+// ExperimentIDs returns the registered experiment ids in paper order.
+func ExperimentIDs() []string {
+	return experiments.IDs()
+}
+
+// RunExperiments executes every registered experiment through the
+// engine. Options{Workers: 1} reproduces the serial EXPERIMENTS.md
+// corpus; any larger worker count produces byte-identical artifact
+// text, just faster.
+func RunExperiments(ctx context.Context, opts RunOptions) *RunReport {
+	return RunJobs(ctx, Experiments(), opts)
+}
+
+// RunJobs executes an arbitrary job set through the engine.
+func RunJobs(ctx context.Context, jobs []RunJob, opts RunOptions) *RunReport {
+	return runner.Run(ctx, jobs, opts)
 }
