@@ -9,54 +9,91 @@
 //	paperfig -exp all -parallel          fan out across GOMAXPROCS workers
 //	paperfig -exp all -parallel -json    emit the run report as JSON
 //	paperfig -exp all -timeout 2m        bound each experiment's wall time
+//	paperfig -exp all -retries 2         retry drivers that panic (backoff doubles)
+//	paperfig -exp all -checkpoint r.json persist the report after every driver
+//	paperfig -exp all -checkpoint r.json -resume   skip checkpointed drivers
+//	paperfig -chaos          run the fault-injection smoke suite
 //	paperfig -svgdir figs -exp ""   write the figures as SVG files only
 //
 // The artifact text is byte-identical between serial and parallel
-// runs: every driver owns its RNG, and the engine keeps results in
-// registry order (see internal/runner for the determinism contract;
-// the golden suite in internal/experiments enforces it).
+// runs — and with retries enabled: every driver owns its RNG and is a
+// pure function, so a retried driver reproduces the same bytes (see
+// internal/runner for the determinism contract; the golden suite in
+// internal/experiments enforces it).
+//
+// Exit codes follow the internal/cli contract: 0 success, 1 hard
+// failure (no experiment produced output), 2 usage error, 3 partial
+// success (some drivers failed; their artifacts are placeholders).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"time"
 
+	"wantraffic/internal/chaos"
+	"wantraffic/internal/cli"
 	"wantraffic/internal/experiments"
 	"wantraffic/internal/runner"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
-	svgDir := flag.String("svgdir", "", "also write the figures as SVG files into this directory")
-	parallel := flag.Bool("parallel", false, "run experiments concurrently (workers bounded by -workers)")
-	workers := flag.Int("workers", 0, "worker count for -parallel; 0 means GOMAXPROCS")
-	jsonOut := flag.Bool("json", false, "emit the run report (metrics + output digests) as JSON instead of artifact text")
-	timeout := flag.Duration("timeout", 0, "per-experiment timeout, e.g. 2m; 0 means no limit")
-	flag.Parse()
+	os.Exit(cli.Main("paperfig", run))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("paperfig", stderr)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	exp := fs.String("exp", "all", "experiment id to run, or 'all'")
+	svgDir := fs.String("svgdir", "", "also write the figures as SVG files into this directory")
+	parallel := fs.Bool("parallel", false, "run experiments concurrently (workers bounded by -workers)")
+	workers := fs.Int("workers", 0, "worker count for -parallel; 0 means GOMAXPROCS")
+	jsonOut := fs.Bool("json", false, "emit the run report (metrics + output digests) as JSON instead of artifact text")
+	timeout := fs.Duration("timeout", 0, "per-experiment timeout, e.g. 2m; 0 means no limit")
+	retries := fs.Int("retries", 0, "retry budget per experiment for retryable failures (panics; timeouts are not retried)")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff, doubling per attempt")
+	checkpoint := fs.String("checkpoint", "", "persist the run report to this file after every experiment (restartable runs)")
+	resume := fs.Bool("resume", false, "with -checkpoint: skip experiments whose digests are already checkpointed")
+	chaosMode := fs.Bool("chaos", false, "run the fault-injection smoke suite instead of experiments")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for -chaos")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := validate(fs, *workers, *parallel, *retries, *timeout, *backoff, *resume, *checkpoint); err != nil {
+		return err
+	}
+
+	if *chaosMode {
+		rep := chaos.Run(*chaosSeed, 20)
+		fmt.Fprint(stdout, rep)
+		if !rep.OK() {
+			return fmt.Errorf("%d chaos invariant(s) violated", len(rep.Failures))
+		}
+		return nil
+	}
 
 	if *svgDir != "" {
 		paths, err := experiments.WriteSVGs(*svgDir)
 		for _, p := range paths {
-			fmt.Println("wrote", p)
+			fmt.Fprintln(stdout, "wrote", p)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
 		if *exp == "" {
-			return
+			return nil
 		}
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
 	var selected []experiments.Experiment
@@ -65,8 +102,7 @@ func main() {
 	} else {
 		e, ok := experiments.Get(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "paperfig: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			return cli.Usagef("unknown experiment %q (try -list)", *exp)
 		}
 		selected = []experiments.Experiment{e}
 	}
@@ -75,13 +111,21 @@ func main() {
 	for i, e := range selected {
 		jobs[i] = runner.Job{ID: e.ID, Title: e.Title, Run: e.Run}
 	}
-	opts := runner.Options{Workers: 1, Timeout: *timeout}
+	opts := runner.Options{
+		Workers:    1,
+		Timeout:    *timeout,
+		Retries:    *retries,
+		Backoff:    *backoff,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+	}
 	if *parallel {
 		opts.Workers = *workers // 0 → GOMAXPROCS inside the engine
 	}
 
 	// Ctrl-C cancels gracefully: running experiments are abandoned and
-	// recorded as canceled, queued ones never start.
+	// recorded as canceled, queued ones never start. With -checkpoint
+	// the report survives the interruption for a later -resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	rep := runner.Run(ctx, jobs, opts)
@@ -89,23 +133,68 @@ func main() {
 	if *jsonOut {
 		raw, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperfig:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("%s\n", raw)
+		fmt.Fprintf(stdout, "%s\n", raw)
 	} else {
 		for _, res := range rep.Results {
-			if !res.OK() {
-				fmt.Printf("### %s — %s: %s\n\n", res.ID, res.Title, res.Err)
+			if res.Resumed {
+				fmt.Fprintf(stdout, "### %s — %s [resumed: artifact pinned by digest %s]\n\n",
+					res.ID, res.Title, res.OutputSHA256[:12])
 				continue
 			}
-			fmt.Printf("### %s — %s (%.1fs)\n\n%s\n", res.ID, res.Title, res.WallMS/1000, res.Output)
+			if !res.OK() {
+				// Graceful degradation: a failed driver yields a
+				// placeholder artifact, not an aborted run.
+				fmt.Fprintf(stdout, "### %s — %s [%s]\n\n[artifact unavailable: %s]\n\n",
+					res.ID, res.Title, res.Status(), res.Err)
+				continue
+			}
+			fmt.Fprintf(stdout, "### %s — %s (%.1fs)\n\n%s\n", res.ID, res.Title, res.WallMS/1000, res.Output)
 		}
-		if *parallel || *timeout != 0 {
-			fmt.Fprint(os.Stderr, rep.Text())
+		if *parallel || *timeout != 0 || *retries != 0 || rep.Resumed > 0 {
+			fmt.Fprint(stderr, rep.Text())
 		}
 	}
-	if len(rep.Failed()) > 0 {
-		os.Exit(1)
+	failed := rep.Failed()
+	switch {
+	case len(failed) == 0:
+		return nil
+	case len(failed) == len(rep.Results):
+		return fmt.Errorf("all %d experiments failed", len(failed))
+	default:
+		return cli.Partialf("%d of %d experiments failed: %v", len(failed), len(rep.Results), failed)
 	}
+}
+
+// validate applies the flag-sanity rules. Note -workers 0 is the
+// documented "use GOMAXPROCS" default, but passing it *explicitly*
+// with -parallel is almost always a typo for a real worker count, so
+// it is rejected (flag.Visit only sees explicitly-set flags).
+func validate(fs *flag.FlagSet, workers int, parallel bool, retries int,
+	timeout, backoff time.Duration, resume bool, checkpoint string) error {
+	if workers < 0 {
+		return cli.Usagef("-workers must be >= 0, got %d", workers)
+	}
+	if parallel && workers == 0 {
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				explicit = true
+			}
+		})
+		if explicit {
+			return cli.Usagef("-workers 0 with -parallel: pass a positive count, or omit -workers for GOMAXPROCS")
+		}
+	}
+	if retries < 0 {
+		return cli.Usagef("-retries must be >= 0, got %d", retries)
+	}
+	if timeout < 0 || backoff < 0 {
+		return cli.Usagef("-timeout and -backoff must be >= 0")
+	}
+	if resume && checkpoint == "" {
+		return cli.Usagef("-resume requires -checkpoint")
+	}
+	return nil
 }

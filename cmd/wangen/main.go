@@ -10,39 +10,50 @@
 //	wangen -telnet 137 -hours 2 -o t.pkt  FULL-TEL packet trace
 //	wangen -ftp 400 -days 3 -o f.conn     FTP connection trace
 //
-// With no -o the trace is written to stdout.
+// With no -o the trace is written to stdout. Exit codes follow the
+// internal/cli contract: 0 success, 1 hard failure (output file not
+// writable), 2 usage error (bad flag values, unknown dataset,
+// nothing to do).
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 
+	"wantraffic/internal/cli"
 	"wantraffic/internal/datasets"
 	"wantraffic/internal/model"
 	"wantraffic/internal/trace"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "wangen:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("wangen", run))
 }
 
-func run() error {
-	list := flag.Bool("list", false, "list built-in dataset names")
-	dataset := flag.String("dataset", "", "built-in dataset name to generate")
-	telnet := flag.Float64("telnet", 0, "FULL-TEL connections per hour (packet trace)")
-	ftp := flag.Float64("ftp", 0, "FTP sessions per day (connection trace)")
-	hours := flag.Float64("hours", 1, "trace duration for -telnet")
-	days := flag.Int("days", 1, "trace duration for -ftp")
-	seed := flag.Int64("seed", 1, "random seed for -telnet/-ftp")
-	out := flag.String("o", "", "output file (default stdout)")
-	binaryOut := flag.Bool("binary", false, "write the compact binary trace format")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("wangen", stderr)
+	list := fs.Bool("list", false, "list built-in dataset names")
+	dataset := fs.String("dataset", "", "built-in dataset name to generate")
+	telnet := fs.Float64("telnet", 0, "FULL-TEL connections per hour (packet trace)")
+	ftp := fs.Float64("ftp", 0, "FTP sessions per day (connection trace)")
+	hours := fs.Float64("hours", 1, "trace duration for -telnet")
+	days := fs.Int("days", 1, "trace duration for -ftp")
+	seed := fs.Int64("seed", 1, "random seed for -telnet/-ftp")
+	out := fs.String("o", "", "output file (default stdout)")
+	binaryOut := fs.Bool("binary", false, "write the compact binary trace format")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := cli.FirstErr(
+		cli.NonNegative("telnet", *telnet),
+		cli.NonNegative("ftp", *ftp),
+		cli.Positive("hours", *hours),
+		cli.Positive("days", float64(*days)),
+	); err != nil {
+		return err
+	}
 	writeConn := trace.WriteConnTrace
 	writePkt := trace.WritePacketTrace
 	if *binaryOut {
@@ -52,15 +63,15 @@ func run() error {
 
 	if *list {
 		for _, s := range datasets.TableI() {
-			fmt.Printf("%-12s connection trace, %d days\n", s.Name, s.Days)
+			fmt.Fprintf(stdout, "%-12s connection trace, %d days\n", s.Name, s.Days)
 		}
 		for _, s := range datasets.TableII() {
-			fmt.Printf("%-12s packet trace, %.0f h\n", s.Name, s.Hours)
+			fmt.Fprintf(stdout, "%-12s packet trace, %.0f h\n", s.Name, s.Hours)
 		}
 		return nil
 	}
 
-	w := io.Writer(os.Stdout)
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -82,7 +93,7 @@ func run() error {
 				return writePkt(w, datasets.BuildPacket(s))
 			}
 		}
-		return fmt.Errorf("unknown dataset %q (try -list)", *dataset)
+		return cli.Usagef("unknown dataset %q (try -list)", *dataset)
 	case *telnet > 0:
 		rng := rand.New(rand.NewSource(*seed))
 		tr := model.FullTelnet(rng, "full-tel", *telnet, *hours*3600)
@@ -94,6 +105,6 @@ func run() error {
 		tr.SortByStart()
 		return writeConn(w, tr)
 	default:
-		return fmt.Errorf("nothing to do: pass -dataset, -telnet or -ftp (see -h)")
+		return cli.Usagef("nothing to do: pass -dataset, -telnet or -ftp (see -h)")
 	}
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wantraffic/internal/cli"
+)
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, cli.ExitUsage, ""},
+		{"negative telnet", []string{"-telnet", "-3"}, cli.ExitUsage, "-telnet must be >= 0"},
+		{"negative ftp", []string{"-ftp", "-1"}, cli.ExitUsage, "-ftp must be >= 0"},
+		{"zero hours", []string{"-telnet", "10", "-hours", "0"}, cli.ExitUsage, "-hours must be > 0"},
+		{"zero days", []string{"-ftp", "100", "-days", "0"}, cli.ExitUsage, "-days must be > 0"},
+		{"nothing to do", nil, cli.ExitUsage, "nothing to do"},
+		{"unknown dataset", []string{"-dataset", "NOPE"}, cli.ExitUsage, "unknown dataset"},
+		{"bad output path", []string{"-telnet", "5", "-hours", "0.1", "-o", "/nonexistent/dir/x.pkt"}, cli.ExitFailure, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			err := run(tc.args, &out, &errw)
+			if got := cli.ExitCode(err); got != tc.code {
+				t.Errorf("run(%v) exit %d, want %d (err: %v)", tc.args, got, tc.code, err)
+			}
+			if tc.want != "" && (err == nil || !strings.Contains(err.Error(), tc.want)) {
+				t.Errorf("run(%v) err %v, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestListAndGenerate(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if !strings.Contains(out.String(), "LBL-1") {
+		t.Errorf("-list output missing datasets:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-telnet", "20", "-hours", "0.1"}, &out, &errw); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "#pkttrace full-tel") {
+		t.Errorf("generated trace has wrong header:\n%.80s", out.String())
+	}
+}

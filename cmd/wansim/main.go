@@ -18,15 +18,19 @@
 //
 //	wansim -hours 1 -telnet 137 -ftp 40 -o link.pkt
 //	wansim -hours 1 -priority          # TELNET prioritized over bulk
+//
+// Exit codes follow the internal/cli contract: 0 success, 1 hard
+// failure, 2 usage error (invalid flag values).
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
 
+	"wantraffic/internal/cli"
 	"wantraffic/internal/core"
 	"wantraffic/internal/model"
 	"wantraffic/internal/sim"
@@ -36,26 +40,31 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "wansim:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("wansim", run))
 }
 
-func run() error {
-	hours := flag.Float64("hours", 1, "simulated duration")
-	telnet := flag.Float64("telnet", 137, "TELNET connections per hour (0 disables)")
-	responder := flag.Bool("responder", false, "include the TELNET responder stream")
-	ftp := flag.Float64("ftp", 40, "FTP sessions per hour (0 disables)")
-	mailnews := flag.Float64("mailnews", 150, "SMTP+NNTP connections per hour (0 disables)")
-	rate := flag.Float64("rate", 192000, "bottleneck bandwidth for FTPDATA TCP transfers (bytes/s)")
-	priority := flag.Bool("priority", false, "strict-priority link: TELNET over bulk")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("o", "", "write the aggregate packet trace to this file (binary format)")
-	flag.Parse()
-
-	if *hours <= 0 {
-		return fmt.Errorf("duration must be positive")
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("wansim", stderr)
+	hours := fs.Float64("hours", 1, "simulated duration")
+	telnet := fs.Float64("telnet", 137, "TELNET connections per hour (0 disables)")
+	responder := fs.Bool("responder", false, "include the TELNET responder stream")
+	ftp := fs.Float64("ftp", 40, "FTP sessions per hour (0 disables)")
+	mailnews := fs.Float64("mailnews", 150, "SMTP+NNTP connections per hour (0 disables)")
+	rate := fs.Float64("rate", 192000, "bottleneck bandwidth for FTPDATA TCP transfers (bytes/s)")
+	priority := fs.Bool("priority", false, "strict-priority link: TELNET over bulk")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "write the aggregate packet trace to this file (binary format)")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := cli.FirstErr(
+		cli.Positive("hours", *hours),
+		cli.NonNegative("telnet", *telnet),
+		cli.NonNegative("ftp", *ftp),
+		cli.NonNegative("mailnews", *mailnews),
+		cli.Positive("rate", *rate),
+	); err != nil {
+		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	horizon := *hours * 3600
@@ -69,12 +78,12 @@ func run() error {
 			tel = model.FullTelnet(rng, "telnet", *telnet, horizon)
 		}
 		agg.Packets = append(agg.Packets, tel.Packets...)
-		fmt.Printf("TELNET:   %8d packets\n", len(tel.Packets))
+		fmt.Fprintf(stdout, "TELNET:   %8d packets\n", len(tel.Packets))
 	}
 
 	if *ftp > 0 {
 		n := ftpOverTCP(rng, agg, *ftp, *rate, horizon)
-		fmt.Printf("FTPDATA:  %8d packets (TCP Reno over %.0f kB/s bottleneck)\n", n, *rate/1000)
+		fmt.Fprintf(stdout, "FTPDATA:  %8d packets (TCP Reno over %.0f kB/s bottleneck)\n", n, *rate/1000)
 	}
 
 	if *mailnews > 0 {
@@ -85,23 +94,23 @@ func run() error {
 		p2 := model.Packetize(rng, "nntp", nntp, 512, horizon)
 		agg.Packets = append(agg.Packets, p1.Packets...)
 		agg.Packets = append(agg.Packets, p2.Packets...)
-		fmt.Printf("SMTP/NNTP:%8d packets\n", len(p1.Packets)+len(p2.Packets))
+		fmt.Fprintf(stdout, "SMTP/NNTP:%8d packets\n", len(p1.Packets)+len(p2.Packets))
 	}
 
 	agg.SortByTime()
-	fmt.Printf("aggregate:%8d packets over %.1f h\n\n", len(agg.Packets), *hours)
+	fmt.Fprintf(stdout, "aggregate:%8d packets over %.1f h\n\n", len(agg.Packets), *hours)
 	if len(agg.Packets) == 0 {
-		return fmt.Errorf("no traffic sources enabled")
+		return cli.Usagef("no traffic sources enabled (all rates are 0)")
 	}
 
 	// Section VII verdict on the aggregate.
 	counts := stats.CountProcess(agg.AllTimes(), 0.01, horizon)
 	ss := core.AssessSelfSimilarity(counts, 1000)
-	fmt.Printf("aggregate VT slope %.2f (H_vt %.2f); Whittle H %.2f; fGn-consistent: %v\n",
+	fmt.Fprintf(stdout, "aggregate VT slope %.2f (H_vt %.2f); Whittle H %.2f; fGn-consistent: %v\n",
 		ss.VTSlope, ss.HFromVT, ss.Whittle.H, ss.ConsistentWithFGN)
 
 	if *priority {
-		priorityReport(agg)
+		priorityReport(stdout, agg)
 	}
 
 	if *out != "" {
@@ -113,7 +122,7 @@ func run() error {
 		if err := trace.WritePacketTraceBinary(f, agg); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
 	return nil
 }
@@ -151,7 +160,7 @@ func ftpOverTCP(rng *rand.Rand, agg *trace.PacketTrace, sessionsPerHour, rate, h
 
 // priorityReport replays the aggregate through a strict-priority link
 // with TELNET prioritized over everything else.
-func priorityReport(agg *trace.PacketTrace) {
+func priorityReport(stdout io.Writer, agg *trace.PacketTrace) {
 	var high, low []float64
 	for _, p := range agg.Packets {
 		if p.Proto == trace.Telnet {
@@ -161,7 +170,7 @@ func priorityReport(agg *trace.PacketTrace) {
 		}
 	}
 	if len(high) == 0 || len(low) == 0 {
-		fmt.Println("priority report needs both TELNET and bulk traffic")
+		fmt.Fprintln(stdout, "priority report needs both TELNET and bulk traffic")
 		return
 	}
 	sort.Float64s(high)
@@ -169,6 +178,6 @@ func priorityReport(agg *trace.PacketTrace) {
 	// Service time for ~85% utilization.
 	rate := float64(len(high)+len(low)) / agg.Horizon
 	q := sim.NewPriorityQueue(0.85/rate).RunClasses(high, low)
-	fmt.Printf("priority link: TELNET mean wait %.4fs (max %.2fs); bulk mean wait %.4fs (max %.2fs)\n",
+	fmt.Fprintf(stdout, "priority link: TELNET mean wait %.4fs (max %.2fs); bulk mean wait %.4fs (max %.2fs)\n",
 		q.MeanHighWait(), q.HighMaxWait, q.MeanLowWait(), q.LowMaxWait)
 }

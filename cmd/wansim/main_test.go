@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wantraffic/internal/cli"
+)
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring expected in the error
+	}{
+		{"unknown flag", []string{"-bogus"}, cli.ExitUsage, ""},
+		{"negative telnet", []string{"-telnet", "-5"}, cli.ExitUsage, "-telnet must be >= 0"},
+		{"negative ftp", []string{"-ftp", "-1"}, cli.ExitUsage, "-ftp must be >= 0"},
+		{"negative mailnews", []string{"-mailnews", "-2"}, cli.ExitUsage, "-mailnews must be >= 0"},
+		{"zero hours", []string{"-hours", "0"}, cli.ExitUsage, "-hours must be > 0"},
+		{"zero rate", []string{"-rate", "0"}, cli.ExitUsage, "-rate must be > 0"},
+		{"all sources off", []string{"-telnet", "0", "-ftp", "0", "-mailnews", "0"}, cli.ExitUsage, "no traffic sources"},
+		{"bad output path", []string{"-hours", "0.05", "-ftp", "0", "-mailnews", "0", "-o", "/nonexistent/dir/x.pkt"}, cli.ExitFailure, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			err := run(tc.args, &out, &errw)
+			if got := cli.ExitCode(err); got != tc.code {
+				t.Errorf("run(%v) exit %d, want %d (err: %v)", tc.args, got, tc.code, err)
+			}
+			if tc.want != "" && (err == nil || !strings.Contains(err.Error(), tc.want)) {
+				t.Errorf("run(%v) err %v, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestShortCleanRun(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-hours", "0.05", "-telnet", "40", "-ftp", "0", "-mailnews", "0"}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitOK {
+		t.Fatalf("clean run: exit %d, want 0 (err: %v)", got, err)
+	}
+	if !strings.Contains(out.String(), "TELNET:") || !strings.Contains(out.String(), "aggregate:") {
+		t.Errorf("report missing sections:\n%s", out.String())
+	}
+}

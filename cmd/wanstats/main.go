@@ -11,16 +11,25 @@
 //	wanstats trace.conn
 //	wanstats -interval 600 trace.conn
 //	wanstats -bin 0.01 trace.pkt
+//	wanstats -lenient damaged.conn   # skip malformed records, report them
+//
+// The paper's own traces were messy (truncated captures, dropped
+// SYN/FIN records — Section II); -lenient ingests such a trace by
+// skipping malformed records with full accounting instead of
+// aborting. Exit codes follow the internal/cli contract: 0 success,
+// 1 hard failure (unreadable trace), 2 usage error, 3 partial
+// success (-lenient decode skipped records; the analysis still ran).
 package main
 
 import (
 	"bufio"
-	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
 
+	"wantraffic/internal/cli"
 	"wantraffic/internal/core"
 	"wantraffic/internal/fit"
 	"wantraffic/internal/poisson"
@@ -30,74 +39,117 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "wanstats:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("wanstats", run))
 }
 
-func run() error {
-	interval := flag.Float64("interval", 3600, "Poisson-test interval length (s) for connection traces")
-	bin := flag.Float64("bin", 0.01, "count-process bin width (s) for packet traces")
-	verbose := flag.Bool("v", false, "show per-interval Poisson test outcomes")
-	flag.Parse()
-	verboseIntervals = *verbose
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: wanstats [flags] <tracefile>")
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("wanstats", stderr)
+	interval := fs.Float64("interval", 3600, "Poisson-test interval length (s) for connection traces")
+	bin := fs.Float64("bin", 0.01, "count-process bin width (s) for packet traces")
+	verbose := fs.Bool("v", false, "show per-interval Poisson test outcomes")
+	lenient := fs.Bool("lenient", false, "skip malformed records (with accounting) instead of aborting")
+	maxLine := fs.Int("max-line-bytes", trace.DefaultMaxLineBytes, "hard limit on a single trace line")
+	maxRecords := fs.Int("max-records", trace.DefaultMaxRecords, "hard limit on decoded records")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
 	}
-	f, err := os.Open(flag.Arg(0))
+	if err := cli.FirstErr(
+		cli.Positive("interval", *interval),
+		cli.Positive("bin", *bin),
+		cli.Positive("max-line-bytes", float64(*maxLine)),
+		cli.Positive("max-records", float64(*maxRecords)),
+	); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return cli.Usagef("usage: wanstats [flags] <tracefile>")
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	opts := trace.DecodeOptions{Lenient: *lenient, MaxLineBytes: *maxLine, MaxRecords: *maxRecords}
+
 	br := bufio.NewReader(f)
 	magic, err := br.Peek(10)
 	if err != nil {
 		return fmt.Errorf("reading header: %w", err)
 	}
+	var dstats trace.DecodeStats
 	switch {
 	case strings.HasPrefix(string(magic), "#conntrace"):
-		tr, err := trace.ReadConnTrace(br)
+		tr, ds, err := trace.ReadConnTraceWith(br, opts)
 		if err != nil {
 			return err
 		}
-		return connReport(tr, *interval)
+		dstats = ds
+		reportDecode(stdout, *lenient, ds)
+		if err := connReport(stdout, tr, *interval, *verbose); err != nil {
+			return err
+		}
 	case strings.HasPrefix(string(magic), "#pkttrace"):
-		tr, err := trace.ReadPacketTrace(br)
+		tr, ds, err := trace.ReadPacketTraceWith(br, opts)
 		if err != nil {
 			return err
 		}
-		return packetReport(tr, *bin)
+		dstats = ds
+		reportDecode(stdout, *lenient, ds)
+		if err := packetReport(stdout, tr, *bin); err != nil {
+			return err
+		}
 	case strings.HasPrefix(string(magic), "WCT1"):
-		tr, err := trace.ReadConnTraceBinary(br)
+		tr, ds, err := trace.ReadConnTraceBinaryWith(br, opts)
 		if err != nil {
 			return err
 		}
-		return connReport(tr, *interval)
+		dstats = ds
+		reportDecode(stdout, *lenient, ds)
+		if err := connReport(stdout, tr, *interval, *verbose); err != nil {
+			return err
+		}
 	case strings.HasPrefix(string(magic), "WPT1"):
-		tr, err := trace.ReadPacketTraceBinary(br)
+		tr, ds, err := trace.ReadPacketTraceBinaryWith(br, opts)
 		if err != nil {
 			return err
 		}
-		return packetReport(tr, *bin)
+		dstats = ds
+		reportDecode(stdout, *lenient, ds)
+		if err := packetReport(stdout, tr, *bin); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unrecognized trace header %q", string(magic))
 	}
+	if dstats.RecordsSkipped > 0 {
+		return cli.Partialf("analysis complete, but %d malformed record(s) were skipped", dstats.RecordsSkipped)
+	}
+	return nil
 }
 
-var verboseIntervals bool
+// reportDecode surfaces lenient-mode accounting before the analysis.
+func reportDecode(w io.Writer, lenient bool, ds trace.DecodeStats) {
+	if !lenient || ds.RecordsSkipped == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s\n", ds)
+	for _, e := range ds.Errors {
+		fmt.Fprintf(w, "  skipped: %s\n", e)
+	}
+	fmt.Fprintln(w)
+}
 
-func connReport(tr *trace.ConnTrace, interval float64) error {
-	fmt.Printf("connection trace %q: %d connections over %.1f h\n\n",
+func connReport(w io.Writer, tr *trace.ConnTrace, interval float64, verbose bool) error {
+	fmt.Fprintf(w, "connection trace %q: %d connections over %.1f h\n\n",
 		tr.Name, len(tr.Conns), tr.Horizon/3600)
-	fmt.Printf("Poisson tests (Appendix A), %.0f s intervals:\n", interval)
+	fmt.Fprintf(w, "Poisson tests (Appendix A), %.0f s intervals:\n", interval)
 	for _, p := range trace.Protocols() {
 		res := core.EvaluatePoisson(tr, p, interval)
 		if res.Tested == 0 {
 			continue
 		}
-		fmt.Printf("  %-8s %s\n", p, res)
-		if verboseIntervals {
+		fmt.Fprintf(w, "  %-8s %s\n", p, res)
+		if verbose {
 			for _, iv := range res.Intervals {
 				mark := func(ok bool) string {
 					if ok {
@@ -105,21 +157,21 @@ func connReport(tr *trace.ConnTrace, interval float64) error {
 					}
 					return "FAIL"
 				}
-				fmt.Printf("    t=%7.0fs n=%4d  exp %s (A*=%6.2f)  indep %s (r1=%+.3f)\n",
+				fmt.Fprintf(w, "    t=%7.0fs n=%4d  exp %s (A*=%6.2f)  indep %s (r1=%+.3f)\n",
 					iv.Start, iv.Arrivals, mark(iv.ExpPass), iv.AStar, mark(iv.IndepPass), iv.Lag1)
 			}
 		}
 	}
 	bursts := core.ExtractBursts(tr, core.DefaultBurstCutoff)
 	if len(bursts) > 0 {
-		fmt.Printf("\nFTPDATA bursts (4 s rule): %d bursts\n", len(bursts))
+		fmt.Fprintf(w, "\nFTPDATA bursts (4 s rule): %d bursts\n", len(bursts))
 		for _, frac := range []float64{0.005, 0.02, 0.10} {
-			fmt.Printf("  top %4.1f%% of bursts carry %5.1f%% of FTPDATA bytes\n",
+			fmt.Fprintf(w, "  top %4.1f%% of bursts carry %5.1f%% of FTPDATA bytes\n",
 				100*frac, 100*core.TailShare(bursts, frac))
 		}
 		if len(bursts) >= 100 {
 			tail := fit.HillTailFraction(core.BurstSizesDescending(bursts), 0.05)
-			fmt.Printf("  upper-5%% burst-size tail: Pareto beta = %.2f (paper: 0.9-1.4)\n", tail.Beta)
+			fmt.Fprintf(w, "  upper-5%% burst-size tail: Pareto beta = %.2f (paper: 0.9-1.4)\n", tail.Beta)
 		}
 		if gaps := core.IntraSessionSpacings(tr); len(gaps) >= 50 {
 			logs := make([]float64, 0, len(gaps))
@@ -130,38 +182,38 @@ func connReport(tr *trace.ConnTrace, interval float64) error {
 			}
 			if len(logs) >= 50 {
 				_, aStar := poisson.NormalADTest(logs, 0.05)
-				fmt.Printf("  intra-session spacing log-normality A* = %.1f (bimodality inflates it; Fig. 8)\n", aStar)
+				fmt.Fprintf(w, "  intra-session spacing log-normality A* = %.1f (bimodality inflates it; Fig. 8)\n", aStar)
 			}
 		}
 	}
 	return nil
 }
 
-func packetReport(tr *trace.PacketTrace, bin float64) error {
-	fmt.Printf("packet trace %q: %d packets over %.2f h\n\n",
+func packetReport(w io.Writer, tr *trace.PacketTrace, bin float64) error {
+	fmt.Fprintf(w, "packet trace %q: %d packets over %.2f h\n\n",
 		tr.Name, len(tr.Packets), tr.Horizon/3600)
 	counts := stats.CountProcess(tr.AllTimes(), bin, tr.Horizon)
 	ss := core.AssessSelfSimilarity(counts, 1000)
-	fmt.Printf("count process at %.3g s bins:\n", bin)
-	fmt.Printf("  mean %.2f pkts/bin, variance %.2f\n", stats.Mean(counts), stats.Variance(counts))
-	fmt.Printf("  variance-time slope %.2f (Poisson: -1.00) -> H_vt = %.2f\n", ss.VTSlope, ss.HFromVT)
-	fmt.Printf("  Whittle H = %.3f (95%% CI %.3f..%.3f)\n", ss.Whittle.H, ss.Whittle.CILow, ss.Whittle.CIHigh)
-	fmt.Printf("  Beran goodness-of-fit z = %.2f, p = %.3f\n", ss.Whittle.BeranZ, ss.Whittle.BeranP)
+	fmt.Fprintf(w, "count process at %.3g s bins:\n", bin)
+	fmt.Fprintf(w, "  mean %.2f pkts/bin, variance %.2f\n", stats.Mean(counts), stats.Variance(counts))
+	fmt.Fprintf(w, "  variance-time slope %.2f (Poisson: -1.00) -> H_vt = %.2f\n", ss.VTSlope, ss.HFromVT)
+	fmt.Fprintf(w, "  Whittle H = %.3f (95%% CI %.3f..%.3f)\n", ss.Whittle.H, ss.Whittle.CILow, ss.Whittle.CIHigh)
+	fmt.Fprintf(w, "  Beran goodness-of-fit z = %.2f, p = %.3f\n", ss.Whittle.BeranZ, ss.Whittle.BeranP)
 	agg := counts
 	if len(agg) > 8192 {
 		agg = stats.SumAggregate(agg, (len(agg)+8191)/8192)
 	}
 	far := selfsim.WhittleFARIMA(agg)
-	fmt.Printf("  fARIMA(0,d,0) H = %.3f (Beran z = %.2f)\n", far.H, far.BeranZ)
-	fmt.Printf("  R/S H = %.3f, wavelet H = %.3f, GPH H = %.3f\n",
+	fmt.Fprintf(w, "  fARIMA(0,d,0) H = %.3f (Beran z = %.2f)\n", far.H, far.BeranZ)
+	fmt.Fprintf(w, "  R/S H = %.3f, wavelet H = %.3f, GPH H = %.3f\n",
 		selfsim.HurstRS(agg), selfsim.HurstWavelet(agg), selfsim.HurstGPH(agg))
 	switch {
 	case ss.ConsistentWithFGN:
-		fmt.Println("  verdict: consistent with fractional Gaussian noise (self-similar)")
+		fmt.Fprintln(w, "  verdict: consistent with fractional Gaussian noise (self-similar)")
 	case ss.LargeScaleCorrelated:
-		fmt.Println("  verdict: large-scale correlations, but not well-modeled as fGn")
+		fmt.Fprintln(w, "  verdict: large-scale correlations, but not well-modeled as fGn")
 	default:
-		fmt.Println("  verdict: no evidence against short-range (Poisson-like) behaviour")
+		fmt.Fprintln(w, "  verdict: no evidence against short-range (Poisson-like) behaviour")
 	}
 	return nil
 }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wantraffic/internal/cli"
+)
+
+// writeTrace drops a small connection trace (with optional malformed
+// lines) into a temp file and returns its path.
+func writeTrace(t *testing.T, lines ...string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "t.conn")
+	if err := os.WriteFile(p, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func goodTrace(t *testing.T) string {
+	return writeTrace(t,
+		"#conntrace tiny 3600",
+		"1.0 2.0 TELNET 100 200 0",
+		"5.0 1.5 SMTP 300 400 0",
+	)
+}
+
+func damagedTrace(t *testing.T) string {
+	return writeTrace(t,
+		"#conntrace tiny 3600",
+		"1.0 2.0 TELNET 100 200 0",
+		"this line is garbage",
+		"5.0 1.5 SMTP 300 400 0",
+	)
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no args", nil, cli.ExitUsage},
+		{"two args", []string{"a", "b"}, cli.ExitUsage},
+		{"unknown flag", []string{"-bogus"}, cli.ExitUsage},
+		{"zero interval", []string{"-interval", "0", "x"}, cli.ExitUsage},
+		{"negative bin", []string{"-bin", "-1", "x"}, cli.ExitUsage},
+		{"zero max-line", []string{"-max-line-bytes", "0", "x"}, cli.ExitUsage},
+		{"missing file", []string{"/nonexistent/path.conn"}, cli.ExitFailure},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			err := run(tc.args, &out, &errw)
+			if got := cli.ExitCode(err); got != tc.code {
+				t.Errorf("run(%v) exit %d, want %d (err: %v)", tc.args, got, tc.code, err)
+			}
+		})
+	}
+}
+
+func TestStrictAbortsOnDamage(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitFailure {
+		t.Fatalf("strict damaged trace: exit %d, want %d (err: %v)", got, cli.ExitFailure, err)
+	}
+}
+
+func TestLenientIsPartialSuccess(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-lenient", damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitPartial {
+		t.Fatalf("lenient damaged trace: exit %d, want %d (err: %v)", got, cli.ExitPartial, err)
+	}
+	if !strings.Contains(out.String(), "1 skipped") {
+		t.Errorf("decode accounting missing from output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "2 connections") {
+		t.Errorf("analysis should still run on the kept records:\n%s", out.String())
+	}
+}
+
+func TestCleanTraceExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{goodTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitOK {
+		t.Fatalf("clean trace: exit %d, want 0 (err: %v)", got, err)
+	}
+	// Lenient on a clean trace is also a full success.
+	err = run([]string{"-lenient", goodTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitOK {
+		t.Fatalf("lenient clean trace: exit %d, want 0 (err: %v)", got, err)
+	}
+}
+
+func TestUnrecognizedHeader(t *testing.T) {
+	p := writeTrace(t, "not a trace at all", "second line")
+	var out, errw bytes.Buffer
+	err := run([]string{p}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitFailure {
+		t.Fatalf("bogus header: exit %d, want %d (err: %v)", got, cli.ExitFailure, err)
+	}
+}

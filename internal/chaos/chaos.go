@@ -1,0 +1,244 @@
+// Package chaos drives the trace codecs and the experiment pipeline
+// under systematic fault injection (internal/fault): truncation,
+// bit flips, short reads, record drops and injected I/O errors on
+// ingestion; panics, timeouts and interruptions in the runner. It is
+// shared by the chaos test suite (run under -race in CI) and by
+// `paperfig -chaos`, the operational smoke check.
+//
+// The contract it enforces, from the ISSUE's resilience goals: no
+// fault-injected input may panic a decoder or force unbounded
+// allocation; lenient decodes must account for every skipped record;
+// the runner must retry panics (not timeouts), isolate failures, and
+// keep checkpoint files loadable at every instant.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"wantraffic/internal/fault"
+	"wantraffic/internal/runner"
+	"wantraffic/internal/trace"
+)
+
+// Report summarizes a chaos run.
+type Report struct {
+	Cases    int      // fault scenarios executed
+	Decodes  int      // decode attempts across codecs and modes
+	Failures []string // invariant violations (empty = pass)
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// String renders a one-line summary plus any failures.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %d cases, %d decodes, %d failures\n", r.Cases, r.Decodes, len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  FAIL: %s\n", f)
+	}
+	return b.String()
+}
+
+func (r *Report) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// Run executes the full chaos suite: `cases` fault scenarios per
+// codec (seeded deterministically from seed) plus the runner
+// resilience checks.
+func Run(seed int64, cases int) *Report {
+	rep := &Report{}
+	ingestionChaos(rep, seed, cases)
+	pipelineChaos(rep)
+	return rep
+}
+
+// sampleTraces builds the clean inputs each scenario corrupts.
+func sampleTraces(rng *rand.Rand) (*trace.ConnTrace, *trace.PacketTrace) {
+	ct := &trace.ConnTrace{Name: "chaos-conn", Horizon: 3600}
+	protos := []trace.Protocol{trace.Telnet, trace.FTPData, trace.SMTP, trace.NNTP}
+	for i := 0; i < 200; i++ {
+		ct.Conns = append(ct.Conns, trace.Conn{
+			Start:     rng.Float64() * 3600,
+			Duration:  rng.ExpFloat64() * 30,
+			Proto:     protos[rng.Intn(len(protos))],
+			BytesOrig: rng.Int63n(1 << 20),
+			BytesResp: rng.Int63n(1 << 24),
+			SessionID: int64(rng.Intn(20)),
+		})
+	}
+	ct.SortByStart()
+	pt := &trace.PacketTrace{Name: "chaos-pkt", Horizon: 600}
+	for i := 0; i < 400; i++ {
+		pt.Packets = append(pt.Packets, trace.Packet{
+			Time:   rng.Float64() * 600,
+			Size:   1 + rng.Intn(1460),
+			Proto:  protos[rng.Intn(len(protos))],
+			ConnID: int64(rng.Intn(50)),
+		})
+	}
+	pt.SortByTime()
+	return ct, pt
+}
+
+// plans enumerates the fault scenarios for one case seed.
+func plans(rng *rand.Rand, inputLen int) []fault.Plan {
+	n := int64(inputLen)
+	if n < 2 {
+		n = 2
+	}
+	seed := rng.Int63()
+	return []fault.Plan{
+		{Seed: seed, TruncateAfter: 1 + rng.Int63n(n)},
+		{Seed: seed, BitFlipRate: 0.001 + rng.Float64()*0.05, ShortReads: true},
+		{Seed: seed, DropLineRate: 0.05 + rng.Float64()*0.5, KeepFirstLine: rng.Intn(2) == 0},
+		{Seed: seed, FailAfter: 1 + rng.Int63n(n)},
+		{Seed: seed, TruncateAfter: 1 + rng.Int63n(n), BitFlipRate: 0.01, ShortReads: true},
+	}
+}
+
+// ingestionChaos corrupts encoded traces every way the fault package
+// knows and checks the decode invariants in both modes. Panics are
+// caught and reported as failures, never propagated.
+func ingestionChaos(rep *Report, seed int64, cases int) {
+	rng := rand.New(rand.NewSource(seed))
+	ct, pt := sampleTraces(rng)
+
+	var connText, pktText, connBin, pktBin bytes.Buffer
+	must := func(err error) {
+		if err != nil {
+			rep.failf("encoding clean trace: %v", err)
+		}
+	}
+	must(trace.WriteConnTrace(&connText, ct))
+	must(trace.WritePacketTrace(&pktText, pt))
+	must(trace.WriteConnTraceBinary(&connBin, ct))
+	must(trace.WritePacketTraceBinary(&pktBin, pt))
+
+	type codec struct {
+		name   string
+		data   []byte
+		decode func(p fault.Plan, opts trace.DecodeOptions, data []byte) (kept int, stats trace.DecodeStats, err error)
+	}
+	codecs := []codec{
+		{"conn-text", connText.Bytes(), func(p fault.Plan, opts trace.DecodeOptions, data []byte) (int, trace.DecodeStats, error) {
+			t, stats, err := trace.ReadConnTraceWith(fault.NewReader(bytes.NewReader(data), p), opts)
+			if t == nil {
+				return 0, stats, err
+			}
+			return len(t.Conns), stats, err
+		}},
+		{"pkt-text", pktText.Bytes(), func(p fault.Plan, opts trace.DecodeOptions, data []byte) (int, trace.DecodeStats, error) {
+			t, stats, err := trace.ReadPacketTraceWith(fault.NewReader(bytes.NewReader(data), p), opts)
+			if t == nil {
+				return 0, stats, err
+			}
+			return len(t.Packets), stats, err
+		}},
+		{"conn-bin", connBin.Bytes(), func(p fault.Plan, opts trace.DecodeOptions, data []byte) (int, trace.DecodeStats, error) {
+			t, stats, err := trace.ReadConnTraceBinaryWith(fault.NewReader(bytes.NewReader(data), p), opts)
+			if t == nil {
+				return 0, stats, err
+			}
+			return len(t.Conns), stats, err
+		}},
+		{"pkt-bin", pktBin.Bytes(), func(p fault.Plan, opts trace.DecodeOptions, data []byte) (int, trace.DecodeStats, error) {
+			t, stats, err := trace.ReadPacketTraceBinaryWith(fault.NewReader(bytes.NewReader(data), p), opts)
+			if t == nil {
+				return 0, stats, err
+			}
+			return len(t.Packets), stats, err
+		}},
+	}
+
+	for c := 0; c < cases; c++ {
+		for _, cd := range codecs {
+			for _, plan := range plans(rng, len(cd.data)) {
+				rep.Cases++
+				for _, lenient := range []bool{false, true} {
+					rep.Decodes++
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								rep.failf("%s seed=%d lenient=%v: decoder panic: %v", cd.name, plan.Seed, lenient, r)
+							}
+						}()
+						opts := trace.DecodeOptions{Lenient: lenient, MaxRecords: 1 << 20}
+						kept, stats, err := cd.decode(plan, opts, cd.data)
+						if err != nil {
+							return // clean rejection is always acceptable
+						}
+						if lenient && stats.RecordsKept != kept {
+							rep.failf("%s seed=%d: lenient stats claim %d kept, trace holds %d",
+								cd.name, plan.Seed, stats.RecordsKept, kept)
+						}
+					}()
+				}
+			}
+		}
+		// Write-side faults: encoders must surface injected errors,
+		// never panic or loop.
+		p := fault.Plan{Seed: rng.Int63(), FailAfter: 1 + rng.Int63n(int64(len(connText.Bytes())))}
+		rep.Cases++
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					rep.failf("conn-text encode seed=%d: writer panic: %v", p.Seed, r)
+				}
+			}()
+			if err := trace.WriteConnTrace(fault.NewWriter(&discard{}, p), ct); err == nil {
+				rep.failf("conn-text encode seed=%d: injected write error swallowed", p.Seed)
+			}
+		}()
+	}
+}
+
+type discard struct{}
+
+func (*discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// pipelineChaos exercises the runner's failure semantics: retry
+// recovers a transient panic, a hopeless job fails without poisoning
+// its neighbors, and cancellation is recorded distinctly.
+func pipelineChaos(rep *Report) {
+	rep.Cases++
+	attempt := 0
+	jobs := []runner.Job{
+		{ID: "flaky", Run: func() string {
+			attempt++
+			if attempt == 1 {
+				panic("chaos: transient fault")
+			}
+			return "recovered artifact"
+		}},
+		{ID: "hopeless", Run: func() string { panic("chaos: permanent fault") }},
+		{ID: "healthy", Run: func() string { return "healthy artifact" }},
+	}
+	r := runner.Run(context.Background(), jobs, runner.Options{
+		Workers: 1, Retries: 2, Backoff: time.Microsecond,
+	})
+	if !r.Results[0].OK() || r.Results[0].Attempts != 2 {
+		rep.failf("pipeline: flaky job not recovered by retry: %+v", r.Results[0])
+	}
+	if r.Results[1].OK() || r.Results[1].Attempts != 3 {
+		rep.failf("pipeline: hopeless job should fail after 3 attempts: %+v", r.Results[1])
+	}
+	if !r.Results[2].OK() {
+		rep.failf("pipeline: failure leaked into healthy job: %+v", r.Results[2])
+	}
+
+	rep.Cases++
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r = runner.Run(ctx, []runner.Job{{ID: "never", Run: func() string { return "" }}},
+		runner.Options{Workers: 1})
+	if r.Results[0].Status() != "CANCELED" {
+		rep.failf("pipeline: pre-canceled run status %q, want CANCELED", r.Results[0].Status())
+	}
+}

@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosSuite is the chaos acceptance gate: every fault-injected
+// decode and pipeline scenario must hold its invariants. CI runs this
+// under -race, so it also proves the faulted paths are race-free.
+func TestChaosSuite(t *testing.T) {
+	cases := 20
+	if testing.Short() {
+		cases = 3
+	}
+	rep := Run(1, cases)
+	if !rep.OK() {
+		t.Fatalf("chaos suite failed:\n%s", rep)
+	}
+	if rep.Cases == 0 || rep.Decodes == 0 {
+		t.Fatalf("suite ran nothing: %+v", rep)
+	}
+}
+
+// TestChaosDeterministic pins that a chaos run is a pure function of
+// its seed: same seed, same scenario counts and outcomes.
+func TestChaosDeterministic(t *testing.T) {
+	a, b := Run(42, 5), Run(42, 5)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a.Cases != b.Cases || a.Decodes != b.Decodes {
+		t.Fatalf("case counts diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{Cases: 3, Decodes: 6}
+	if !rep.OK() || !strings.Contains(rep.String(), "0 failures") {
+		t.Errorf("clean report: %q", rep.String())
+	}
+	rep.failf("boom %d", 7)
+	if rep.OK() || !strings.Contains(rep.String(), "FAIL: boom 7") {
+		t.Errorf("failing report: %q", rep.String())
+	}
+}

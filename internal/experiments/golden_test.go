@@ -24,11 +24,12 @@ func goldenPath(id string) string {
 
 // TestGolden pins the byte-exact output of every registered driver.
 // The corpus is executed through the experiment engine with parallel
-// workers, so a single run checks both properties the engine promises:
-// each artifact matches the golden (no regression in internal/dist,
-// internal/selfsim, ... moves a number silently), and the parallel
-// path reproduces the serial path byte for byte (goldens are written
-// with -update, which forces Workers: 1).
+// workers AND a retry budget, so a single run checks every property
+// the engine promises: each artifact matches the golden (no regression
+// in internal/dist, internal/selfsim, ... moves a number silently),
+// the parallel path reproduces the serial path byte for byte (goldens
+// are written with -update, which forces Workers: 1), and enabling
+// retries cannot perturb the bytes of drivers that succeed first try.
 func TestGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden suite regenerates every artifact (slow)")
@@ -45,7 +46,7 @@ func TestGolden(t *testing.T) {
 	if *updateGolden {
 		workers = 1 // goldens are defined by the serial path
 	}
-	rep := runner.Run(context.Background(), jobs, runner.Options{Workers: workers})
+	rep := runner.Run(context.Background(), jobs, runner.Options{Workers: workers, Retries: 2})
 
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {

@@ -1,0 +1,263 @@
+// Package fault provides deterministic, seedable I/O fault injection:
+// reader and writer wrappers that truncate streams, flip bits, force
+// short reads, inject errors, and drop whole records (lines). It is
+// the chaos substrate for the ingestion hardening tests
+// (internal/trace lenient decode), the chaos suite (internal/chaos),
+// and `paperfig -chaos`.
+//
+// Determinism contract: every wrapper draws from its own rand.Rand
+// seeded from Plan.Seed, and consumes randomness per byte (or per
+// line) of the underlying stream — never per Read call — so the
+// injected faults are a pure function of (input bytes, Plan) and do
+// not depend on the caller's chunking.
+package fault
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math/rand"
+)
+
+// ErrInjected is the default error delivered by FailAfter wrappers.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// Plan selects which faults to inject. The zero value injects
+// nothing: NewReader/NewWriter then return the underlying stream
+// unmodified (aside from wrapping).
+type Plan struct {
+	// Seed keys every random decision in the plan.
+	Seed int64
+	// TruncateAfter, when > 0, ends the stream (clean EOF) after that
+	// many bytes — a torn file or interrupted transfer.
+	TruncateAfter int64
+	// FailAfter, when > 0, makes the stream return FailWith (or
+	// ErrInjected) after that many bytes — a mid-stream I/O error.
+	FailAfter int64
+	// FailWith overrides the error delivered by FailAfter.
+	FailWith error
+	// BitFlipRate is the per-byte probability of flipping one random
+	// bit — line noise and memory corruption.
+	BitFlipRate float64
+	// DropLineRate is the per-line probability of dropping a whole
+	// '\n'-terminated record — lost measurement records.
+	DropLineRate float64
+	// KeepFirstLine shields line 1 (a trace header) from DropLineRate,
+	// so drops model lost records rather than a destroyed file.
+	KeepFirstLine bool
+	// ShortReads delivers each Read in a random prefix of the buffer,
+	// exercising resumption logic in consumers.
+	ShortReads bool
+}
+
+// NewReader wraps r with the plan's faults. Wrappers compose in a
+// fixed order: record drops first (on the pristine text), then bit
+// flips, then truncation, then injected failure, then short reads.
+func NewReader(r io.Reader, p Plan) io.Reader {
+	if p.DropLineRate > 0 {
+		r = &lineDropReader{br: bufio.NewReader(r), rng: rand.New(rand.NewSource(p.Seed + 1)),
+			rate: p.DropLineRate, keepFirst: p.KeepFirstLine, first: true}
+	}
+	if p.BitFlipRate > 0 {
+		r = &bitFlipReader{r: r, rng: rand.New(rand.NewSource(p.Seed + 2)), rate: p.BitFlipRate}
+	}
+	if p.TruncateAfter > 0 {
+		r = &truncateReader{r: r, remain: p.TruncateAfter}
+	}
+	if p.FailAfter > 0 {
+		err := p.FailWith
+		if err == nil {
+			err = ErrInjected
+		}
+		r = &failReader{r: r, remain: p.FailAfter, err: err}
+	}
+	if p.ShortReads {
+		r = &shortReader{r: r, rng: rand.New(rand.NewSource(p.Seed + 3))}
+	}
+	return r
+}
+
+// NewWriter wraps w with the plan's write-side faults: bit flips,
+// silent truncation (bytes accepted but discarded — a torn write),
+// and injected failure. ShortReads and DropLineRate do not apply.
+func NewWriter(w io.Writer, p Plan) io.Writer {
+	out := io.Writer(&planWriter{w: w, plan: p})
+	if p.BitFlipRate > 0 {
+		pw := out.(*planWriter)
+		pw.rng = rand.New(rand.NewSource(p.Seed + 4))
+	}
+	return out
+}
+
+type truncateReader struct {
+	r      io.Reader
+	remain int64
+}
+
+func (t *truncateReader) Read(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > t.remain {
+		p = p[:t.remain]
+	}
+	n, err := t.r.Read(p)
+	t.remain -= int64(n)
+	return n, err
+}
+
+type failReader struct {
+	r      io.Reader
+	remain int64
+	err    error
+}
+
+func (f *failReader) Read(p []byte) (int, error) {
+	if f.remain <= 0 {
+		return 0, f.err
+	}
+	if int64(len(p)) > f.remain {
+		p = p[:f.remain]
+	}
+	n, err := f.r.Read(p)
+	f.remain -= int64(n)
+	return n, err
+}
+
+type bitFlipReader struct {
+	r    io.Reader
+	rng  *rand.Rand
+	rate float64
+}
+
+func (b *bitFlipReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	// One Float64 per byte keeps the flip positions independent of
+	// how the stream is chunked into Read calls.
+	for i := 0; i < n; i++ {
+		if b.rng.Float64() < b.rate {
+			p[i] ^= 1 << uint(b.rng.Intn(8))
+		}
+	}
+	return n, err
+}
+
+type shortReader struct {
+	r   io.Reader
+	rng *rand.Rand
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1+s.rng.Intn(len(p))]
+	}
+	return s.r.Read(p)
+}
+
+// lineDropReader drops whole '\n'-terminated lines with the given
+// probability, streaming: it never buffers more than one line.
+type lineDropReader struct {
+	br        *bufio.Reader
+	rng       *rand.Rand
+	rate      float64
+	keepFirst bool
+	first     bool
+	pending   []byte
+	done      error
+}
+
+func (l *lineDropReader) Read(p []byte) (int, error) {
+	for len(l.pending) == 0 {
+		if l.done != nil {
+			return 0, l.done
+		}
+		line, err := l.br.ReadBytes('\n')
+		if err != nil {
+			l.done = err
+			if err != io.EOF {
+				return 0, err
+			}
+		}
+		drop := l.rng.Float64() < l.rate
+		if l.first && l.keepFirst {
+			drop = false
+		}
+		l.first = false
+		if !drop {
+			l.pending = line
+		}
+	}
+	n := copy(p, l.pending)
+	l.pending = l.pending[n:]
+	return n, nil
+}
+
+// planWriter applies write-side faults: bit flips on the way through,
+// silent discard past TruncateAfter, and an error past FailAfter.
+type planWriter struct {
+	w       io.Writer
+	plan    Plan
+	rng     *rand.Rand
+	written int64
+}
+
+func (pw *planWriter) Write(p []byte) (int, error) {
+	if pw.plan.FailAfter > 0 && pw.written >= pw.plan.FailAfter {
+		err := pw.plan.FailWith
+		if err == nil {
+			err = ErrInjected
+		}
+		return 0, err
+	}
+	buf := p
+	if pw.rng != nil {
+		buf = append([]byte(nil), p...)
+		for i := range buf {
+			if pw.rng.Float64() < pw.plan.BitFlipRate {
+				buf[i] ^= 1 << uint(pw.rng.Intn(8))
+			}
+		}
+	}
+	// Deliver up to the earliest active boundary. Bytes past
+	// TruncateAfter are claimed as written but silently discarded (a
+	// torn write); bytes past FailAfter produce the injected error on
+	// the next call.
+	deliver := int64(len(buf))
+	if pw.plan.FailAfter > 0 {
+		if room := pw.plan.FailAfter - pw.written; room < deliver {
+			deliver = room
+		}
+	}
+	discard := false
+	if pw.plan.TruncateAfter > 0 {
+		if room := pw.plan.TruncateAfter - pw.written; room < deliver {
+			if room < 0 {
+				room = 0
+			}
+			deliver = room
+			discard = true
+		}
+	}
+	var n int
+	var err error
+	if deliver > 0 {
+		n, err = pw.w.Write(buf[:deliver])
+		pw.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	if discard {
+		// Silent truncation: claim the tail was written.
+		pw.written += int64(len(buf)) - deliver
+		return len(p), nil
+	}
+	if deliver < int64(len(buf)) {
+		ferr := pw.plan.FailWith
+		if ferr == nil {
+			ferr = ErrInjected
+		}
+		return n, ferr
+	}
+	return len(p), nil
+}

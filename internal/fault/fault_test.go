@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, r io.Reader) ([]byte, error) {
+	t.Helper()
+	return io.ReadAll(r)
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	in := []byte("hello fault injection\nsecond line\n")
+	got, err := readAll(t, NewReader(bytes.NewReader(in), Plan{}))
+	if err != nil || !bytes.Equal(got, in) {
+		t.Fatalf("zero plan altered stream: %q, %v", got, err)
+	}
+	var buf bytes.Buffer
+	n, err := NewWriter(&buf, Plan{}).Write(in)
+	if err != nil || n != len(in) || !bytes.Equal(buf.Bytes(), in) {
+		t.Fatalf("zero plan altered write: n=%d %v %q", n, err, buf.Bytes())
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	in := strings.Repeat("x", 100)
+	got, err := readAll(t, NewReader(strings.NewReader(in), Plan{TruncateAfter: 37}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("truncated read returned %d bytes, want 37", len(got))
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	in := strings.Repeat("y", 100)
+	boom := errors.New("boom")
+	got, err := readAll(t, NewReader(strings.NewReader(in), Plan{FailAfter: 10, FailWith: boom}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d bytes before failure, want 10", len(got))
+	}
+	// Default error is ErrInjected.
+	_, err = readAll(t, NewReader(strings.NewReader(in), Plan{FailAfter: 5}))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestBitFlipsDeterministic(t *testing.T) {
+	in := bytes.Repeat([]byte{0x00}, 4096)
+	a, err := readAll(t, NewReader(bytes.NewReader(in), Plan{Seed: 7, BitFlipRate: 0.1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := readAll(t, NewReader(bytes.NewReader(in), Plan{Seed: 7, BitFlipRate: 0.1}))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different flips")
+	}
+	// Chunking must not change which bytes flip: add short reads.
+	c, _ := readAll(t, NewReader(NewReader(bytes.NewReader(in), Plan{Seed: 7, BitFlipRate: 0.1}), Plan{Seed: 99, ShortReads: true}))
+	if !bytes.Equal(a, c) {
+		t.Fatal("downstream chunking changed flip positions")
+	}
+	flips := 0
+	for _, x := range a {
+		if x != 0 {
+			flips++
+		}
+	}
+	if flips < 200 || flips > 700 {
+		t.Fatalf("flip count %d implausible for rate 0.1 over 4096 bytes", flips)
+	}
+	d, _ := readAll(t, NewReader(bytes.NewReader(in), Plan{Seed: 8, BitFlipRate: 0.1}))
+	if bytes.Equal(a, d) {
+		t.Fatal("different seeds produced identical flips")
+	}
+}
+
+func TestShortReadsPreserveContent(t *testing.T) {
+	in := []byte(strings.Repeat("abcdefghij", 500))
+	got, err := readAll(t, NewReader(bytes.NewReader(in), Plan{Seed: 3, ShortReads: true}))
+	if err != nil || !bytes.Equal(got, in) {
+		t.Fatalf("short reads corrupted stream: %v", err)
+	}
+}
+
+func TestDropLines(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("#header line\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("record\n")
+	}
+	in := sb.String()
+	got, err := readAll(t, NewReader(strings.NewReader(in),
+		Plan{Seed: 11, DropLineRate: 0.3, KeepFirstLine: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(got), "\n"), "\n")
+	if lines[0] != "#header line" {
+		t.Fatalf("KeepFirstLine violated: first surviving line %q", lines[0])
+	}
+	kept := len(lines) - 1
+	if kept >= 200 || kept < 80 {
+		t.Fatalf("kept %d/200 records at drop rate 0.3", kept)
+	}
+	again, _ := readAll(t, NewReader(strings.NewReader(in),
+		Plan{Seed: 11, DropLineRate: 0.3, KeepFirstLine: true}))
+	if !bytes.Equal(got, again) {
+		t.Fatal("line drops not deterministic")
+	}
+}
+
+func TestDropLinesNoTrailingNewline(t *testing.T) {
+	in := "a\nb\nc" // final line unterminated
+	got, err := readAll(t, NewReader(strings.NewReader(in), Plan{Seed: 1, DropLineRate: 0.0001}))
+	if err != nil || string(got) != in {
+		t.Fatalf("unterminated final line mishandled: %q, %v", got, err)
+	}
+}
+
+func TestWriterFailAfter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Plan{FailAfter: 8})
+	n, err := w.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) || n != 8 {
+		t.Fatalf("write n=%d err=%v, want 8 bytes then ErrInjected", n, err)
+	}
+	if buf.String() != "01234567" {
+		t.Fatalf("delivered %q", buf.String())
+	}
+	if _, err := w.Write([]byte("zz")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("subsequent write: %v", err)
+	}
+}
+
+func TestWriterSilentTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Plan{TruncateAfter: 5})
+	n, err := w.Write([]byte("0123456789"))
+	if err != nil || n != 10 {
+		t.Fatalf("torn write must claim success: n=%d err=%v", n, err)
+	}
+	if buf.String() != "01234" {
+		t.Fatalf("delivered %q, want torn prefix", buf.String())
+	}
+	n, err = w.Write([]byte("abc"))
+	if err != nil || n != 3 || buf.String() != "01234" {
+		t.Fatalf("post-truncation write leaked: n=%d err=%v buf=%q", n, err, buf.String())
+	}
+}
+
+func TestWriterBitFlipsDeterministic(t *testing.T) {
+	in := bytes.Repeat([]byte{0xff}, 1024)
+	var a, b bytes.Buffer
+	if _, err := NewWriter(&a, Plan{Seed: 5, BitFlipRate: 0.2}).Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWriter(&b, Plan{Seed: 5, BitFlipRate: 0.2}).Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("writer flips not deterministic")
+	}
+	if bytes.Equal(a.Bytes(), in) {
+		t.Fatal("rate 0.2 over 1KiB flipped nothing")
+	}
+	// The caller's buffer must not be mutated.
+	if !bytes.Equal(in, bytes.Repeat([]byte{0xff}, 1024)) {
+		t.Fatal("writer mutated caller's buffer")
+	}
+}

@@ -1,0 +1,75 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Checkpointing makes a long experiment run restartable: the engine
+// persists the Report (the same JSON schema `paperfig -json` emits)
+// after every job completion, and a resumed run restores any job
+// whose checkpointed result carries an output digest, skipping its
+// re-execution. Because drivers are pure, a digest in the checkpoint
+// is as good as a rerun — the golden suite pins digest ⇒ bytes.
+
+// checkpointer serializes concurrent checkpoint writes from the
+// worker pool and writes atomically (temp file + rename), so a crash
+// mid-write never corrupts the previous checkpoint.
+type checkpointer struct {
+	mu   sync.Mutex
+	path string
+}
+
+// record stores a result into its slot (i >= 0) and persists the
+// report, all under one lock so the marshal sees a consistent slice.
+func (c *checkpointer) record(rep *Report, i int, res Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i >= 0 {
+		rep.Results[i] = res
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path)
+}
+
+// LoadCheckpoint reads a checkpoint file and indexes its completed
+// results by job ID. Only results that finished with an output digest
+// are restorable; failed, timed-out and canceled slots are dropped so
+// a resumed run re-executes them.
+func LoadCheckpoint(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("runner: corrupt checkpoint %s: %w", path, err)
+	}
+	restored := make(map[string]Result, len(rep.Results))
+	for _, res := range rep.Results {
+		if res.ID != "" && res.OK() && res.OutputSHA256 != "" {
+			restored[res.ID] = res
+		}
+	}
+	return restored, nil
+}

@@ -40,16 +40,53 @@ type Result struct {
 	// read it from the in-memory Report.
 	Output string `json:"-"`
 
+	// WallMS covers the final attempt only; AllocBytes is zero for
+	// timed-out and canceled jobs (the engine abandons the goroutine
+	// before a post-run memstats read would be meaningful).
 	WallMS       float64 `json:"wall_ms"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
 	OutputBytes  int     `json:"output_bytes"`
 	OutputSHA256 string  `json:"output_sha256,omitempty"`
 	TimedOut     bool    `json:"timed_out,omitempty"`
+	Canceled     bool    `json:"canceled,omitempty"`
 	Err          string  `json:"error,omitempty"`
+	// Attempts counts executions of the job including retries; 0 means
+	// the job never started (restored from a checkpoint, or canceled
+	// before start — Canceled distinguishes the two).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed marks a result restored from a checkpoint rather than
+	// executed; its Output text is empty (the digest pins it).
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // OK reports whether the job produced its artifact.
-func (r Result) OK() bool { return r.Err == "" && !r.TimedOut }
+func (r Result) OK() bool { return r.Err == "" && !r.TimedOut && !r.Canceled }
+
+// Status classifies the result for display: "ok", "resumed",
+// "TIMEOUT", "CANCELED" or "ERROR".
+func (r Result) Status() string {
+	switch {
+	case r.Resumed:
+		return "resumed"
+	case r.TimedOut:
+		return "TIMEOUT"
+	case r.Canceled:
+		return "CANCELED"
+	case r.Err != "":
+		return "ERROR"
+	default:
+		return "ok"
+	}
+}
+
+// Retryable reports whether a failed result is eligible for retry
+// under the engine's deterministic classification: driver failures
+// (panics) are retryable; timeouts and cancellations are not (a
+// timeout would blow the run's time budget again, and a cancellation
+// is the caller's decision).
+func (r Result) Retryable() bool {
+	return r.Err != "" && !r.TimedOut && !r.Canceled
+}
 
 // Report is the engine's run record: per-job results in job order plus
 // whole-run totals.
@@ -61,8 +98,11 @@ type Report struct {
 	// come from runtime.ReadMemStats around each job, so concurrent
 	// jobs bleed into each other's deltas. Serial runs attribute
 	// exactly.
-	AllocsApprox bool     `json:"allocs_approx,omitempty"`
-	Results      []Result `json:"results"`
+	AllocsApprox bool `json:"allocs_approx,omitempty"`
+	// Resumed counts results restored from a checkpoint (see
+	// Options.Checkpoint/Resume) instead of executed.
+	Resumed int      `json:"resumed,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // Options configures a run.
@@ -75,6 +115,25 @@ type Options struct {
 	// waiting for it (drivers are pure functions and not preemptible,
 	// so the goroutine is abandoned, not killed).
 	Timeout time.Duration
+	// Retries is the per-job retry budget for retryable failures
+	// (Result.Retryable: panics yes, timeouts and cancellations no).
+	// Retried jobs rerun the same pure driver, so retries cannot
+	// change artifact bytes — only recover from transient faults.
+	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// subsequent attempt (deterministic — no jitter: the drivers are
+	// pure functions, not contended network calls). 0 retries
+	// immediately.
+	Backoff time.Duration
+	// Checkpoint, when non-empty, persists the Report as JSON to this
+	// path (atomically: temp file + rename) after every job
+	// completion, making a long run restartable.
+	Checkpoint string
+	// Resume loads Checkpoint before running and restores any job
+	// whose checkpointed result carries the same ID and an output
+	// digest, skipping its execution. Restored results have Resumed
+	// set and empty Output text.
+	Resume bool
 }
 
 // Run executes the jobs and returns the report. Results hold slot
@@ -95,21 +154,87 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 		AllocsApprox: workers > 1,
 		Results:      make([]Result, len(jobs)),
 	}
+
+	// Resume: restore completed jobs from the checkpoint and only
+	// execute the remainder.
+	pending := make([]int, 0, len(jobs))
+	if opts.Resume && opts.Checkpoint != "" {
+		restored, err := LoadCheckpoint(opts.Checkpoint)
+		if err == nil {
+			for i, job := range jobs {
+				if res, ok := restored[job.ID]; ok {
+					res.Resumed = true
+					res.Output = "" // checkpoints pin by digest only
+					rep.Results[i] = res
+					rep.Resumed++
+					continue
+				}
+				pending = append(pending, i)
+			}
+		}
+	}
+	if rep.Resumed == 0 {
+		pending = pending[:0]
+		for i := range jobs {
+			pending = append(pending, i)
+		}
+	}
+
+	var ckpt checkpointer
+	if opts.Checkpoint != "" {
+		ckpt.path = opts.Checkpoint
+	}
 	start := time.Now()
-	par.ForEach(len(jobs), workers, func(i int) {
-		rep.Results[i] = runOne(ctx, jobs[i], opts.Timeout)
+	par.ForEach(len(pending), workers, func(k int) {
+		i := pending[k]
+		res := runJob(ctx, jobs[i], opts)
+		if ckpt.path == "" {
+			rep.Results[i] = res // disjoint slots: no locking needed
+			return
+		}
+		// Checkpointing snapshots the whole Results slice, so slot
+		// writes must serialize with the marshal.
+		ckpt.record(rep, i, res)
 	})
 	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if ckpt.path != "" {
+		ckpt.record(rep, -1, Result{}) // final state, including canceled/failed slots
+	}
 	return rep
+}
+
+// runJob executes one job with the options' retry policy.
+func runJob(ctx context.Context, job Job, opts Options) Result {
+	for attempt := 1; ; attempt++ {
+		res := runOne(ctx, job, opts.Timeout)
+		if res.Attempts != 0 { // 0 = canceled before start: never ran
+			res.Attempts = attempt
+		}
+		if res.OK() || !res.Retryable() || attempt > opts.Retries {
+			return res
+		}
+		if opts.Backoff > 0 {
+			delay := opts.Backoff << (attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				res.Canceled = true
+				res.Err = "canceled during retry backoff: " + ctx.Err().Error()
+				return res
+			}
+		}
+	}
 }
 
 // runOne executes a single job with metrics, timeout and cancellation.
 func runOne(ctx context.Context, job Job, timeout time.Duration) Result {
 	res := Result{ID: job.ID, Title: job.Title}
 	if err := ctx.Err(); err != nil {
+		res.Canceled = true
 		res.Err = "canceled before start: " + err.Error()
 		return res
 	}
+	res.Attempts = 1
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -153,6 +278,7 @@ func runOne(ctx context.Context, job Job, timeout time.Duration) Result {
 		res.Err = fmt.Sprintf("timed out after %s", timeout)
 	case <-ctx.Done():
 		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		res.Canceled = true
 		res.Err = "canceled: " + ctx.Err().Error()
 	}
 	return res
@@ -189,12 +315,15 @@ func (r *Report) Text() string {
 	}
 	fmt.Fprintf(&b, "%-12s %9s %12s %10s  %s\n", "id", "wall", alloc, "output", "status")
 	for _, res := range r.Results {
-		status := "ok"
-		switch {
-		case res.TimedOut:
-			status = "TIMEOUT"
-		case res.Err != "":
+		// AllocBytes is zero for timed-out and canceled jobs — the
+		// abandoned goroutine is never measured (see the JSON schema
+		// notes in DESIGN.md).
+		status := res.Status()
+		if status == "ERROR" {
 			status = "ERROR: " + res.Err
+		}
+		if res.Attempts > 1 {
+			status += fmt.Sprintf(" (%d attempts)", res.Attempts)
 		}
 		fmt.Fprintf(&b, "%-12s %8.2fs %11.1fM %9dB  %s\n",
 			res.ID, res.WallMS/1000, float64(res.AllocBytes)/1e6, res.OutputBytes, status)

@@ -4,7 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -119,6 +122,195 @@ func TestRunPanicIsolated(t *testing.T) {
 	}
 	if !rep.Results[1].OK() {
 		t.Errorf("panic leaked into next job: %+v", rep.Results[1])
+	}
+}
+
+func TestRetryRecoversFlakyJob(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job{{ID: "flaky", Run: func() string {
+		if calls.Add(1) < 3 {
+			panic("transient fault")
+		}
+		return "recovered"
+	}}}
+	rep := Run(context.Background(), jobs, Options{Workers: 1, Retries: 2, Backoff: time.Microsecond})
+	res := rep.Results[0]
+	if !res.OK() || res.Output != "recovered" {
+		t.Fatalf("flaky job not recovered: %+v", res)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", res.Attempts)
+	}
+	// Exhausted budget: still fails, attempts recorded.
+	calls.Store(0)
+	rep = Run(context.Background(), jobs, Options{Workers: 1, Retries: 1})
+	res = rep.Results[0]
+	if res.OK() || res.Attempts != 2 || !strings.Contains(res.Err, "transient fault") {
+		t.Fatalf("want failure after 2 attempts: %+v", res)
+	}
+}
+
+func TestRetryDeterministicOutput(t *testing.T) {
+	// Retried jobs must produce byte-identical output to first-try
+	// jobs: the driver is pure, so only the attempt count may differ.
+	var calls atomic.Int32
+	jobs := fakeJobs(8)
+	flakyRun := jobs[3].Run
+	jobs[3].Run = func() string {
+		if calls.Add(1)%2 == 1 {
+			panic("every other call fails")
+		}
+		return flakyRun()
+	}
+	clean := Run(context.Background(), fakeJobs(8), Options{Workers: 2})
+	retried := Run(context.Background(), jobs, Options{Workers: 2, Retries: 3})
+	for i := range clean.Results {
+		if clean.Results[i].OutputSHA256 != retried.Results[i].OutputSHA256 {
+			t.Errorf("job %d digest changed under retries", i)
+		}
+	}
+	if retried.Results[3].Attempts != 2 {
+		t.Errorf("flaky job attempts = %d, want 2", retried.Results[3].Attempts)
+	}
+}
+
+func TestTimeoutNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	block := make(chan struct{})
+	defer close(block)
+	jobs := []Job{{ID: "stuck", Run: func() string { calls.Add(1); <-block; return "" }}}
+	rep := Run(context.Background(), jobs, Options{Workers: 1, Timeout: 30 * time.Millisecond, Retries: 5})
+	res := rep.Results[0]
+	if !res.TimedOut {
+		t.Fatalf("want timeout: %+v", res)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("timed-out job ran %d times, must not be retried", got)
+	}
+	if res.Status() != "TIMEOUT" {
+		t.Errorf("Status() = %q", res.Status())
+	}
+	if res.AllocBytes != 0 {
+		t.Errorf("AllocBytes = %d for timed-out job, documented as 0", res.AllocBytes)
+	}
+}
+
+func TestCanceledStatusDistinctFromError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	jobs := []Job{
+		{ID: "boom", Run: func() string { panic("kaboom") }},
+		{ID: "hang", Run: func() string { close(started); <-block; return "" }},
+		{ID: "queued", Run: func() string { return "never runs" }},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	rep := Run(ctx, jobs, Options{Workers: 1})
+	if s := rep.Results[0].Status(); s != "ERROR" {
+		t.Errorf("panic status %q, want ERROR", s)
+	}
+	for i := 1; i < 3; i++ {
+		res := rep.Results[i]
+		if !res.Canceled || res.Status() != "CANCELED" {
+			t.Errorf("job %s: status %q canceled=%v, want CANCELED", res.ID, res.Status(), res.Canceled)
+		}
+		if res.Retryable() {
+			t.Errorf("job %s: canceled jobs must not be retryable", res.ID)
+		}
+	}
+	if rep.Results[2].Attempts != 0 {
+		t.Errorf("canceled-before-start job has Attempts = %d, want 0", rep.Results[2].Attempts)
+	}
+	text := rep.Text()
+	if !strings.Contains(text, "CANCELED") {
+		t.Errorf("Text() must render CANCELED distinctly:\n%s", text)
+	}
+	if strings.Contains(strings.ReplaceAll(text, "ERROR: panic: kaboom", ""), "ERROR") {
+		t.Errorf("canceled jobs folded into ERROR:\n%s", text)
+	}
+}
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "report.json")
+	baseline := Run(context.Background(), fakeJobs(6), Options{Workers: 1})
+
+	// Interrupted run: job 3 cancels the context from inside, so jobs
+	// 0-2 complete and checkpoint, 3 is canceled mid-flight, 4-5 never
+	// start.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := fakeJobs(6)
+	job3 := jobs[3].Run
+	jobs[3].Run = func() string { cancel(); <-ctx.Done(); return job3() }
+	rep := Run(ctx, jobs, Options{Workers: 1, Checkpoint: ckpt})
+	if got := len(rep.Failed()); got != 3 {
+		t.Fatalf("interrupted run failed %d jobs, want 3", got)
+	}
+
+	// The checkpoint survives the "crash" and restores jobs 0-2.
+	restored, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 3 {
+		t.Fatalf("checkpoint restored %d jobs, want 3: %v", len(restored), restored)
+	}
+
+	var reran atomic.Int32
+	jobs = fakeJobs(6)
+	for i := range jobs {
+		run := jobs[i].Run
+		jobs[i].Run = func() string { reran.Add(1); return run() }
+	}
+	resumed := Run(context.Background(), jobs, Options{Workers: 2, Checkpoint: ckpt, Resume: true})
+	if got := reran.Load(); got != 3 {
+		t.Errorf("resumed run executed %d jobs, want 3 (rest restored)", got)
+	}
+	if resumed.Resumed != 3 {
+		t.Errorf("report counts %d resumed, want 3", resumed.Resumed)
+	}
+	for i := range baseline.Results {
+		b, r := baseline.Results[i], resumed.Results[i]
+		if b.OutputSHA256 != r.OutputSHA256 {
+			t.Errorf("job %d: resumed digest %s != uninterrupted %s", i, r.OutputSHA256, b.OutputSHA256)
+		}
+		if i < 3 {
+			if !r.Resumed || r.Status() != "resumed" || r.Output != "" {
+				t.Errorf("job %d should be restored from checkpoint: %+v", i, r)
+			}
+		} else if r.Resumed || !r.OK() {
+			t.Errorf("job %d should have re-executed: %+v", i, r)
+		}
+	}
+	// The resumed run's final checkpoint now holds all six digests.
+	restored, err = LoadCheckpoint(ckpt)
+	if err != nil || len(restored) != 6 {
+		t.Fatalf("final checkpoint holds %d jobs (%v), want 6", len(restored), err)
+	}
+}
+
+func TestResumeWithMissingCheckpointRunsEverything(t *testing.T) {
+	dir := t.TempDir()
+	rep := Run(context.Background(), fakeJobs(3),
+		Options{Workers: 1, Checkpoint: filepath.Join(dir, "none.json"), Resume: true})
+	if rep.Resumed != 0 || len(rep.Failed()) != 0 {
+		t.Fatalf("missing checkpoint must degrade to a full run: %+v", rep)
+	}
+}
+
+func TestLoadCheckpointCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
 	}
 }
 

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEngineFIFOProperty schedules many events whose times are drawn
+// from a tiny set (forcing heavy ties) in random order, and checks the
+// executed order is exactly the stable sort of the schedule order by
+// time: among equal-time events, FIFO by scheduling sequence. The heap
+// itself is not stable — the seq tie-break is what buys this — so the
+// property would fail immediately if the tie-break regressed.
+func TestEngineFIFOProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		const n = 500
+		times := []float64{0, 1, 1, 2, 2, 2, 3} // duplicates on purpose
+		type rec struct {
+			schedOrder int
+			time       float64
+		}
+		scheduled := make([]rec, n)
+		var executed []int
+
+		eng := NewEngine()
+		for i := 0; i < n; i++ {
+			tm := times[rng.Intn(len(times))]
+			scheduled[i] = rec{schedOrder: i, time: tm}
+			i := i
+			eng.Schedule(tm, func(*Engine) { executed = append(executed, i) })
+		}
+		if got := eng.Run(1e9); got != n {
+			t.Fatalf("trial %d: ran %d events, want %d", trial, got, n)
+		}
+
+		want := make([]rec, n)
+		copy(want, scheduled)
+		sort.SliceStable(want, func(a, b int) bool { return want[a].time < want[b].time })
+		for k := range want {
+			if executed[k] != want[k].schedOrder {
+				t.Fatalf("trial %d: position %d executed event #%d (t=%g), want #%d (t=%g)",
+					trial, k, executed[k], scheduled[executed[k]].time,
+					want[k].schedOrder, want[k].time)
+			}
+		}
+	}
+}
+
+// TestEngineFIFOAcrossReschedules pins that an event scheduled from
+// inside a callback at the *current* time runs after every equal-time
+// event that was already queued (its seq is strictly larger).
+func TestEngineFIFOAcrossReschedules(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	eng.Schedule(1, func(e *Engine) {
+		order = append(order, "first")
+		e.Schedule(1, func(*Engine) { order = append(order, "nested") })
+	})
+	eng.Schedule(1, func(*Engine) { order = append(order, "second") })
+	eng.Schedule(1, func(*Engine) { order = append(order, "third") })
+	eng.Run(10)
+	want := []string{"first", "second", "third", "nested"}
+	for i, s := range want {
+		if i >= len(order) || order[i] != s {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}

@@ -45,12 +45,25 @@ func WriteConnTraceBinary(w io.Writer, t *ConnTrace) error {
 	return bw.Flush()
 }
 
-// ReadConnTraceBinary decodes a binary connection trace.
+// ReadConnTraceBinary decodes a binary connection trace in strict
+// mode: a truncated record stream aborts the decode.
 func ReadConnTraceBinary(r io.Reader) (*ConnTrace, error) {
+	t, _, err := ReadConnTraceBinaryWith(r, DecodeOptions{})
+	return t, err
+}
+
+// ReadConnTraceBinaryWith decodes a binary connection trace under the
+// given options. In lenient mode a stream that ends before the
+// header's record count is satisfied yields the records that did
+// decode, with the shortfall accounted in DecodeStats; header errors
+// abort in both modes.
+func ReadConnTraceBinaryWith(r io.Reader, opts DecodeOptions) (*ConnTrace, DecodeStats, error) {
+	opts = opts.withDefaults()
+	stats := DecodeStats{maxErrors: opts.MaxErrors}
 	br := bufio.NewReader(r)
-	name, horizon, count, err := readHeader(br, connMagic)
+	name, horizon, count, err := readHeaderWith(br, connMagic, opts)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	// Preallocation is capped: a corrupt header must not force a huge
 	// allocation before the (short) stream disproves its record count.
@@ -58,7 +71,17 @@ func ReadConnTraceBinary(r io.Reader) (*ConnTrace, error) {
 	var rec [41]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			err = fmt.Errorf("trace: record %d: %w", i, err)
+			if opts.Lenient {
+				// Account every record the header promised but the
+				// stream did not deliver.
+				stats.RecordsSkipped += int(count - i)
+				if len(stats.Errors) < opts.MaxErrors {
+					stats.Errors = append(stats.Errors, err.Error())
+				}
+				return t, stats, nil
+			}
+			return nil, stats, err
 		}
 		t.Conns = append(t.Conns, Conn{
 			Start:     math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
@@ -68,8 +91,9 @@ func ReadConnTraceBinary(r io.Reader) (*ConnTrace, error) {
 			BytesResp: int64(binary.LittleEndian.Uint64(rec[25:])),
 			SessionID: int64(binary.LittleEndian.Uint64(rec[33:])),
 		})
+		stats.RecordsKept++
 	}
-	return t, nil
+	return t, stats, nil
 }
 
 // capAlloc bounds an untrusted record count for slice preallocation.
@@ -100,18 +124,37 @@ func WritePacketTraceBinary(w io.Writer, t *PacketTrace) error {
 	return bw.Flush()
 }
 
-// ReadPacketTraceBinary decodes a binary packet trace.
+// ReadPacketTraceBinary decodes a binary packet trace in strict mode:
+// a truncated record stream aborts the decode.
 func ReadPacketTraceBinary(r io.Reader) (*PacketTrace, error) {
+	t, _, err := ReadPacketTraceBinaryWith(r, DecodeOptions{})
+	return t, err
+}
+
+// ReadPacketTraceBinaryWith decodes a binary packet trace under the
+// given options; see ReadConnTraceBinaryWith for the lenient
+// contract.
+func ReadPacketTraceBinaryWith(r io.Reader, opts DecodeOptions) (*PacketTrace, DecodeStats, error) {
+	opts = opts.withDefaults()
+	stats := DecodeStats{maxErrors: opts.MaxErrors}
 	br := bufio.NewReader(r)
-	name, horizon, count, err := readHeader(br, packetMagic)
+	name, horizon, count, err := readHeaderWith(br, packetMagic, opts)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	t := &PacketTrace{Name: name, Horizon: horizon, Packets: make([]Packet, 0, capAlloc(count))}
 	var rec [21]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			err = fmt.Errorf("trace: record %d: %w", i, err)
+			if opts.Lenient {
+				stats.RecordsSkipped += int(count - i)
+				if len(stats.Errors) < opts.MaxErrors {
+					stats.Errors = append(stats.Errors, err.Error())
+				}
+				return t, stats, nil
+			}
+			return nil, stats, err
 		}
 		t.Packets = append(t.Packets, Packet{
 			Time:   math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
@@ -119,8 +162,9 @@ func ReadPacketTraceBinary(r io.Reader) (*PacketTrace, error) {
 			Proto:  Protocol(rec[12]),
 			ConnID: int64(binary.LittleEndian.Uint64(rec[13:])),
 		})
+		stats.RecordsKept++
 	}
-	return t, nil
+	return t, stats, nil
 }
 
 func writeHeader(w io.Writer, magic [4]byte, name string, horizon float64, count uint64) error {
@@ -147,7 +191,7 @@ func writeHeader(w io.Writer, magic [4]byte, name string, horizon float64, count
 	return err
 }
 
-func readHeader(r io.Reader, magic [4]byte) (name string, horizon float64, count uint64, err error) {
+func readHeaderWith(r io.Reader, magic [4]byte, opts DecodeOptions) (name string, horizon float64, count uint64, err error) {
 	var m [4]byte
 	if _, err = io.ReadFull(r, m[:]); err != nil {
 		return "", 0, 0, fmt.Errorf("trace: reading magic: %w", err)
@@ -172,9 +216,8 @@ func readHeader(r io.Reader, magic [4]byte) (name string, horizon float64, count
 		return "", 0, 0, err
 	}
 	count = binary.LittleEndian.Uint64(buf[:])
-	const maxRecords = 1 << 31
-	if count > maxRecords {
-		return "", 0, 0, fmt.Errorf("trace: implausible record count %d", count)
+	if count > uint64(opts.MaxRecords) {
+		return "", 0, 0, fmt.Errorf("trace: implausible record count %d (limit %d)", count, opts.MaxRecords)
 	}
 	return string(nameBytes), horizon, count, nil
 }

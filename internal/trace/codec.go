@@ -34,49 +34,116 @@ func WriteConnTrace(w io.Writer, t *ConnTrace) error {
 	return bw.Flush()
 }
 
-// ReadConnTrace decodes a connection trace from r.
+// ReadConnTrace decodes a connection trace from r in strict mode: the
+// first malformed record aborts the decode.
 func ReadConnTrace(r io.Reader) (*ConnTrace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("trace: empty input")
+	t, _, err := ReadConnTraceWith(r, DecodeOptions{})
+	return t, err
+}
+
+// parseConnLine decodes one record line of a connection trace.
+func parseConnLine(f []string, line int) (Conn, error) {
+	var c Conn
+	var err error
+	if len(f) != 6 {
+		return c, fmt.Errorf("trace: line %d: want 6 fields, got %d", line, len(f))
 	}
-	name, horizon, err := parseHeader(sc.Text(), "#conntrace")
+	if c.Start, err = strconv.ParseFloat(f[0], 64); err != nil {
+		return c, fmt.Errorf("trace: line %d: start: %w", line, err)
+	}
+	if c.Duration, err = strconv.ParseFloat(f[1], 64); err != nil {
+		return c, fmt.Errorf("trace: line %d: duration: %w", line, err)
+	}
+	c.Proto = ParseProtocol(f[2])
+	if c.BytesOrig, err = strconv.ParseInt(f[3], 10, 64); err != nil {
+		return c, fmt.Errorf("trace: line %d: bytesOrig: %w", line, err)
+	}
+	if c.BytesResp, err = strconv.ParseInt(f[4], 10, 64); err != nil {
+		return c, fmt.Errorf("trace: line %d: bytesResp: %w", line, err)
+	}
+	if c.SessionID, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+		return c, fmt.Errorf("trace: line %d: sessionID: %w", line, err)
+	}
+	return c, nil
+}
+
+// ReadConnTraceWith decodes a connection trace under the given
+// options. In lenient mode malformed records are skipped and
+// accounted in the returned DecodeStats; header errors and resource
+// limits (line length, record count) abort in both modes.
+func ReadConnTraceWith(r io.Reader, opts DecodeOptions) (*ConnTrace, DecodeStats, error) {
+	opts = opts.withDefaults()
+	stats := DecodeStats{maxErrors: opts.MaxErrors}
+	var t *ConnTrace
+	err := scanTrace(r, "#conntrace", opts, &stats, func(name string, horizon float64) {
+		t = &ConnTrace{Name: name, Horizon: horizon}
+	}, func(f []string, line int) error {
+		c, err := parseConnLine(f, line)
+		if err != nil {
+			return err
+		}
+		t.Conns = append(t.Conns, c)
+		return nil
+	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	t := &ConnTrace{Name: name, Horizon: horizon}
+	return t, stats, nil
+}
+
+// scanTrace is the shared text-decode loop: header, then one record
+// per line with comments and blanks skipped, under the options'
+// resource limits and leniency. onHeader runs once before any record;
+// onRecord appends a decoded record and counts toward MaxRecords.
+func scanTrace(r io.Reader, magic string, opts DecodeOptions, stats *DecodeStats,
+	onHeader func(name string, horizon float64), onRecord func(f []string, line int) error) error {
+	sc := bufio.NewScanner(r)
+	// The scanner's cap is max(limit, cap(buf)), so the initial buffer
+	// must not exceed the configured line limit.
+	initial := 64 * 1024
+	if initial > opts.MaxLineBytes {
+		initial = opts.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("trace: reading header: %w", err)
+		}
+		return fmt.Errorf("trace: empty input")
+	}
+	stats.LinesRead++
+	name, horizon, err := parseHeader(sc.Text(), magic)
+	if err != nil {
+		return err
+	}
+	onHeader(name, horizon)
 	line := 1
 	for sc.Scan() {
 		line++
+		stats.LinesRead++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		f := strings.Fields(text)
-		if len(f) != 6 {
-			return nil, fmt.Errorf("trace: line %d: want 6 fields, got %d", line, len(f))
+		if stats.RecordsKept >= opts.MaxRecords {
+			return fmt.Errorf("trace: line %d: record limit %d exceeded", line, opts.MaxRecords)
 		}
-		var c Conn
-		if c.Start, err = strconv.ParseFloat(f[0], 64); err != nil {
-			return nil, fmt.Errorf("trace: line %d: start: %w", line, err)
+		if err := onRecord(strings.Fields(text), line); err != nil {
+			if opts.Lenient {
+				stats.skip(err)
+				continue
+			}
+			return err
 		}
-		if c.Duration, err = strconv.ParseFloat(f[1], 64); err != nil {
-			return nil, fmt.Errorf("trace: line %d: duration: %w", line, err)
-		}
-		c.Proto = ParseProtocol(f[2])
-		if c.BytesOrig, err = strconv.ParseInt(f[3], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: line %d: bytesOrig: %w", line, err)
-		}
-		if c.BytesResp, err = strconv.ParseInt(f[4], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: line %d: bytesResp: %w", line, err)
-		}
-		if c.SessionID, err = strconv.ParseInt(f[5], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: line %d: sessionID: %w", line, err)
-		}
-		t.Conns = append(t.Conns, c)
+		stats.RecordsKept++
 	}
-	return t, sc.Err()
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return fmt.Errorf("trace: line %d: exceeds %d-byte line limit", line+1, opts.MaxLineBytes)
+		}
+		return err
+	}
+	return nil
 }
 
 // WritePacketTrace encodes a packet trace to w.
@@ -93,43 +160,53 @@ func WritePacketTrace(w io.Writer, t *PacketTrace) error {
 	return bw.Flush()
 }
 
-// ReadPacketTrace decodes a packet trace from r.
+// ReadPacketTrace decodes a packet trace from r in strict mode: the
+// first malformed record aborts the decode.
 func ReadPacketTrace(r io.Reader) (*PacketTrace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("trace: empty input")
+	t, _, err := ReadPacketTraceWith(r, DecodeOptions{})
+	return t, err
+}
+
+// parsePacketLine decodes one record line of a packet trace.
+func parsePacketLine(f []string, line int) (Packet, error) {
+	var p Packet
+	var err error
+	if len(f) != 4 {
+		return p, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(f))
 	}
-	name, horizon, err := parseHeader(sc.Text(), "#pkttrace")
-	if err != nil {
-		return nil, err
+	if p.Time, err = strconv.ParseFloat(f[0], 64); err != nil {
+		return p, fmt.Errorf("trace: line %d: time: %w", line, err)
 	}
-	t := &PacketTrace{Name: name, Horizon: horizon}
-	line := 1
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		f := strings.Fields(text)
-		if len(f) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(f))
-		}
-		var p Packet
-		if p.Time, err = strconv.ParseFloat(f[0], 64); err != nil {
-			return nil, fmt.Errorf("trace: line %d: time: %w", line, err)
-		}
-		if p.Size, err = strconv.Atoi(f[1]); err != nil {
-			return nil, fmt.Errorf("trace: line %d: size: %w", line, err)
-		}
-		p.Proto = ParseProtocol(f[2])
-		if p.ConnID, err = strconv.ParseInt(f[3], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: line %d: connID: %w", line, err)
+	if p.Size, err = strconv.Atoi(f[1]); err != nil {
+		return p, fmt.Errorf("trace: line %d: size: %w", line, err)
+	}
+	p.Proto = ParseProtocol(f[2])
+	if p.ConnID, err = strconv.ParseInt(f[3], 10, 64); err != nil {
+		return p, fmt.Errorf("trace: line %d: connID: %w", line, err)
+	}
+	return p, nil
+}
+
+// ReadPacketTraceWith decodes a packet trace under the given options;
+// see ReadConnTraceWith for the strict/lenient contract.
+func ReadPacketTraceWith(r io.Reader, opts DecodeOptions) (*PacketTrace, DecodeStats, error) {
+	opts = opts.withDefaults()
+	stats := DecodeStats{maxErrors: opts.MaxErrors}
+	var t *PacketTrace
+	err := scanTrace(r, "#pkttrace", opts, &stats, func(name string, horizon float64) {
+		t = &PacketTrace{Name: name, Horizon: horizon}
+	}, func(f []string, line int) error {
+		p, err := parsePacketLine(f, line)
+		if err != nil {
+			return err
 		}
 		t.Packets = append(t.Packets, p)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-	return t, sc.Err()
+	return t, stats, nil
 }
 
 // nameField makes a trace name safe for the single-token header field.

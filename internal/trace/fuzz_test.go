@@ -6,18 +6,36 @@ import (
 	"testing"
 )
 
-// FuzzReadConnTrace checks the text reader never panics and that any
-// trace it accepts round-trips through the writer.
-func FuzzReadConnTrace(f *testing.F) {
-	f.Add("#conntrace x 3600\n1 2 TELNET 3 4 5\n")
-	f.Add("#conntrace y 10\n")
-	f.Add("garbage")
-	f.Add("#conntrace z 1e9\n0.5 0 FTPDATA 0 1048576 42\n# comment\n\n1 1 WWW 1 1 1\n")
-	f.Fuzz(func(t *testing.T, in string) {
-		tr, err := ReadConnTrace(strings.NewReader(in))
-		if err != nil {
-			return
-		}
+// tamperedTextSeeds are pinned regression inputs for the text codec:
+// header tampering (wrong magic, missing fields, bad horizon) and
+// field overflow (values exceeding int64/float64 ranges).
+var tamperedConnSeeds = []string{
+	"#conntrac x 3600\n1 2 TELNET 3 4 5\n",                      // magic one byte short
+	"#conntrace 3600\n",                                         // missing name field
+	"#conntrace x y 3600\n",                                     // extra header field
+	"#conntrace x 1e999\n",                                      // horizon overflows float64
+	"#conntrace x NaN\n1 2 TELNET 3 4 5\n",                      // NaN horizon (accepted: %g round-trips it)
+	"#conntrace x 10\n1 2 TELNET 9223372036854775808 4 5\n",     // bytesOrig > MaxInt64
+	"#conntrace x 10\n1 2 TELNET 3 4 99999999999999999999999\n", // sessionID overflow
+	"#conntrace x 10\n1e999 2 TELNET 3 4 5\n",                   // start overflows float64
+}
+
+var tamperedPacketSeeds = []string{
+	"#pkttrace\n",                                        // header with no fields
+	"#pkttracex p 60\n1 512 TELNET 1\n",                  // corrupted magic
+	"#pkttrace p 1e999\n",                                // horizon overflow
+	"#pkttrace p 60\n1 99999999999999999999 TELNET 1\n",  // size overflows int
+	"#pkttrace p 60\n1 512 TELNET 9223372036854775808\n", // connID > MaxInt64
+	"#pkttrace p 60\n1e999 512 TELNET 1\n",               // time overflow
+}
+
+// fuzzTextInvariants runs the shared strict/lenient checks for a text
+// codec input: strict accepts ⇒ round-trips; lenient never errors on
+// record damage (only header/resource errors) and its stats account
+// for every record line.
+func fuzzConnTextInvariants(t *testing.T, in string) {
+	tr, err := ReadConnTrace(strings.NewReader(in))
+	if err == nil {
 		var buf bytes.Buffer
 		if err := WriteConnTrace(&buf, tr); err != nil {
 			t.Fatalf("accepted trace failed to encode: %v", err)
@@ -25,7 +43,99 @@ func FuzzReadConnTrace(f *testing.F) {
 		if _, err := ReadConnTrace(&buf); err != nil {
 			t.Fatalf("re-encoded trace failed to parse: %v", err)
 		}
+	}
+	ltr, stats, lerr := ReadConnTraceWith(strings.NewReader(in), DecodeOptions{Lenient: true})
+	if lerr != nil {
+		return // header or resource-limit error: allowed in both modes
+	}
+	if stats.RecordsKept != len(ltr.Conns) {
+		t.Fatalf("lenient stats claim %d kept, trace holds %d", stats.RecordsKept, len(ltr.Conns))
+	}
+	if err == nil && stats.RecordsSkipped != 0 {
+		t.Fatalf("strict accepted but lenient skipped %d records", stats.RecordsSkipped)
+	}
+}
+
+// FuzzReadConnTrace checks the text reader never panics, that any
+// trace it accepts round-trips through the writer, and that lenient
+// mode accounts for every skipped record.
+func FuzzReadConnTrace(f *testing.F) {
+	f.Add("#conntrace x 3600\n1 2 TELNET 3 4 5\n")
+	f.Add("#conntrace y 10\n")
+	f.Add("garbage")
+	f.Add("#conntrace z 1e9\n0.5 0 FTPDATA 0 1048576 42\n# comment\n\n1 1 WWW 1 1 1\n")
+	for _, s := range tamperedConnSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(fuzzConnTextInvariants)
+}
+
+// FuzzReadPacketTrace mirrors FuzzReadConnTrace for packet traces.
+func FuzzReadPacketTrace(f *testing.F) {
+	f.Add("#pkttrace p 60\n1 512 TELNET 1\n2 40 SMTP 2\n")
+	f.Add("#pkttrace q 0\n")
+	f.Add("not a trace")
+	for _, s := range tamperedPacketSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadPacketTrace(strings.NewReader(in))
+		if err == nil {
+			var buf bytes.Buffer
+			if err := WritePacketTrace(&buf, tr); err != nil {
+				t.Fatalf("accepted trace failed to encode: %v", err)
+			}
+			if _, err := ReadPacketTrace(&buf); err != nil {
+				t.Fatalf("re-encoded trace failed to parse: %v", err)
+			}
+		}
+		ltr, stats, lerr := ReadPacketTraceWith(strings.NewReader(in), DecodeOptions{Lenient: true})
+		if lerr != nil {
+			return
+		}
+		if stats.RecordsKept != len(ltr.Packets) {
+			t.Fatalf("lenient stats claim %d kept, trace holds %d", stats.RecordsKept, len(ltr.Packets))
+		}
+		if err == nil && stats.RecordsSkipped != 0 {
+			t.Fatalf("strict accepted but lenient skipped %d records", stats.RecordsSkipped)
+		}
 	})
+}
+
+// TestTextTamperedSeedsPinned pins the tampered corpus outside the
+// fuzz harness: header damage must error in both modes; field
+// overflow must error strictly and be skipped-with-accounting
+// leniently.
+func TestTextTamperedSeedsPinned(t *testing.T) {
+	for i, in := range tamperedConnSeeds {
+		_, err := ReadConnTrace(strings.NewReader(in))
+		lt, stats, lerr := ReadConnTraceWith(strings.NewReader(in), DecodeOptions{Lenient: true})
+		headerOnly := strings.Count(in, "\n") <= 1 || !strings.HasPrefix(in, "#conntrace ")
+		switch {
+		case i == 4: // NaN horizon is representable and round-trips
+			if err != nil || lerr != nil {
+				t.Errorf("seed %d: NaN horizon should parse: %v / %v", i, err, lerr)
+			}
+		case headerOnly:
+			if err == nil || lerr == nil {
+				t.Errorf("conn seed %d: header damage accepted (strict %v, lenient %v)", i, err, lerr)
+			}
+		default:
+			if err == nil {
+				t.Errorf("conn seed %d: strict accepted overflow record", i)
+			}
+			if lerr != nil {
+				t.Errorf("conn seed %d: lenient aborted on record damage: %v", i, lerr)
+			} else if stats.RecordsSkipped == 0 {
+				t.Errorf("conn seed %d: lenient skipped nothing (kept %d)", i, len(lt.Conns))
+			}
+		}
+	}
+	for i, in := range tamperedPacketSeeds {
+		if _, err := ReadPacketTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("packet seed %d: strict accepted tampered input", i)
+		}
+	}
 }
 
 // truncations returns prefixes of a valid encoding that cut the
