@@ -25,7 +25,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		if out := exp.Run(); len(out) < 40 {
+		if out := exp.Run(context.Background()); len(out) < 40 {
 			b.Fatalf("%s produced no output", id)
 		}
 	}

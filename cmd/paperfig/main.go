@@ -14,6 +14,11 @@
 //	paperfig -exp all -checkpoint r.json -resume   skip checkpointed drivers
 //	paperfig -chaos          run the fault-injection smoke suite
 //	paperfig -svgdir figs -exp ""   write the figures as SVG files only
+//	paperfig -exp all -parallel -trace-out t.json -metrics-out m.json
+//	                         export a Chrome trace (chrome://tracing)
+//	                         and a metrics snapshot of the run
+//	paperfig -exp fig2 -cpuprofile cpu.pprof       profile one driver
+//	paperfig -exp all -parallel -progress          progress ticker on stderr
 //
 // The artifact text is byte-identical between serial and parallel
 // runs — and with retries enabled: every driver owns its RNG and is a
@@ -60,16 +65,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	resume := fs.Bool("resume", false, "with -checkpoint: skip experiments whose digests are already checkpointed")
 	chaosMode := fs.Bool("chaos", false, "run the fault-injection smoke suite instead of experiments")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for -chaos")
+	obsFlags := cli.RegisterObs(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	if err := validate(fs, *workers, *parallel, *retries, *timeout, *backoff, *resume, *checkpoint); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	if *chaosMode {
-		rep := chaos.Run(*chaosSeed, 20)
+		rep := chaos.RunWith(*chaosSeed, 20, sess.Metrics)
 		fmt.Fprint(stdout, rep)
+		if err := sess.Close(); err != nil {
+			return err
+		}
 		if !rep.OK() {
 			return fmt.Errorf("%d chaos invariant(s) violated", len(rep.Failures))
 		}
@@ -118,6 +132,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Backoff:    *backoff,
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
+		Tracer:     sess.Tracer,
+		Metrics:    sess.Metrics,
 	}
 	if *parallel {
 		opts.Workers = *workers // 0 → GOMAXPROCS inside the engine
@@ -155,6 +171,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *parallel || *timeout != 0 || *retries != 0 || rep.Resumed > 0 {
 			fmt.Fprint(stderr, rep.Text())
 		}
+	}
+	// Export the observability artifacts before classifying the exit:
+	// a failed metrics/trace write is a hard failure even when every
+	// experiment succeeded.
+	if err := sess.Close(); err != nil {
+		return err
 	}
 	failed := rep.Failed()
 	switch {

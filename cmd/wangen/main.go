@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"wantraffic/internal/cli"
 	"wantraffic/internal/datasets"
 	"wantraffic/internal/model"
+	"wantraffic/internal/obs"
 	"wantraffic/internal/trace"
 )
 
@@ -43,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed for -telnet/-ftp")
 	out := fs.String("o", "", "output file (default stdout)")
 	binaryOut := fs.Bool("binary", false, "write the compact binary trace format")
+	obsFlags := cli.RegisterObs(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
@@ -71,6 +74,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	sess, err := obsFlags.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	ctx := obs.WithTracer(context.Background(), sess.Tracer)
+
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -81,30 +91,59 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 
-	switch {
-	case *dataset != "":
-		for _, s := range datasets.TableI() {
-			if s.Name == *dataset {
-				return writeConn(w, datasets.BuildConn(s))
+	// generate runs under a "build:<name>" span, then the write under
+	// "write", so a -trace-out export shows where the time went.
+	generate := func() error {
+		switch {
+		case *dataset != "":
+			for _, s := range datasets.TableI() {
+				if s.Name == *dataset {
+					_, sp := obs.StartSpan(ctx, "build:"+s.Name)
+					tr := datasets.BuildConn(s)
+					sp.SetAttrInt("records", int64(len(tr.Conns)))
+					sp.End()
+					return timedWrite(ctx, func() error { return writeConn(w, tr) })
+				}
 			}
-		}
-		for _, s := range datasets.TableII() {
-			if s.Name == *dataset {
-				return writePkt(w, datasets.BuildPacket(s))
+			for _, s := range datasets.TableII() {
+				if s.Name == *dataset {
+					_, sp := obs.StartSpan(ctx, "build:"+s.Name)
+					tr := datasets.BuildPacket(s)
+					sp.SetAttrInt("records", int64(len(tr.Packets)))
+					sp.End()
+					return timedWrite(ctx, func() error { return writePkt(w, tr) })
+				}
 			}
+			return cli.Usagef("unknown dataset %q (try -list)", *dataset)
+		case *telnet > 0:
+			rng := rand.New(rand.NewSource(*seed))
+			_, sp := obs.StartSpan(ctx, "build:full-tel")
+			tr := model.FullTelnet(rng, "full-tel", *telnet, *hours*3600)
+			sp.SetAttrInt("records", int64(len(tr.Packets)))
+			sp.End()
+			return timedWrite(ctx, func() error { return writePkt(w, tr) })
+		case *ftp > 0:
+			rng := rand.New(rand.NewSource(*seed))
+			_, sp := obs.StartSpan(ctx, "build:ftp")
+			conns := model.GenerateFTP(rng, model.DefaultFTPConfig(*ftp, *days))
+			tr := &trace.ConnTrace{Name: "ftp", Horizon: float64(*days) * 86400, Conns: conns}
+			tr.SortByStart()
+			sp.SetAttrInt("records", int64(len(tr.Conns)))
+			sp.End()
+			return timedWrite(ctx, func() error { return writeConn(w, tr) })
+		default:
+			return cli.Usagef("nothing to do: pass -dataset, -telnet or -ftp (see -h)")
 		}
-		return cli.Usagef("unknown dataset %q (try -list)", *dataset)
-	case *telnet > 0:
-		rng := rand.New(rand.NewSource(*seed))
-		tr := model.FullTelnet(rng, "full-tel", *telnet, *hours*3600)
-		return writePkt(w, tr)
-	case *ftp > 0:
-		rng := rand.New(rand.NewSource(*seed))
-		conns := model.GenerateFTP(rng, model.DefaultFTPConfig(*ftp, *days))
-		tr := &trace.ConnTrace{Name: "ftp", Horizon: float64(*days) * 86400, Conns: conns}
-		tr.SortByStart()
-		return writeConn(w, tr)
-	default:
-		return cli.Usagef("nothing to do: pass -dataset, -telnet or -ftp (see -h)")
 	}
+	if err := generate(); err != nil {
+		return err
+	}
+	return sess.Close()
+}
+
+// timedWrite runs the encode under a "write" span.
+func timedWrite(ctx context.Context, write func() error) error {
+	_, sp := obs.StartSpan(ctx, "write")
+	defer sp.End()
+	return write()
 }

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +34,7 @@ import (
 	"wantraffic/internal/cli"
 	"wantraffic/internal/core"
 	"wantraffic/internal/model"
+	"wantraffic/internal/obs"
 	"wantraffic/internal/sim"
 	"wantraffic/internal/stats"
 	"wantraffic/internal/tcp"
@@ -54,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	priority := fs.Bool("priority", false, "strict-priority link: TELNET over bulk")
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("o", "", "write the aggregate packet trace to this file (binary format)")
+	obsFlags := cli.RegisterObs(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
@@ -66,32 +69,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 	); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	ctx := obs.WithTracer(context.Background(), sess.Tracer)
+	pkts := sess.Metrics.Counter("wansim.packets")
 	rng := rand.New(rand.NewSource(*seed))
 	horizon := *hours * 3600
 	agg := &trace.PacketTrace{Name: "wansim", Horizon: horizon}
 
 	if *telnet > 0 {
+		_, sp := obs.StartSpan(ctx, "source:telnet")
 		var tel *trace.PacketTrace
 		if *responder {
 			tel = model.FullTelnetBidirectional(rng, "telnet", *telnet, horizon, model.DefaultResponderConfig())
 		} else {
 			tel = model.FullTelnet(rng, "telnet", *telnet, horizon)
 		}
+		sp.SetAttrInt("packets", int64(len(tel.Packets)))
+		sp.End()
+		pkts.Add(int64(len(tel.Packets)))
 		agg.Packets = append(agg.Packets, tel.Packets...)
 		fmt.Fprintf(stdout, "TELNET:   %8d packets\n", len(tel.Packets))
 	}
 
 	if *ftp > 0 {
+		_, sp := obs.StartSpan(ctx, "source:ftpdata")
 		n := ftpOverTCP(rng, agg, *ftp, *rate, horizon)
+		sp.SetAttrInt("packets", int64(n))
+		sp.End()
+		pkts.Add(int64(n))
 		fmt.Fprintf(stdout, "FTPDATA:  %8d packets (TCP Reno over %.0f kB/s bottleneck)\n", n, *rate/1000)
 	}
 
 	if *mailnews > 0 {
+		_, sp := obs.StartSpan(ctx, "source:mailnews")
 		days := int(*hours/24) + 1
 		smtp := model.GenerateSMTP(rng, model.DefaultSMTPConfig(*mailnews*12, days))
 		nntp := model.GenerateNNTP(rng, model.DefaultNNTPConfig(*mailnews*12, days))
 		p1 := model.Packetize(rng, "smtp", smtp, 512, horizon)
 		p2 := model.Packetize(rng, "nntp", nntp, 512, horizon)
+		sp.SetAttrInt("packets", int64(len(p1.Packets)+len(p2.Packets)))
+		sp.End()
+		pkts.Add(int64(len(p1.Packets) + len(p2.Packets)))
 		agg.Packets = append(agg.Packets, p1.Packets...)
 		agg.Packets = append(agg.Packets, p2.Packets...)
 		fmt.Fprintf(stdout, "SMTP/NNTP:%8d packets\n", len(p1.Packets)+len(p2.Packets))
@@ -104,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	// Section VII verdict on the aggregate.
+	_, aspan := obs.StartSpan(ctx, "analyze")
 	counts := stats.CountProcess(agg.AllTimes(), 0.01, horizon)
 	ss := core.AssessSelfSimilarity(counts, 1000)
 	fmt.Fprintf(stdout, "aggregate VT slope %.2f (H_vt %.2f); Whittle H %.2f; fGn-consistent: %v\n",
@@ -112,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *priority {
 		priorityReport(stdout, agg)
 	}
+	aspan.End()
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -124,7 +148,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
-	return nil
+	return sess.Close()
 }
 
 // ftpOverTCP generates FTP sessions and runs every FTPDATA transfer

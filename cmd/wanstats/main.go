@@ -12,6 +12,8 @@
 //	wanstats -interval 600 trace.conn
 //	wanstats -bin 0.01 trace.pkt
 //	wanstats -lenient damaged.conn   # skip malformed records, report them
+//	wanstats -lenient -json damaged.conn   # machine-readable report with
+//	                                       # full decode accounting
 //
 // The paper's own traces were messy (truncated captures, dropped
 // SYN/FIN records — Section II); -lenient ingests such a trace by
@@ -23,6 +25,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -32,6 +37,7 @@ import (
 	"wantraffic/internal/cli"
 	"wantraffic/internal/core"
 	"wantraffic/internal/fit"
+	"wantraffic/internal/obs"
 	"wantraffic/internal/poisson"
 	"wantraffic/internal/selfsim"
 	"wantraffic/internal/stats"
@@ -50,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	lenient := fs.Bool("lenient", false, "skip malformed records (with accounting) instead of aborting")
 	maxLine := fs.Int("max-line-bytes", trace.DefaultMaxLineBytes, "hard limit on a single trace line")
 	maxRecords := fs.Int("max-records", trace.DefaultMaxRecords, "hard limit on decoded records")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report (decode accounting + analysis text)")
+	obsFlags := cli.RegisterObs(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
@@ -64,67 +72,132 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() != 1 {
 		return cli.Usagef("usage: wanstats [flags] <tracefile>")
 	}
+	sess, err := obsFlags.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	opts := trace.DecodeOptions{Lenient: *lenient, MaxLineBytes: *maxLine, MaxRecords: *maxRecords}
+	opts := trace.DecodeOptions{Lenient: *lenient, MaxLineBytes: *maxLine,
+		MaxRecords: *maxRecords, Metrics: sess.Metrics}
 
 	br := bufio.NewReader(f)
 	magic, err := br.Peek(10)
 	if err != nil {
 		return fmt.Errorf("reading header: %w", err)
 	}
-	var dstats trace.DecodeStats
-	switch {
-	case strings.HasPrefix(string(magic), "#conntrace"):
-		tr, ds, err := trace.ReadConnTraceWith(br, opts)
-		if err != nil {
-			return err
-		}
-		dstats = ds
-		reportDecode(stdout, *lenient, ds)
-		if err := connReport(stdout, tr, *interval, *verbose); err != nil {
-			return err
-		}
-	case strings.HasPrefix(string(magic), "#pkttrace"):
-		tr, ds, err := trace.ReadPacketTraceWith(br, opts)
-		if err != nil {
-			return err
-		}
-		dstats = ds
-		reportDecode(stdout, *lenient, ds)
-		if err := packetReport(stdout, tr, *bin); err != nil {
-			return err
-		}
-	case strings.HasPrefix(string(magic), "WCT1"):
-		tr, ds, err := trace.ReadConnTraceBinaryWith(br, opts)
-		if err != nil {
-			return err
-		}
-		dstats = ds
-		reportDecode(stdout, *lenient, ds)
-		if err := connReport(stdout, tr, *interval, *verbose); err != nil {
-			return err
-		}
-	case strings.HasPrefix(string(magic), "WPT1"):
-		tr, ds, err := trace.ReadPacketTraceBinaryWith(br, opts)
-		if err != nil {
-			return err
-		}
-		dstats = ds
-		reportDecode(stdout, *lenient, ds)
-		if err := packetReport(stdout, tr, *bin); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unrecognized trace header %q", string(magic))
+
+	ctx := obs.WithTracer(context.Background(), sess.Tracer)
+	_, dspan := obs.StartSpan(ctx, "decode")
+	dec, err := decode(br, string(magic), opts, *interval, *bin, *verbose)
+	if err != nil {
+		dspan.End()
+		return err
 	}
-	if dstats.RecordsSkipped > 0 {
-		return cli.Partialf("analysis complete, but %d malformed record(s) were skipped", dstats.RecordsSkipped)
+	dspan.SetAttr("kind", dec.kind)
+	dspan.SetAttrInt("records", int64(dec.records))
+	dspan.End()
+
+	out := io.Writer(stdout)
+	var buf bytes.Buffer
+	if *jsonOut {
+		out = &buf
+	} else {
+		reportDecode(stdout, *lenient, dec.stats)
+	}
+	_, aspan := obs.StartSpan(ctx, "analyze")
+	aerr := dec.analyze(out)
+	aspan.End()
+	if aerr != nil {
+		return aerr
+	}
+
+	if *jsonOut {
+		// The machine-readable report carries the full decode
+		// accounting — lenient skips were previously visible only in
+		// the human-readable preamble.
+		raw, err := json.MarshalIndent(jsonReport{
+			File:     fs.Arg(0),
+			Kind:     dec.kind,
+			Records:  dec.records,
+			HorizonS: dec.horizon,
+			Decode:   dec.stats,
+			Analysis: buf.String(),
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", raw)
+	}
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	if dec.stats.RecordsSkipped > 0 {
+		return cli.Partialf("analysis complete, but %d malformed record(s) were skipped", dec.stats.RecordsSkipped)
 	}
 	return nil
+}
+
+// jsonReport is the -json output schema: identification, decode
+// accounting (trace.DecodeStats verbatim) and the analysis text.
+type jsonReport struct {
+	File     string            `json:"file"`
+	Kind     string            `json:"kind"` // "conn" or "packet"
+	Records  int               `json:"records"`
+	HorizonS float64           `json:"horizon_s"`
+	Decode   trace.DecodeStats `json:"decode_stats"`
+	Analysis string            `json:"analysis"`
+}
+
+// decoded is a successfully ingested trace plus its deferred analysis.
+type decoded struct {
+	kind    string
+	records int
+	horizon float64
+	stats   trace.DecodeStats
+	analyze func(w io.Writer) error
+}
+
+// decode auto-detects the trace kind from the header bytes and
+// ingests it under the given options.
+func decode(br *bufio.Reader, magic string, opts trace.DecodeOptions,
+	interval, bin float64, verbose bool) (*decoded, error) {
+	switch {
+	case strings.HasPrefix(magic, "#conntrace"):
+		tr, ds, err := trace.ReadConnTraceWith(br, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &decoded{"conn", len(tr.Conns), tr.Horizon, ds,
+			func(w io.Writer) error { return connReport(w, tr, interval, verbose) }}, nil
+	case strings.HasPrefix(magic, "#pkttrace"):
+		tr, ds, err := trace.ReadPacketTraceWith(br, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &decoded{"packet", len(tr.Packets), tr.Horizon, ds,
+			func(w io.Writer) error { return packetReport(w, tr, bin) }}, nil
+	case strings.HasPrefix(magic, "WCT1"):
+		tr, ds, err := trace.ReadConnTraceBinaryWith(br, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &decoded{"conn", len(tr.Conns), tr.Horizon, ds,
+			func(w io.Writer) error { return connReport(w, tr, interval, verbose) }}, nil
+	case strings.HasPrefix(magic, "WPT1"):
+		tr, ds, err := trace.ReadPacketTraceBinaryWith(br, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &decoded{"packet", len(tr.Packets), tr.Horizon, ds,
+			func(w io.Writer) error { return packetReport(w, tr, bin) }}, nil
+	default:
+		return nil, fmt.Errorf("unrecognized trace header %q", magic)
+	}
 }
 
 // reportDecode surfaces lenient-mode accounting before the analysis.

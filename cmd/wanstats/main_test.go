@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,5 +105,96 @@ func TestUnrecognizedHeader(t *testing.T) {
 	err := run([]string{p}, &out, &errw)
 	if got := cli.ExitCode(err); got != cli.ExitFailure {
 		t.Fatalf("bogus header: exit %d, want %d (err: %v)", got, cli.ExitFailure, err)
+	}
+}
+
+// TestJSONReportCarriesDecodeStats pins satellite: the machine-readable
+// report embeds the full decode accounting that the plain-text path
+// only showed in the preamble.
+func TestJSONReportCarriesDecodeStats(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-lenient", "-json", damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitPartial {
+		t.Fatalf("lenient -json damaged trace: exit %d, want %d (err: %v)", got, cli.ExitPartial, err)
+	}
+	var rep struct {
+		File    string `json:"file"`
+		Kind    string `json:"kind"`
+		Records int    `json:"records"`
+		Decode  struct {
+			LinesRead      int      `json:"lines_read"`
+			RecordsKept    int      `json:"records_kept"`
+			RecordsSkipped int      `json:"records_skipped"`
+			BytesRead      int64    `json:"bytes_read"`
+			Errors         []string `json:"errors"`
+		} `json:"decode_stats"`
+		Analysis string `json:"analysis"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Kind != "conn" || rep.Records != 2 {
+		t.Errorf("kind=%q records=%d, want conn/2", rep.Kind, rep.Records)
+	}
+	if rep.Decode.RecordsSkipped != 1 || rep.Decode.RecordsKept != 2 {
+		t.Errorf("decode_stats = %+v, want 2 kept / 1 skipped", rep.Decode)
+	}
+	if rep.Decode.BytesRead == 0 {
+		t.Error("decode_stats.bytes_read missing")
+	}
+	if len(rep.Decode.Errors) != 1 || !strings.Contains(rep.Decode.Errors[0], "line 3") {
+		t.Errorf("decode_stats.errors = %v, want the line-3 skip message", rep.Decode.Errors)
+	}
+	if !strings.Contains(rep.Analysis, "2 connections") {
+		t.Errorf("analysis text missing from report: %q", rep.Analysis)
+	}
+	// Analysis text must not leak onto stdout outside the JSON.
+	if !json.Valid(out.Bytes()) {
+		t.Error("stdout holds more than the JSON document")
+	}
+}
+
+// TestObsOutputsWritten pins the shared -metrics-out/-trace-out flags
+// on a cmd tool: both files exist and parse.
+func TestObsOutputsWritten(t *testing.T) {
+	dir := t.TempDir()
+	mOut := filepath.Join(dir, "m.json")
+	tOut := filepath.Join(dir, "t.json")
+	var out, errw bytes.Buffer
+	err := run([]string{"-metrics-out", mOut, "-trace-out", tOut, goodTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitOK {
+		t.Fatalf("exit %d, want 0 (err: %v)", got, err)
+	}
+	raw, err := os.ReadFile(mOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("metrics snapshot invalid: %v\n%s", err, raw)
+	}
+	if metrics.Counters["trace.records.kept"] != 2 {
+		t.Errorf("trace.records.kept = %d, want 2 (snapshot: %s)", metrics.Counters["trace.records.kept"], raw)
+	}
+	raw, err = os.ReadFile(tOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("Chrome trace invalid: %v\n%s", err, raw)
+	}
+	names := map[string]bool{}
+	for _, ev := range chrome.TraceEvents {
+		names[ev.Name] = true
+	}
+	if !names["decode"] || !names["analyze"] {
+		t.Errorf("trace export missing decode/analyze spans: %s", raw)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"wantraffic/internal/fault"
+	"wantraffic/internal/obs"
 	"wantraffic/internal/runner"
 	"wantraffic/internal/trace"
 )
@@ -30,6 +31,8 @@ type Report struct {
 	Cases    int      // fault scenarios executed
 	Decodes  int      // decode attempts across codecs and modes
 	Failures []string // invariant violations (empty = pass)
+
+	reg *obs.Registry // optional; threads into fault plans and decodes
 }
 
 // OK reports whether every invariant held.
@@ -53,9 +56,21 @@ func (r *Report) failf(format string, args ...any) {
 // codec (seeded deterministically from seed) plus the runner
 // resilience checks.
 func Run(seed int64, cases int) *Report {
-	rep := &Report{}
+	return RunWith(seed, cases, nil)
+}
+
+// RunWith is Run with a metrics registry: the suite's own tallies
+// land in chaos.* counters, the fault plans it injects count their
+// injections in fault.* counters, and the decodes record trace.*
+// decode metrics — so a `paperfig -chaos -metrics-out` run shows the
+// whole fault surface. A nil registry no-ops.
+func RunWith(seed int64, cases int, reg *obs.Registry) *Report {
+	rep := &Report{reg: reg}
 	ingestionChaos(rep, seed, cases)
 	pipelineChaos(rep)
+	reg.Counter("chaos.cases").Add(int64(rep.Cases))
+	reg.Counter("chaos.decodes").Add(int64(rep.Decodes))
+	reg.Counter("chaos.failures").Add(int64(len(rep.Failures)))
 	return rep
 }
 
@@ -87,19 +102,20 @@ func sampleTraces(rng *rand.Rand) (*trace.ConnTrace, *trace.PacketTrace) {
 	return ct, pt
 }
 
-// plans enumerates the fault scenarios for one case seed.
-func plans(rng *rand.Rand, inputLen int) []fault.Plan {
+// plans enumerates the fault scenarios for one case seed. The
+// registry (may be nil) makes each plan count its injections.
+func plans(rng *rand.Rand, inputLen int, reg *obs.Registry) []fault.Plan {
 	n := int64(inputLen)
 	if n < 2 {
 		n = 2
 	}
 	seed := rng.Int63()
 	return []fault.Plan{
-		{Seed: seed, TruncateAfter: 1 + rng.Int63n(n)},
-		{Seed: seed, BitFlipRate: 0.001 + rng.Float64()*0.05, ShortReads: true},
-		{Seed: seed, DropLineRate: 0.05 + rng.Float64()*0.5, KeepFirstLine: rng.Intn(2) == 0},
-		{Seed: seed, FailAfter: 1 + rng.Int63n(n)},
-		{Seed: seed, TruncateAfter: 1 + rng.Int63n(n), BitFlipRate: 0.01, ShortReads: true},
+		{Seed: seed, TruncateAfter: 1 + rng.Int63n(n), Metrics: reg},
+		{Seed: seed, BitFlipRate: 0.001 + rng.Float64()*0.05, ShortReads: true, Metrics: reg},
+		{Seed: seed, DropLineRate: 0.05 + rng.Float64()*0.5, KeepFirstLine: rng.Intn(2) == 0, Metrics: reg},
+		{Seed: seed, FailAfter: 1 + rng.Int63n(n), Metrics: reg},
+		{Seed: seed, TruncateAfter: 1 + rng.Int63n(n), BitFlipRate: 0.01, ShortReads: true, Metrics: reg},
 	}
 }
 
@@ -159,7 +175,7 @@ func ingestionChaos(rep *Report, seed int64, cases int) {
 
 	for c := 0; c < cases; c++ {
 		for _, cd := range codecs {
-			for _, plan := range plans(rng, len(cd.data)) {
+			for _, plan := range plans(rng, len(cd.data), rep.reg) {
 				rep.Cases++
 				for _, lenient := range []bool{false, true} {
 					rep.Decodes++
@@ -169,7 +185,7 @@ func ingestionChaos(rep *Report, seed int64, cases int) {
 								rep.failf("%s seed=%d lenient=%v: decoder panic: %v", cd.name, plan.Seed, lenient, r)
 							}
 						}()
-						opts := trace.DecodeOptions{Lenient: lenient, MaxRecords: 1 << 20}
+						opts := trace.DecodeOptions{Lenient: lenient, MaxRecords: 1 << 20, Metrics: rep.reg}
 						kept, stats, err := cd.decode(plan, opts, cd.data)
 						if err != nil {
 							return // clean rejection is always acceptable
@@ -210,15 +226,15 @@ func pipelineChaos(rep *Report) {
 	rep.Cases++
 	attempt := 0
 	jobs := []runner.Job{
-		{ID: "flaky", Run: func() string {
+		{ID: "flaky", Run: func(context.Context) string {
 			attempt++
 			if attempt == 1 {
 				panic("chaos: transient fault")
 			}
 			return "recovered artifact"
 		}},
-		{ID: "hopeless", Run: func() string { panic("chaos: permanent fault") }},
-		{ID: "healthy", Run: func() string { return "healthy artifact" }},
+		{ID: "hopeless", Run: func(context.Context) string { panic("chaos: permanent fault") }},
+		{ID: "healthy", Run: func(context.Context) string { return "healthy artifact" }},
 	}
 	r := runner.Run(context.Background(), jobs, runner.Options{
 		Workers: 1, Retries: 2, Backoff: time.Microsecond,
@@ -236,7 +252,7 @@ func pipelineChaos(rep *Report) {
 	rep.Cases++
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	r = runner.Run(ctx, []runner.Job{{ID: "never", Run: func() string { return "" }}},
+	r = runner.Run(ctx, []runner.Job{{ID: "never", Run: func(context.Context) string { return "" }}},
 		runner.Options{Workers: 1})
 	if r.Results[0].Status() != "CANCELED" {
 		rep.failf("pipeline: pre-canceled run status %q, want CANCELED", r.Results[0].Status())

@@ -1,0 +1,134 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+// ObsFlags bundles the observability flags shared by the four tools:
+// metrics and trace export, CPU/heap profiling, and a progress ticker.
+// Register them with RegisterObs, then Start a session after parsing.
+type ObsFlags struct {
+	MetricsOut string
+	TraceOut   string
+	CPUProfile string
+	MemProfile string
+	Progress   bool
+}
+
+// RegisterObs registers the shared observability flags on fs. The
+// returned struct is populated by fs.Parse.
+func RegisterObs(fs *flag.FlagSet) *ObsFlags {
+	o := &ObsFlags{}
+	fs.StringVar(&o.MetricsOut, "metrics-out", "",
+		"write a metrics snapshot as JSON to this file on exit")
+	fs.StringVar(&o.TraceOut, "trace-out", "",
+		"write the run's span tree as Chrome trace-event JSON to this file on exit (load in chrome://tracing or Perfetto)")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "",
+		"write a CPU profile to this file (inspect with go tool pprof)")
+	fs.StringVar(&o.MemProfile, "memprofile", "",
+		"write a heap profile to this file on exit (inspect with go tool pprof)")
+	fs.BoolVar(&o.Progress, "progress", false,
+		"print a progress line to stderr every 2s while running")
+	return o
+}
+
+// ObsSession is the live observability state of one tool invocation.
+// Tracer and Metrics are nil unless the corresponding output was
+// requested, so instrumented code paths stay no-ops by default
+// (nil-receiver semantics in internal/obs).
+type ObsSession struct {
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+
+	flags        *ObsFlags
+	cpuFile      *os.File
+	stopProgress func()
+	closed       bool
+}
+
+// Start begins the session: allocates the tracer/registry the flags
+// call for, starts CPU profiling and the progress ticker. Callers
+// must Close the session; see Close for the deferred-plus-explicit
+// idiom.
+func (o *ObsFlags) Start(stderr io.Writer) (*ObsSession, error) {
+	s := &ObsSession{flags: o}
+	if o.TraceOut != "" {
+		s.Tracer = obs.NewTracer()
+	}
+	if o.MetricsOut != "" || o.Progress {
+		s.Metrics = obs.NewRegistry()
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.cpuFile = f
+	}
+	if o.Progress {
+		s.stopProgress = obs.StartProgress(stderr, s.Metrics, 2*time.Second)
+	}
+	return s, nil
+}
+
+// Close stops profiling and writes the requested artifacts (metrics
+// JSON, Chrome trace, heap profile). It is idempotent: tools defer it
+// for cleanup on error paths and also call it explicitly on the
+// success path to surface write errors.
+func (s *ObsSession) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.stopProgress != nil {
+		s.stopProgress()
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+	}
+	if s.flags.MemProfile != "" {
+		f, err := os.Create(s.flags.MemProfile)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // materialize up-to-date heap statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if s.flags.MetricsOut != "" {
+		raw, err := s.Metrics.JSON()
+		if err != nil {
+			keep(err)
+		} else {
+			keep(os.WriteFile(s.flags.MetricsOut, raw, 0o644))
+		}
+	}
+	if s.flags.TraceOut != "" {
+		raw, err := s.Tracer.ChromeTrace()
+		if err != nil {
+			keep(err)
+		} else {
+			keep(os.WriteFile(s.flags.TraceOut, raw, 0o644))
+		}
+	}
+	return first
+}

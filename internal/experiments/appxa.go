@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"sort"
@@ -17,9 +19,10 @@ import (
 // intervals) must pass, while a heavy-tailed renewal process and a
 // batched Poisson process must fail in the directions the paper
 // describes.
-func AppendixA() string {
+func AppendixA(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(8))
 	const horizon = 40 * 3600.0
+	synth := phase(ctx, "synthesize")
 	cases := []struct {
 		name  string
 		times []float64
@@ -34,6 +37,8 @@ func AppendixA() string {
 		{"batched Poisson x5", batchedPoisson(rng, 0.06, 5, horizon),
 			"must fail (clustered arrivals, correlated gaps)"},
 	}
+	synth()
+	defer phase(ctx, "evaluate")()
 	var rows [][]string
 	verdicts := map[string]poisson.Result{}
 	for _, c := range cases {

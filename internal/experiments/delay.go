@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -14,7 +16,7 @@ import (
 // queue, once with Tcplib interarrivals and once with exponential.
 // Using the exponential model "significantly underestimates the
 // average queueing delay for TELNET packets".
-func Delay() string {
+func Delay(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(17))
 	horizon := 600.0
 	var out strings.Builder

@@ -3,19 +3,47 @@
 // synthetic datasets and returns the rows/series the paper reports as
 // formatted text; cmd/paperfig, the root benchmarks, and EXPERIMENTS.md
 // all run these same drivers.
+//
+// Drivers take a context.Context solely for observability: the engine
+// (internal/runner) passes a context carrying the attempt's span, and
+// heavy drivers open "phase:*" child spans around their expensive
+// stages (dataset synthesis, statistics, rendering) via the phase
+// helper. The context never influences artifact bytes — drivers stay
+// pure functions of their own seeded RNGs, which is what makes the
+// golden suite and checkpoint-resume sound.
 package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"text/tabwriter"
+
+	"wantraffic/internal/obs"
 )
 
 // Experiment is one reproducible artifact of the paper.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() string
+	Run   func(ctx context.Context) string
+}
+
+// phase opens a "phase:<name>" span under the driver's current span
+// and returns its End, for instrumenting a driver stage:
+//
+//	defer phase(ctx, "datasets")()
+//
+// or, around a mid-function stage:
+//
+//	done := phase(ctx, "vt")
+//	... compute ...
+//	done()
+//
+// With no tracer installed the span is nil and both calls no-op.
+func phase(ctx context.Context, name string) func() {
+	_, sp := obs.StartSpan(ctx, "phase:"+name)
+	return sp.End
 }
 
 // All returns every experiment in paper order.

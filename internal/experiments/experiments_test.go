@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -138,7 +139,7 @@ func TestExperimentOutputsMentionKeyFacts(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		out := e.Run()
+		out := e.Run(context.Background())
 		for _, w := range wants {
 			if !strings.Contains(out, w) {
 				t.Errorf("%s output missing %q", id, w)
@@ -154,7 +155,7 @@ func TestFig5SchemesOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	out := Fig5()
+	out := Fig5(context.Background())
 	if !strings.Contains(out, "TCPLIB has") {
 		t.Fatalf("missing gap summary in:\n%s", out)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -15,7 +17,7 @@ import (
 // Fig1 regenerates Fig. 1: the mean relative hourly connection arrival
 // rate over the LBL-1..4 analogs, per protocol — the fraction of a
 // day's connections in each hour.
-func Fig1() string {
+func Fig1(ctx context.Context) string {
 	protos := []trace.Protocol{trace.Telnet, trace.FTP, trace.NNTP, trace.SMTP}
 	counts := map[trace.Protocol][24]float64{}
 	for _, name := range []string{"LBL-1", "LBL-2", "LBL-3", "LBL-4"} {
@@ -137,8 +139,11 @@ func Fig2Rows() []Fig2Row {
 // percentages, Poisson verdict (bold letters in the paper) and
 // correlation sign, for 1 h and 10 min intervals, followed by a
 // per-protocol summary.
-func Fig2() string {
+func Fig2(ctx context.Context) string {
+	tests := phase(ctx, "tests")
 	rows := Fig2Rows()
+	tests()
+	defer phase(ctx, "render")()
 	var out strings.Builder
 	for _, interval := range []float64{3600, 600} {
 		label := "1-hour intervals"

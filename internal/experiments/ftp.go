@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"sort"
@@ -21,7 +23,7 @@ var fig8Datasets = []string{"LBL-1", "LBL-5", "LBL-6", "LBL-7", "DEC-1", "UCB"}
 // Fig8 regenerates Fig. 8: the distribution of spacing between
 // consecutive FTPDATA connections within a session, per dataset, with
 // the bimodality facts that motivate the 4 s burst cutoff.
-func Fig8() string {
+func Fig8(ctx context.Context) string {
 	grid := []float64{0.1, 0.5, 1, 2, 4, 6, 10, 30, 100, 1000}
 	var rows [][]string
 	var notes strings.Builder
@@ -51,7 +53,7 @@ func Fig8() string {
 // Fig9 regenerates Fig. 9: the percentage of all FTPDATA bytes carried
 // by the largest bursts, per dataset (paper: the top 0.5% tail holds
 // 30–60%).
-func Fig9() string {
+func Fig9(ctx context.Context) string {
 	fracs := []float64{0.005, 0.02, 0.05, 0.10}
 	var rows [][]string
 	for _, name := range fig8Datasets {
@@ -124,7 +126,7 @@ type ftpHourSpec struct {
 
 // Fig10 regenerates Fig. 10 for the LBL PKT analogs (few hundred
 // bursts per trace: volatile upper-tail shares).
-func Fig10() string {
+func Fig10(ctx context.Context) string {
 	specs := []ftpHourSpec{
 		{"LBL-PKT-1", 101, 2, 90}, {"LBL-PKT-2", 102, 2, 90},
 		{"LBL-PKT-3", 103, 2, 90}, {"LBL-PKT-5", 105, 1, 110},
@@ -134,7 +136,7 @@ func Fig10() string {
 
 // Fig11 regenerates Fig. 11 for the DEC WRL analogs (thousands of
 // bursts: large-number laws make the shares steadier).
-func Fig11() string {
+func Fig11(ctx context.Context) string {
 	specs := []ftpHourSpec{
 		{"DEC-WRL-1", 111, 1, 450}, {"DEC-WRL-2", 112, 1, 450},
 		{"DEC-WRL-3", 113, 1, 450}, {"DEC-WRL-4", 114, 1, 450},
@@ -157,7 +159,7 @@ func connTraceWindow(conns []trace.Conn, horizon float64) *trace.ConnTrace {
 // Pareto fit of connections-per-burst, and the test of whether the
 // largest 0.5% of LBL-6 bursts arrive as a Poisson process in
 // burst-count coordinates (paper: it fails).
-func Sec6Tail() string {
+func Sec6Tail(ctx context.Context) string {
 	tr := datasets.Conn("LBL-6")
 	bursts := core.ExtractBursts(tr, core.DefaultBurstCutoff)
 	sizes := core.BurstSizesDescending(bursts)

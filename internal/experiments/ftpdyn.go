@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"sort"
@@ -18,7 +20,7 @@ import (
 // congestion-window sawtooth varying each connection's rate over its
 // lifetime, and (3) different connections achieving quite different
 // average rates.
-func FTPDynamics() string {
+func FTPDynamics(ctx context.Context) string {
 	var out strings.Builder
 	path := tcp.DefaultPath()
 	out.WriteString(fmt.Sprintf(

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -26,7 +28,7 @@ import (
 //     long period of fairly low traffic rates" when the measured class
 //     is long-range dependent (the paper's California-earthquake
 //     analogy).
-func Implications() string {
+func Implications(ctx context.Context) string {
 	var out strings.Builder
 	rng := rand.New(rand.NewSource(41))
 

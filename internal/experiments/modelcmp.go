@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -17,7 +19,7 @@ import (
 // fractional ARIMA processes", and cross-check the Hurst estimate with
 // R/S analysis. Three estimators (Whittle-fGn, Whittle-fARIMA, R/S pox
 // slope) and two goodness-of-fit verdicts per trace.
-func ModelComparison() string {
+func ModelComparison(ctx context.Context) string {
 	var out strings.Builder
 	out.WriteString("Hurst estimates and goodness-of-fit under two self-similar models\n")
 	out.WriteString("(counts aggregated to <= 8192 bins before spectral fitting)\n\n")

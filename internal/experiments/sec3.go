@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"sort"
@@ -19,7 +21,7 @@ import (
 // ... we would find the session arrivals to be Poisson". The synthetic
 // generator links connections to sessions, so the conjecture is
 // directly checkable.
-func Sec3X11() string {
+func Sec3X11(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(34))
 	const days = 10
 	horizon := float64(days) * 86400
@@ -52,7 +54,7 @@ func Sec3X11() string {
 // the periodic "weather-map" FTP traffic must be removed before
 // testing, because timer-driven periodicity destroys the Poisson
 // character of the remaining user-initiated sessions.
-func Sec3Weather() string {
+func Sec3Weather(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(32))
 	const days = 10
 	horizon := float64(days) * 86400

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -19,11 +21,12 @@ import (
 // an RNG seeded from its name (see internal/datasets), so per-slot
 // results and hence the rendered figure are independent of the worker
 // count.
-func figVT(title string, names []string) string {
+func figVT(ctx context.Context, title string, names []string) string {
 	type vtResult struct {
 		pts     []stats.VTPoint
 		verdict string
 	}
+	analyze := phase(ctx, "analyze")
 	results := par.MapSlots(len(names), 0, func(i int) vtResult {
 		name := names[i]
 		tr := datasets.Packet(name)
@@ -46,6 +49,8 @@ func figVT(title string, names []string) string {
 			ss.Whittle.BeranZ, fgn, lsc)
 		return vtResult{pts: pts, verdict: verdict}
 	})
+	analyze()
+	defer phase(ctx, "render")()
 	series := map[string][]stats.VTPoint{}
 	var verdicts strings.Builder
 	for i, name := range names {
@@ -56,14 +61,14 @@ func figVT(title string, names []string) string {
 }
 
 // Fig12 regenerates Fig. 12 on the LBL PKT analogs.
-func Fig12() string {
-	return figVT("Variance-time plot, all TCP / all link-level packets, LBL PKT analogs",
+func Fig12(ctx context.Context) string {
+	return figVT(ctx, "Variance-time plot, all TCP / all link-level packets, LBL PKT analogs",
 		[]string{"LBL-PKT-1", "LBL-PKT-2", "LBL-PKT-3", "LBL-PKT-4", "LBL-PKT-5"})
 }
 
 // Fig13 regenerates Fig. 13 on the DEC WRL analogs.
-func Fig13() string {
-	return figVT("Variance-time plot, all link-level packets, DEC WRL analogs",
+func Fig13(ctx context.Context) string {
+	return figVT(ctx, "Variance-time plot, all link-level packets, DEC WRL analogs",
 		[]string{"DEC-WRL-1", "DEC-WRL-2", "DEC-WRL-3", "DEC-WRL-4"})
 }
 
@@ -97,7 +102,7 @@ func paretoRenewalFigure(title string, b float64, bins int) string {
 }
 
 // Fig14 regenerates Fig. 14 (bin width 10^3).
-func Fig14() string {
+func Fig14(ctx context.Context) string {
 	return paretoRenewalFigure("Pareto-renewal count process", 1e3, 800)
 }
 
@@ -106,7 +111,7 @@ func Fig14() string {
 // the scaling regime is identical, and EXPERIMENTS.md records the
 // substitution. The paper measured burst lengths growing by only ~2.6x
 // and lull lengths by ~1.2x across its 10^4x span.
-func Fig15() string {
+func Fig15(ctx context.Context) string {
 	return paretoRenewalFigure("Pareto-renewal count process", 1e6, 800)
 }
 
@@ -114,7 +119,7 @@ func Fig15() string {
 // shapes: over a 100x growth in bin width, β=2 bursts grow ~linearly
 // (until they saturate the window), β=1 logarithmically, and β=1/2 not
 // at all, while lull lengths (in bins) stay invariant for β <= 1.
-func AppendixC() string {
+func AppendixC(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(15))
 	const bins = 2000
 	measure := func(beta, b float64) (burst, lull float64) {
@@ -152,7 +157,7 @@ func AppendixC() string {
 // AppendixDE contrasts the M/G/∞ count process with Pareto lifetimes
 // (long-range dependent, H = (3-β)/2) against log-normal lifetimes
 // (long-tailed but NOT long-range dependent, Appendix E).
-func AppendixDE() string {
+func AppendixDE(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(16))
 	n := 1 << 15
 	var out strings.Builder

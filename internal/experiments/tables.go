@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"wantraffic/internal/datasets"
@@ -9,7 +11,7 @@ import (
 
 // Table1 regenerates Table I: for each synthetic connection dataset,
 // its duration and connection count, with a per-protocol breakdown.
-func Table1() string {
+func Table1(ctx context.Context) string {
 	rows := [][]string{}
 	for _, spec := range datasets.TableI() {
 		tr := datasets.BuildConn(spec)
@@ -35,7 +37,7 @@ func Table1() string {
 
 // Table2 regenerates Table II: each packet trace's duration, packet
 // count and scope (TCP-only vs all link-level packets).
-func Table2() string {
+func Table2(ctx context.Context) string {
 	rows := [][]string{}
 	for _, spec := range datasets.TableII() {
 		tr := datasets.BuildPacket(spec)

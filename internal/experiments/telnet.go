@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"sort"
@@ -38,7 +40,7 @@ func telnetInterarrivalsFromTrace(tr *trace.PacketTrace) []float64 {
 // the two exponential fits (matched geometric mean, "fit #1", and
 // matched arithmetic mean, "fit #2"), plus the quantile facts the
 // paper quotes.
-func Fig3() string {
+func Fig3(ctx context.Context) string {
 	tr := datasets.Packet("LBL-PKT-1")
 	inter := telnetInterarrivalsFromTrace(tr)
 	lib := tcplib.TelnetInterarrivals()
@@ -100,7 +102,7 @@ func logf(x float64) float64 {
 // paper plots dot rows; we report the clustering summary that makes
 // the visual contrast quantitative: with similar packet counts, the
 // Tcplib connection occupies far fewer 1 s bins (its packets clump).
-func Fig4() string {
+func Fig4(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(4))
 	horizon := 2000.0
 	gen := func(scheme model.Scheme) []float64 {
@@ -162,7 +164,7 @@ func Fig4() string {
 // connections active for 10 minutes; counts per 1 s interval have mean
 // ≈ 92 with variance ≈ 240 under Tcplib interarrivals versus ≈ 97
 // under exponential.
-func Sec4Mux() string {
+func Sec4Mux(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(44))
 	horizon := 600.0
 	var out strings.Builder
@@ -220,16 +222,21 @@ func fig5Reference(rng *rand.Rand) (ref *trace.PacketTrace, specs []model.ConnSp
 // against TCPLIB, EXP and VAR-EXP syntheses with matched connection
 // start times and sizes. TCPLIB tracks the trace; EXP and VAR-EXP lose
 // variance across a wide range of time scales.
-func Fig5() string {
+func Fig5(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(5))
+	reference := phase(ctx, "reference")
 	ref, specs := fig5Reference(rng)
 	const horizon = 7200.0
 	series := map[string][]stats.VTPoint{}
 	series["trace"] = vtOfTimes(ref.Times(trace.Telnet), 0.1, horizon)
+	reference()
+	synth := phase(ctx, "synthesize")
 	for _, scheme := range []model.Scheme{model.SchemeTcplib, model.SchemeExp, model.SchemeVarExp} {
 		tr := model.Synthesize(rng, scheme.String(), specs, scheme, horizon)
 		series[scheme.String()] = vtOfTimes(tr.Times(trace.Telnet), 0.1, horizon)
 	}
+	synth()
+	defer phase(ctx, "render")()
 	names := []string{"trace", "TCPLIB", "EXP", "VAR-EXP"}
 	out := "Variance-time plot, TELNET packets, 0.1 s bins (log10 normalized variance)\n" +
 		renderVT(names, series)
@@ -240,7 +247,7 @@ func Fig5() string {
 // Fig6 regenerates Fig. 6: the packet counts per 5 s interval for the
 // reference trace versus the EXP synthesis — similar means, very
 // different variances (paper: means 59/57, variances 672/260).
-func Fig6() string {
+func Fig6(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(5)) // same reference as Fig5
 	ref, specs := fig5Reference(rng)
 	const horizon = 7200.0
@@ -256,7 +263,7 @@ func Fig6() string {
 
 // Fig7 regenerates Fig. 7: FULL-TEL runs versus the reference trace,
 // compared on the second hour via variance-time curves.
-func Fig7() string {
+func Fig7(ctx context.Context) string {
 	rng := rand.New(rand.NewSource(7))
 	refFull, _ := fig5Reference(rng)
 	secondHour := func(tr *trace.PacketTrace) []float64 {
@@ -271,12 +278,14 @@ func Fig7() string {
 	series := map[string][]stats.VTPoint{}
 	series["trace"] = vtOfTimes(secondHour(refFull), 0.1, 3600)
 	names := []string{"trace"}
+	fulltel := phase(ctx, "fulltel")
 	for run := 1; run <= 3; run++ {
 		ft := model.FullTelnet(rng, "FULL-TEL", 273.0/2, 7200)
 		name := fmt.Sprintf("FULL-TEL-%d", run)
 		series[name] = vtOfTimes(secondHour(ft), 0.1, 3600)
 		names = append(names, name)
 	}
+	fulltel()
 	return "Variance-time plot, 2nd hour, trace vs three FULL-TEL runs\n" +
 		renderVT(names, series) +
 		"FULL-TEL reproduces the trace's burstiness across time scales (slightly burstier for M > 100, as in the paper).\n"

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+
+	"wantraffic/internal/obs"
 )
 
 // ErrInjected is the default error delivered by FailAfter wrappers.
@@ -48,6 +50,12 @@ type Plan struct {
 	// ShortReads delivers each Read in a random prefix of the buffer,
 	// exercising resumption logic in consumers.
 	ShortReads bool
+	// Metrics, when non-nil, counts every injected fault by kind into
+	// fault.* counters (fault.bitflips, fault.linedrops,
+	// fault.truncations, fault.errors, fault.shortreads) — the
+	// injection side of the ledger a chaos run's decode metrics are
+	// reconciled against. Counting never changes the injected bytes.
+	Metrics *obs.Registry
 }
 
 // NewReader wraps r with the plan's faults. Wrappers compose in a
@@ -56,23 +64,28 @@ type Plan struct {
 func NewReader(r io.Reader, p Plan) io.Reader {
 	if p.DropLineRate > 0 {
 		r = &lineDropReader{br: bufio.NewReader(r), rng: rand.New(rand.NewSource(p.Seed + 1)),
-			rate: p.DropLineRate, keepFirst: p.KeepFirstLine, first: true}
+			rate: p.DropLineRate, keepFirst: p.KeepFirstLine, first: true,
+			drops: p.Metrics.Counter("fault.linedrops")}
 	}
 	if p.BitFlipRate > 0 {
-		r = &bitFlipReader{r: r, rng: rand.New(rand.NewSource(p.Seed + 2)), rate: p.BitFlipRate}
+		r = &bitFlipReader{r: r, rng: rand.New(rand.NewSource(p.Seed + 2)), rate: p.BitFlipRate,
+			flips: p.Metrics.Counter("fault.bitflips")}
 	}
 	if p.TruncateAfter > 0 {
-		r = &truncateReader{r: r, remain: p.TruncateAfter}
+		r = &truncateReader{r: r, remain: p.TruncateAfter,
+			truncations: p.Metrics.Counter("fault.truncations")}
 	}
 	if p.FailAfter > 0 {
 		err := p.FailWith
 		if err == nil {
 			err = ErrInjected
 		}
-		r = &failReader{r: r, remain: p.FailAfter, err: err}
+		r = &failReader{r: r, remain: p.FailAfter, err: err,
+			errors: p.Metrics.Counter("fault.errors")}
 	}
 	if p.ShortReads {
-		r = &shortReader{r: r, rng: rand.New(rand.NewSource(p.Seed + 3))}
+		r = &shortReader{r: r, rng: rand.New(rand.NewSource(p.Seed + 3)),
+			shorts: p.Metrics.Counter("fault.shortreads")}
 	}
 	return r
 }
@@ -81,21 +94,28 @@ func NewReader(r io.Reader, p Plan) io.Reader {
 // silent truncation (bytes accepted but discarded — a torn write),
 // and injected failure. ShortReads and DropLineRate do not apply.
 func NewWriter(w io.Writer, p Plan) io.Writer {
-	out := io.Writer(&planWriter{w: w, plan: p})
+	pw := &planWriter{w: w, plan: p,
+		flips:  p.Metrics.Counter("fault.bitflips"),
+		errors: p.Metrics.Counter("fault.errors")}
 	if p.BitFlipRate > 0 {
-		pw := out.(*planWriter)
 		pw.rng = rand.New(rand.NewSource(p.Seed + 4))
 	}
-	return out
+	return pw
 }
 
 type truncateReader struct {
-	r      io.Reader
-	remain int64
+	r           io.Reader
+	remain      int64
+	truncations *obs.Counter
+	counted     bool
 }
 
 func (t *truncateReader) Read(p []byte) (int, error) {
 	if t.remain <= 0 {
+		if !t.counted {
+			t.counted = true
+			t.truncations.Inc()
+		}
 		return 0, io.EOF
 	}
 	if int64(len(p)) > t.remain {
@@ -107,13 +127,19 @@ func (t *truncateReader) Read(p []byte) (int, error) {
 }
 
 type failReader struct {
-	r      io.Reader
-	remain int64
-	err    error
+	r       io.Reader
+	remain  int64
+	err     error
+	errors  *obs.Counter
+	counted bool
 }
 
 func (f *failReader) Read(p []byte) (int, error) {
 	if f.remain <= 0 {
+		if !f.counted {
+			f.counted = true
+			f.errors.Inc()
+		}
 		return 0, f.err
 	}
 	if int64(len(p)) > f.remain {
@@ -125,9 +151,10 @@ func (f *failReader) Read(p []byte) (int, error) {
 }
 
 type bitFlipReader struct {
-	r    io.Reader
-	rng  *rand.Rand
-	rate float64
+	r     io.Reader
+	rng   *rand.Rand
+	rate  float64
+	flips *obs.Counter
 }
 
 func (b *bitFlipReader) Read(p []byte) (int, error) {
@@ -137,19 +164,25 @@ func (b *bitFlipReader) Read(p []byte) (int, error) {
 	for i := 0; i < n; i++ {
 		if b.rng.Float64() < b.rate {
 			p[i] ^= 1 << uint(b.rng.Intn(8))
+			b.flips.Inc()
 		}
 	}
 	return n, err
 }
 
 type shortReader struct {
-	r   io.Reader
-	rng *rand.Rand
+	r      io.Reader
+	rng    *rand.Rand
+	shorts *obs.Counter
 }
 
 func (s *shortReader) Read(p []byte) (int, error) {
 	if len(p) > 1 {
-		p = p[:1+s.rng.Intn(len(p))]
+		short := 1 + s.rng.Intn(len(p))
+		if short < len(p) {
+			s.shorts.Inc()
+		}
+		p = p[:short]
 	}
 	return s.r.Read(p)
 }
@@ -164,6 +197,7 @@ type lineDropReader struct {
 	first     bool
 	pending   []byte
 	done      error
+	drops     *obs.Counter
 }
 
 func (l *lineDropReader) Read(p []byte) (int, error) {
@@ -183,7 +217,9 @@ func (l *lineDropReader) Read(p []byte) (int, error) {
 			drop = false
 		}
 		l.first = false
-		if !drop {
+		if drop {
+			l.drops.Inc()
+		} else {
 			l.pending = line
 		}
 	}
@@ -199,6 +235,9 @@ type planWriter struct {
 	plan    Plan
 	rng     *rand.Rand
 	written int64
+	flips   *obs.Counter
+	errors  *obs.Counter
+	failed  bool
 }
 
 func (pw *planWriter) Write(p []byte) (int, error) {
@@ -206,6 +245,10 @@ func (pw *planWriter) Write(p []byte) (int, error) {
 		err := pw.plan.FailWith
 		if err == nil {
 			err = ErrInjected
+		}
+		if !pw.failed {
+			pw.failed = true
+			pw.errors.Inc()
 		}
 		return 0, err
 	}
@@ -215,6 +258,7 @@ func (pw *planWriter) Write(p []byte) (int, error) {
 		for i := range buf {
 			if pw.rng.Float64() < pw.plan.BitFlipRate {
 				buf[i] ^= 1 << uint(pw.rng.Intn(8))
+				pw.flips.Inc()
 			}
 		}
 	}
@@ -256,6 +300,10 @@ func (pw *planWriter) Write(p []byte) (int, error) {
 		ferr := pw.plan.FailWith
 		if ferr == nil {
 			ferr = ErrInjected
+		}
+		if !pw.failed {
+			pw.failed = true
+			pw.errors.Inc()
 		}
 		return n, ferr
 	}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON format chrome://tracing and
+// Perfetto load directly. Spans become complete events ("ph":"X"),
+// span events become instant events ("ph":"i"). Timestamps are
+// microseconds from the tracer's epoch, so a fixed test clock pins
+// the bytes exactly.
+//
+// Each root span is assigned a "thread" lane by greedy interval
+// coloring — concurrently-running jobs land on different lanes so the
+// viewer shows the pipeline's real parallelism — and nested spans
+// inherit their root's lane.
+
+// chromeEvent is one trace-event record. Field order matters only for
+// readability; ordering of the events array is the deterministic part.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   *int64            `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace exports every span as Chrome trace-event JSON. The
+// output is deterministic modulo timestamps: events sort by (ts, span
+// ID), args keys are sorted by the JSON encoder, and lane assignment
+// depends only on span start/end times and IDs.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	roots := t.Roots()
+	// Greedy lane assignment: walk roots in stable order, place each
+	// on the first lane whose previous occupant has ended.
+	var laneEnds []int64
+	var events []chromeEvent
+	for _, r := range roots {
+		start, end := t.spanInterval(r)
+		lane := -1
+		for i, le := range laneEnds {
+			if le <= start {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnds)
+			laneEnds = append(laneEnds, 0)
+		}
+		laneEnds[lane] = end
+		events = t.appendSpan(events, r, lane+1)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	return json.MarshalIndent(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// spanInterval returns the span's [start, end] as microseconds from
+// the epoch; an unended span gets a zero-length interval.
+func (t *Tracer) spanInterval(s *Span) (start, end int64) {
+	start = s.start.Sub(t.epoch).Microseconds()
+	endTime, ended, _, _, _ := s.snapshot()
+	end = start
+	if ended {
+		end = endTime.Sub(t.epoch).Microseconds()
+	}
+	return start, end
+}
+
+// appendSpan emits the span, its events, and its children onto lane
+// tid, depth-first in stable order.
+func (t *Tracer) appendSpan(events []chromeEvent, s *Span, tid int) []chromeEvent {
+	endTime, ended, attrs, spanEvents, children := s.snapshot()
+	ts := s.start.Sub(t.epoch).Microseconds()
+	var args map[string]string
+	if len(attrs) > 0 {
+		args = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			args[a.Key] = a.Value
+		}
+	}
+	ev := chromeEvent{Name: s.name, Cat: "span", Phase: "X", TS: ts, PID: 1, TID: tid, Args: args}
+	var dur int64
+	if ended {
+		dur = endTime.Sub(s.start).Microseconds()
+	}
+	ev.Dur = &dur
+	events = append(events, ev)
+	for _, e := range spanEvents {
+		events = append(events, chromeEvent{
+			Name: e.Name, Cat: "event", Phase: "i",
+			TS: e.Time.Sub(t.epoch).Microseconds(), PID: 1, TID: tid, Scope: "t",
+		})
+	}
+	sortSpans(children)
+	for _, c := range children {
+		events = t.appendSpan(events, c, tid)
+	}
+	return events
+}

@@ -1,0 +1,54 @@
+// Package obs is the repo's stdlib-only instrumentation layer: a span
+// tracer and a metrics registry, both goroutine-safe, both designed so
+// their exports are deterministic modulo timestamps.
+//
+// The paper's whole argument rests on careful measurement (Section II
+// and Appendix A agonize over what the instrumentation can and cannot
+// see), so the reproduction's own pipeline gets the same discipline:
+// every experiment's provenance and cost is observable, not inferred.
+//
+// Spans are carried via context.Context. A nil *Span (no tracer
+// installed) is a valid receiver whose methods no-op, so instrumented
+// code pays one pointer check when observability is off:
+//
+//	ctx, sp := obs.StartSpan(ctx, "job:fig2")
+//	defer sp.End()
+//	sp.SetAttr("proto", "TELNET")
+//
+// Metrics are named counters, gauges and fixed-bucket histograms.
+// A nil *Registry (and the nil instruments it returns) likewise
+// no-ops, and hot loops should resolve instruments once, outside the
+// loop — lookup is a map access under RWMutex, Add/Observe are
+// lock-free atomics.
+//
+// Determinism contract (enforced by the golden tests): span IDs are
+// assigned sequentially from a seedable origin, the clock is
+// injectable, and every export — the human-readable tree, the Chrome
+// trace-event JSON, the metrics JSON snapshot and text table — orders
+// its elements stably (by start time then ID for spans, by name for
+// metrics). Under a fixed test clock the exports are byte-identical
+// run to run; under the wall clock only the timestamps vary.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies timestamps; injectable for deterministic tests.
+type Clock func() time.Time
+
+// StepClock returns a fake clock for golden tests: the first call
+// returns epoch, each subsequent call advances by step. It is
+// goroutine-safe, but deterministic output of course requires
+// deterministic call order (serial code).
+func StepClock(epoch time.Time, step time.Duration) Clock {
+	var n atomic.Int64
+	return func() time.Time {
+		k := n.Add(1) - 1
+		return epoch.Add(time.Duration(k) * step)
+	}
+}
+
+// TestEpoch is the conventional fixed epoch used by golden tests.
+var TestEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartProgress launches a stderr-style ticker for long runs: every
+// interval it prints one compact line from the registry's runner
+// counters —
+//
+//	progress: 12/30 jobs done (11 ok, 2 retries), elapsed 34s
+//
+// It reads the metric names the runner maintains ("runner.jobs.total"
+// gauge, "runner.jobs.done"/"runner.jobs.ok"/"runner.retries"
+// counters); with no runner activity it still reports elapsed time.
+// The returned stop function halts the ticker, prints a final line,
+// and is safe to call more than once.
+func StartProgress(w io.Writer, reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil || interval <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	line := func() {
+		total := int64(reg.Gauge("runner.jobs.total").Value())
+		done := reg.Counter("runner.jobs.done").Value()
+		ok := reg.Counter("runner.jobs.ok").Value()
+		retries := reg.Counter("runner.retries").Value()
+		elapsed := time.Since(start).Round(time.Second)
+		if total > 0 {
+			fmt.Fprintf(w, "progress: %d/%d jobs done (%d ok, %d retries), elapsed %s\n",
+				done, total, ok, retries, elapsed)
+		} else {
+			fmt.Fprintf(w, "progress: elapsed %s\n", elapsed)
+		}
+	}
+	t := time.NewTicker(interval)
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-t.C:
+				line()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.Stop()
+			close(quit)
+			wg.Wait()
+			line()
+		})
+	}
+}

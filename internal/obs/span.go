@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects spans. The zero value is not usable; construct with
+// NewTracer (wall clock) or NewTracerClock (injected clock, for
+// deterministic tests). All methods are goroutine-safe.
+type Tracer struct {
+	clock  Clock
+	epoch  time.Time
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns a tracer on the wall clock with span IDs from 1.
+func NewTracer() *Tracer { return NewTracerClock(time.Now) }
+
+// NewTracerClock returns a tracer on the given clock. The first clock
+// reading becomes the tracer's epoch: exported timestamps are offsets
+// from it, so a fixed test clock yields byte-identical exports.
+func NewTracerClock(clock Clock) *Tracer {
+	return &Tracer{clock: clock, epoch: clock()}
+}
+
+// SeedIDs sets the next span ID to be assigned. IDs are sequential
+// from this origin; the default origin is 1. Call before any spans
+// start.
+func (t *Tracer) SeedIDs(next int64) { t.nextID.Store(next - 1) }
+
+// Span is one timed operation, possibly nested. A nil *Span is a
+// valid receiver: all methods no-op, so instrumented code needs no
+// "is tracing on" branches.
+type Span struct {
+	tracer *Tracer
+	id     int64
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	attrs    []Attr
+	events   []Event
+	children []*Span
+}
+
+// Attr is one key=value span annotation. Values are strings so every
+// export formats them identically.
+type Attr struct {
+	Key, Value string
+}
+
+// Event is a point-in-time marker within a span.
+type Event struct {
+	Time time.Time
+	Name string
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer installs the tracer into the context; StartSpan calls
+// below this context create spans in it. A nil tracer returns ctx
+// unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer installed in ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the current span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan starts a span named name as a child of the context's
+// current span (or as a root span of the context's tracer). Without a
+// tracer it returns (ctx, nil) — the nil span no-ops — so call sites
+// are unconditional.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	var t *Tracer
+	if parent != nil {
+		t = parent.tracer
+	} else if t = TracerFrom(ctx); t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		name:   name,
+		start:  t.clock(),
+	}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	} else {
+		t.mu.Lock()
+		t.roots = append(t.roots, s)
+		t.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// End marks the span finished. Second and later calls are no-ops, so
+// `defer sp.End()` composes with an explicit early End.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.tracer.clock()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. Attributes keep insertion order.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, value})
+	s.mu.Unlock()
+}
+
+// SetAttrInt annotates the span with an integer value.
+func (s *Span) SetAttrInt(key string, v int64) {
+	s.SetAttr(key, fmt.Sprintf("%d", v))
+}
+
+// Event records a point-in-time marker within the span.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	now := s.tracer.clock()
+	s.mu.Lock()
+	s.events = append(s.events, Event{Time: now, Name: name})
+	s.mu.Unlock()
+}
+
+// snapshot copies the span's mutable state for export.
+func (s *Span) snapshot() (end time.Time, ended bool, attrs []Attr, events []Event, children []*Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end, s.ended, append([]Attr(nil), s.attrs...),
+		append([]Event(nil), s.events...), append([]*Span(nil), s.children...)
+}
+
+// sortSpans orders spans stably: by start time, then ID (IDs are
+// unique, so the order is total). This is the determinism rule every
+// export shares — under a fixed clock it is reproducible; under the
+// wall clock it reflects actual start order.
+func sortSpans(spans []*Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].start.Equal(spans[j].start) {
+			return spans[i].start.Before(spans[j].start)
+		}
+		return spans[i].id < spans[j].id
+	})
+}
+
+// Roots returns the tracer's top-level spans in stable order.
+func (t *Tracer) Roots() []*Span {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	sortSpans(roots)
+	return roots
+}
+
+// Tree renders the span forest as an indented, human-readable tree:
+//
+//	run (3ms) workers=2
+//	  job:table1 (1ms)
+//	    attempt:1 (1ms)
+//	      · retry
+//
+// Durations come from the tracer's clock; an unended span renders
+// with "(unended)". Children are in stable (start, ID) order.
+func (t *Tracer) Tree() string {
+	var b strings.Builder
+	for _, r := range t.Roots() {
+		writeTree(&b, r, 0)
+	}
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, s *Span, depth int) {
+	end, ended, attrs, events, children := s.snapshot()
+	indent := strings.Repeat("  ", depth)
+	dur := "(unended)"
+	if ended {
+		dur = fmt.Sprintf("(%s)", end.Sub(s.start))
+	}
+	fmt.Fprintf(b, "%s%s %s", indent, s.name, dur)
+	for _, a := range attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, e := range events {
+		fmt.Fprintf(b, "%s  · %s @%s\n", indent, e.Name, e.Time.Sub(s.tracer.epoch))
+	}
+	sortSpans(children)
+	for _, c := range children {
+		writeTree(b, c, depth+1)
+	}
+}

@@ -1,8 +1,10 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -60,4 +62,58 @@ func TestForEachPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestForEachHooked(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		taskCalls := 0
+		seen := make(map[int]bool)
+		workerTasks := 0
+		workerCalls := 0
+		h := Hooks{
+			TaskDone: func(i, worker int, d time.Duration) {
+				mu.Lock()
+				defer mu.Unlock()
+				taskCalls++
+				seen[i] = true
+				if worker < 0 || worker >= workers {
+					t.Errorf("worker id %d out of range [0,%d)", worker, workers)
+				}
+				if d < 0 {
+					t.Errorf("negative task duration %v", d)
+				}
+			},
+			WorkerDone: func(worker int, busy time.Duration, tasks int) {
+				mu.Lock()
+				defer mu.Unlock()
+				workerCalls++
+				workerTasks += tasks
+			},
+		}
+		const n = 50
+		ForEachHooked(n, workers, h, func(i int) {})
+		if taskCalls != n || len(seen) != n {
+			t.Errorf("workers=%d: TaskDone fired %d times over %d indices, want %d", workers, taskCalls, len(seen), n)
+		}
+		if workerTasks != n {
+			t.Errorf("workers=%d: WorkerDone accounted %d tasks, want %d", workers, workerTasks, n)
+		}
+		if workerCalls != workers {
+			t.Errorf("workers=%d: WorkerDone fired %d times", workers, workerCalls)
+		}
+	}
+}
+
+func TestForEachHookedDeterminism(t *testing.T) {
+	// Hooks must not change the decomposition: slot outputs stay
+	// byte-identical to the unhooked run.
+	want := MapSlots(200, 1, func(i int) int { return i * i })
+	got := make([]int, 200)
+	ForEachHooked(200, 8, Hooks{TaskDone: func(int, int, time.Duration) {}}, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d differs under hooks", i)
+		}
+	}
 }

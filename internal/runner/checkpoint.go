@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"wantraffic/internal/obs"
 )
 
 // Checkpointing makes a long experiment run restartable: the engine
@@ -19,8 +21,9 @@ import (
 // worker pool and writes atomically (temp file + rename), so a crash
 // mid-write never corrupts the previous checkpoint.
 type checkpointer struct {
-	mu   sync.Mutex
-	path string
+	mu     sync.Mutex
+	path   string
+	writes *obs.Counter // runner.checkpoint.writes; nil no-ops
 }
 
 // record stores a result into its slot (i >= 0) and persists the
@@ -49,7 +52,11 @@ func (c *checkpointer) record(rep *Report, i int, res Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), c.path)
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return err
+	}
+	c.writes.Inc()
+	return nil
 }
 
 // LoadCheckpoint reads a checkpoint file and indexes its completed

@@ -8,7 +8,10 @@
 // obligations are to call each Run exactly once and to keep results in
 // slot order. Under those rules the outputs are byte-identical to a
 // serial run for any worker count — the golden suite and the root
-// determinism test enforce this.
+// determinism test enforce this. Instrumentation (Options.Tracer,
+// Options.Metrics) observes the run without participating in it:
+// spans and counters never feed back into job inputs, so an
+// instrumented run produces the same artifact bytes as a bare one.
 package runner
 
 import (
@@ -19,16 +22,21 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"text/tabwriter"
 	"time"
 
+	"wantraffic/internal/obs"
 	"wantraffic/internal/par"
 )
 
 // Job is one unit of work: an experiment driver with its identity.
+// Run receives the engine's context, which carries the job's span
+// (internal/obs) so drivers can open nested phase spans; pure drivers
+// may ignore it.
 type Job struct {
 	ID    string
 	Title string
-	Run   func() string
+	Run   func(ctx context.Context) string
 }
 
 // Result records one job's output and run metrics.
@@ -134,6 +142,45 @@ type Options struct {
 	// digest, skipping its execution. Restored results have Resumed
 	// set and empty Output text.
 	Resume bool
+	// Tracer, when non-nil, records a span tree for the run: a "run"
+	// root, one "job:<id>" span per executed job, one "attempt:<n>"
+	// span per execution, with retry/timeout/cancel events. The job
+	// context handed to Run carries the attempt span, so drivers can
+	// nest phase spans under it.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the engine's counters and
+	// histograms (runner.* and par.* names; see DESIGN.md §9).
+	Metrics *obs.Registry
+}
+
+// instr holds the engine's pre-resolved instruments so the hot path
+// never does a name lookup. All fields no-op when Options.Metrics is
+// nil (nil-receiver semantics in internal/obs).
+type instr struct {
+	jobsTotal                                                   *obs.Gauge
+	jobsDone, jobsOK, retries, timeouts, cancellations, resumed *obs.Counter
+	checkpointWrites, parTasks                                  *obs.Counter
+	queueWait, runDur, parTask, parBusy                         *obs.Histogram
+	parWorkers                                                  *obs.Gauge
+}
+
+func newInstr(reg *obs.Registry) *instr {
+	return &instr{
+		jobsTotal:        reg.Gauge("runner.jobs.total"),
+		jobsDone:         reg.Counter("runner.jobs.done"),
+		jobsOK:           reg.Counter("runner.jobs.ok"),
+		retries:          reg.Counter("runner.retries"),
+		timeouts:         reg.Counter("runner.timeouts"),
+		cancellations:    reg.Counter("runner.cancellations"),
+		resumed:          reg.Counter("runner.resumed"),
+		checkpointWrites: reg.Counter("runner.checkpoint.writes"),
+		queueWait:        reg.Histogram("runner.queue_wait_ms", nil),
+		runDur:           reg.Histogram("runner.run_ms", nil),
+		parTasks:         reg.Counter("par.tasks"),
+		parTask:          reg.Histogram("par.task_ms", nil),
+		parBusy:          reg.Histogram("par.worker.busy_ms", nil),
+		parWorkers:       reg.Gauge("par.workers"),
+	}
 }
 
 // Run executes the jobs and returns the report. Results hold slot
@@ -154,6 +201,14 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 		AllocsApprox: workers > 1,
 		Results:      make([]Result, len(jobs)),
 	}
+
+	in := newInstr(opts.Metrics)
+	in.jobsTotal.Set(float64(len(jobs)))
+	ctx = obs.WithTracer(ctx, opts.Tracer)
+	ctx, runSpan := obs.StartSpan(ctx, "run")
+	runSpan.SetAttrInt("jobs", int64(len(jobs)))
+	runSpan.SetAttrInt("workers", int64(workers))
+	defer runSpan.End()
 
 	// Resume: restore completed jobs from the checkpoint and only
 	// execute the remainder.
@@ -179,15 +234,35 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 			pending = append(pending, i)
 		}
 	}
+	in.resumed.Add(int64(rep.Resumed))
+	if rep.Resumed > 0 {
+		runSpan.SetAttrInt("resumed", int64(rep.Resumed))
+	}
 
-	var ckpt checkpointer
+	ckpt := checkpointer{writes: in.checkpointWrites}
 	if opts.Checkpoint != "" {
 		ckpt.path = opts.Checkpoint
 	}
 	start := time.Now()
-	par.ForEach(len(pending), workers, func(k int) {
+	in.parWorkers.Set(float64(workers))
+	hooks := par.Hooks{}
+	if opts.Metrics != nil {
+		hooks.TaskDone = func(i, worker int, d time.Duration) {
+			in.parTasks.Inc()
+			in.parTask.Observe(float64(d) / float64(time.Millisecond))
+		}
+		hooks.WorkerDone = func(worker int, busy time.Duration, tasks int) {
+			in.parBusy.Observe(float64(busy) / float64(time.Millisecond))
+		}
+	}
+	par.ForEachHooked(len(pending), workers, hooks, func(k int) {
 		i := pending[k]
-		res := runJob(ctx, jobs[i], opts)
+		in.queueWait.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		res := runJob(ctx, jobs[i], opts, in)
+		in.jobsDone.Inc()
+		if res.OK() {
+			in.jobsOK.Inc()
+		}
 		if ckpt.path == "" {
 			rep.Results[i] = res // disjoint slots: no locking needed
 			return
@@ -203,14 +278,25 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 	return rep
 }
 
-// runJob executes one job with the options' retry policy.
-func runJob(ctx context.Context, job Job, opts Options) Result {
+// runJob executes one job with the options' retry policy under a
+// "job:<id>" span.
+func runJob(ctx context.Context, job Job, opts Options, in *instr) Result {
+	ctx, jspan := obs.StartSpan(ctx, "job:"+job.ID)
+	defer jspan.End()
 	for attempt := 1; ; attempt++ {
-		res := runOne(ctx, job, opts.Timeout)
+		if attempt > 1 {
+			in.retries.Inc()
+			jspan.Event("retry")
+		}
+		res := runOne(ctx, job, opts.Timeout, attempt, in)
 		if res.Attempts != 0 { // 0 = canceled before start: never ran
 			res.Attempts = attempt
 		}
 		if res.OK() || !res.Retryable() || attempt > opts.Retries {
+			jspan.SetAttr("status", res.Status())
+			if res.Attempts > 1 {
+				jspan.SetAttrInt("attempts", int64(res.Attempts))
+			}
 			return res
 		}
 		if opts.Backoff > 0 {
@@ -220,21 +306,27 @@ func runJob(ctx context.Context, job Job, opts Options) Result {
 			case <-ctx.Done():
 				res.Canceled = true
 				res.Err = "canceled during retry backoff: " + ctx.Err().Error()
+				jspan.SetAttr("status", res.Status())
 				return res
 			}
 		}
 	}
 }
 
-// runOne executes a single job with metrics, timeout and cancellation.
-func runOne(ctx context.Context, job Job, timeout time.Duration) Result {
+// runOne executes a single job attempt with metrics, timeout and
+// cancellation. The attempt's span rides the context into job.Run, so
+// driver phase spans nest under it.
+func runOne(ctx context.Context, job Job, timeout time.Duration, attempt int, in *instr) Result {
 	res := Result{ID: job.ID, Title: job.Title}
 	if err := ctx.Err(); err != nil {
 		res.Canceled = true
 		res.Err = "canceled before start: " + err.Error()
+		in.cancellations.Inc()
 		return res
 	}
 	res.Attempts = 1
+	ctx, aspan := obs.StartSpan(ctx, fmt.Sprintf("attempt:%d", attempt))
+	defer aspan.End()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -250,7 +342,7 @@ func runOne(ctx context.Context, job Job, timeout time.Duration) Result {
 				done <- outcome{err: fmt.Errorf("panic: %v", r)}
 			}
 		}()
-		done <- outcome{out: job.Run()}
+		done <- outcome{out: job.Run(ctx)}
 	}()
 
 	var expired <-chan time.Time
@@ -262,10 +354,12 @@ func runOne(ctx context.Context, job Job, timeout time.Duration) Result {
 	select {
 	case o := <-done:
 		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		in.runDur.Observe(res.WallMS)
 		runtime.ReadMemStats(&after)
 		res.AllocBytes = after.TotalAlloc - before.TotalAlloc
 		if o.err != nil {
 			res.Err = o.err.Error()
+			aspan.SetAttr("error", o.err.Error())
 			return res
 		}
 		res.Output = o.out
@@ -276,10 +370,14 @@ func runOne(ctx context.Context, job Job, timeout time.Duration) Result {
 		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		res.TimedOut = true
 		res.Err = fmt.Sprintf("timed out after %s", timeout)
+		in.timeouts.Inc()
+		aspan.Event("timeout")
 	case <-ctx.Done():
 		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		res.Canceled = true
 		res.Err = "canceled: " + ctx.Err().Error()
+		in.cancellations.Inc()
+		aspan.Event("canceled")
 	}
 	return res
 }
@@ -301,7 +399,8 @@ func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
-// Text renders a human-readable metrics table.
+// Text renders a human-readable metrics table. Columns align for any
+// job-name length (text/tabwriter).
 func (r *Report) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "run: %d jobs, %d workers, wall %.1fs", len(r.Results), r.Workers, r.WallMS/1000)
@@ -313,7 +412,8 @@ func (r *Report) Text() string {
 	if r.AllocsApprox {
 		alloc = "allocs~" // overlapping deltas under parallelism
 	}
-	fmt.Fprintf(&b, "%-12s %9s %12s %10s  %s\n", "id", "wall", alloc, "output", "status")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "id\twall\t%s\toutput\tstatus\n", alloc)
 	for _, res := range r.Results {
 		// AllocBytes is zero for timed-out and canceled jobs — the
 		// abandoned goroutine is never measured (see the JSON schema
@@ -325,8 +425,9 @@ func (r *Report) Text() string {
 		if res.Attempts > 1 {
 			status += fmt.Sprintf(" (%d attempts)", res.Attempts)
 		}
-		fmt.Fprintf(&b, "%-12s %8.2fs %11.1fM %9dB  %s\n",
+		fmt.Fprintf(w, "%s\t%.2fs\t%.1fM\t%dB\t%s\n",
 			res.ID, res.WallMS/1000, float64(res.AllocBytes)/1e6, res.OutputBytes, status)
 	}
+	w.Flush()
 	return b.String()
 }

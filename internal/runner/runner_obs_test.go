@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+// runnerMetricNames is the engine's full instrument set, pinned so a
+// rename or an accidentally dropped instrument fails loudly (DESIGN.md
+// §9 documents these names).
+var runnerMetricNames = []string{
+	"par.task_ms",
+	"par.tasks",
+	"par.worker.busy_ms",
+	"par.workers",
+	"runner.checkpoint.writes",
+	"runner.jobs.done",
+	"runner.jobs.ok",
+	"runner.jobs.total",
+	"runner.queue_wait_ms",
+	"runner.resumed",
+	"runner.retries",
+	"runner.run_ms",
+	"runner.timeouts",
+	"runner.cancellations",
+}
+
+func TestRunObservability(t *testing.T) {
+	tr := obs.NewTracerClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+	reg := obs.NewRegistry()
+	var calls atomic.Int32
+	jobs := []Job{
+		{ID: "flaky", Run: func(context.Context) string {
+			if calls.Add(1) == 1 {
+				panic("transient")
+			}
+			return "recovered"
+		}},
+		{ID: "steady", Run: func(ctx context.Context) string {
+			// A driver phase span must nest under the engine's attempt
+			// span via the job context.
+			_, sp := obs.StartSpan(ctx, "phase:analyze")
+			sp.End()
+			return "steady output"
+		}},
+	}
+	rep := Run(context.Background(), jobs, Options{
+		Workers: 1, Retries: 2, Backoff: time.Microsecond,
+		Tracer: tr, Metrics: reg,
+	})
+	if failed := rep.Failed(); len(failed) != 0 {
+		t.Fatalf("jobs failed: %v", failed)
+	}
+
+	tree := tr.Tree()
+	for _, want := range []string{
+		"run (", "jobs=2", "workers=1",
+		"  job:flaky", "status=ok", "attempts=2",
+		"    attempt:1", "error=panic: transient",
+		"    attempt:2",
+		"· retry",
+		"  job:steady",
+		"      phase:analyze",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+	if strings.Contains(tree, "(unended)") {
+		t.Errorf("span left unended:\n%s", tree)
+	}
+
+	// The Chrome export of the same run must be valid JSON with one
+	// complete event per span.
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("invalid Chrome trace: %v\n%s", err, raw)
+	}
+	spans := 0
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	// run + job:flaky + attempt:1 + attempt:2 + job:steady + attempt:1
+	// + phase:analyze = 7 spans.
+	if spans != 7 {
+		t.Errorf("Chrome trace has %d complete events, want 7:\n%s", spans, raw)
+	}
+
+	// Metric-name set is exact: nothing missing, nothing renamed.
+	got := reg.Names()
+	want := append([]string(nil), runnerMetricNames...)
+	if len(got) != len(want) {
+		t.Fatalf("registry names = %v, want %v", got, want)
+	}
+	wantSet := map[string]bool{}
+	for _, n := range want {
+		wantSet[n] = true
+	}
+	for _, n := range got {
+		if !wantSet[n] {
+			t.Errorf("unexpected metric %q", n)
+		}
+	}
+
+	for name, val := range map[string]int64{
+		"runner.jobs.done": 2,
+		"runner.jobs.ok":   2,
+		"runner.retries":   1,
+		"runner.timeouts":  0,
+		"par.tasks":        2,
+	} {
+		if got := reg.Counter(name).Value(); got != val {
+			t.Errorf("%s = %d, want %d", name, got, val)
+		}
+	}
+	if got := reg.Gauge("runner.jobs.total").Value(); got != 2 {
+		t.Errorf("runner.jobs.total = %v, want 2", got)
+	}
+}
+
+// TestRunUninstrumented pins the off switch: nil Tracer and Metrics
+// run the exact same path with every instrument a no-op.
+func TestRunUninstrumented(t *testing.T) {
+	rep := Run(context.Background(), fakeJobs(4), Options{Workers: 2})
+	if len(rep.Failed()) != 0 {
+		t.Fatalf("uninstrumented run failed: %v", rep.Failed())
+	}
+}

@@ -21,7 +21,7 @@ func fakeJobs(n int) []Job {
 		jobs[i] = Job{
 			ID:    fmt.Sprintf("job%02d", i),
 			Title: fmt.Sprintf("job number %d", i),
-			Run: func() string {
+			Run: func(context.Context) string {
 				s := 0.0
 				for j := 0; j < 2000; j++ {
 					s += float64(i+1) / float64(j+2)
@@ -69,8 +69,8 @@ func TestRunTimeout(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	jobs := []Job{
-		{ID: "fast", Run: func() string { return "ok" }},
-		{ID: "stuck", Run: func() string { <-block; return "late" }},
+		{ID: "fast", Run: func(context.Context) string { return "ok" }},
+		{ID: "stuck", Run: func(context.Context) string { <-block; return "late" }},
 	}
 	rep := Run(context.Background(), jobs, Options{Workers: 2, Timeout: 50 * time.Millisecond})
 	if !rep.Results[0].OK() || rep.Results[0].Output != "ok" {
@@ -90,7 +90,7 @@ func TestRunCancellation(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	var jobs []Job
-	jobs = append(jobs, Job{ID: "hang", Run: func() string { close(started); <-block; return "" }})
+	jobs = append(jobs, Job{ID: "hang", Run: func(context.Context) string { close(started); <-block; return "" }})
 	for i := 0; i < 5; i++ {
 		jobs = append(jobs, fakeJobs(6)[i])
 	}
@@ -113,8 +113,8 @@ func TestRunCancellation(t *testing.T) {
 
 func TestRunPanicIsolated(t *testing.T) {
 	jobs := []Job{
-		{ID: "boom", Run: func() string { panic("kaboom") }},
-		{ID: "fine", Run: func() string { return "fine output" }},
+		{ID: "boom", Run: func(context.Context) string { panic("kaboom") }},
+		{ID: "fine", Run: func(context.Context) string { return "fine output" }},
 	}
 	rep := Run(context.Background(), jobs, Options{Workers: 1})
 	if !strings.Contains(rep.Results[0].Err, "kaboom") {
@@ -127,7 +127,7 @@ func TestRunPanicIsolated(t *testing.T) {
 
 func TestRetryRecoversFlakyJob(t *testing.T) {
 	var calls atomic.Int32
-	jobs := []Job{{ID: "flaky", Run: func() string {
+	jobs := []Job{{ID: "flaky", Run: func(context.Context) string {
 		if calls.Add(1) < 3 {
 			panic("transient fault")
 		}
@@ -156,11 +156,11 @@ func TestRetryDeterministicOutput(t *testing.T) {
 	var calls atomic.Int32
 	jobs := fakeJobs(8)
 	flakyRun := jobs[3].Run
-	jobs[3].Run = func() string {
+	jobs[3].Run = func(jc context.Context) string {
 		if calls.Add(1)%2 == 1 {
 			panic("every other call fails")
 		}
-		return flakyRun()
+		return flakyRun(jc)
 	}
 	clean := Run(context.Background(), fakeJobs(8), Options{Workers: 2})
 	retried := Run(context.Background(), jobs, Options{Workers: 2, Retries: 3})
@@ -178,7 +178,7 @@ func TestTimeoutNotRetried(t *testing.T) {
 	var calls atomic.Int32
 	block := make(chan struct{})
 	defer close(block)
-	jobs := []Job{{ID: "stuck", Run: func() string { calls.Add(1); <-block; return "" }}}
+	jobs := []Job{{ID: "stuck", Run: func(context.Context) string { calls.Add(1); <-block; return "" }}}
 	rep := Run(context.Background(), jobs, Options{Workers: 1, Timeout: 30 * time.Millisecond, Retries: 5})
 	res := rep.Results[0]
 	if !res.TimedOut {
@@ -201,9 +201,9 @@ func TestCanceledStatusDistinctFromError(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	jobs := []Job{
-		{ID: "boom", Run: func() string { panic("kaboom") }},
-		{ID: "hang", Run: func() string { close(started); <-block; return "" }},
-		{ID: "queued", Run: func() string { return "never runs" }},
+		{ID: "boom", Run: func(context.Context) string { panic("kaboom") }},
+		{ID: "hang", Run: func(context.Context) string { close(started); <-block; return "" }},
+		{ID: "queued", Run: func(context.Context) string { return "never runs" }},
 	}
 	go func() {
 		<-started
@@ -246,7 +246,7 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	defer cancel()
 	jobs := fakeJobs(6)
 	job3 := jobs[3].Run
-	jobs[3].Run = func() string { cancel(); <-ctx.Done(); return job3() }
+	jobs[3].Run = func(jc context.Context) string { cancel(); <-ctx.Done(); return job3(jc) }
 	rep := Run(ctx, jobs, Options{Workers: 1, Checkpoint: ckpt})
 	if got := len(rep.Failed()); got != 3 {
 		t.Fatalf("interrupted run failed %d jobs, want 3", got)
@@ -265,7 +265,7 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	jobs = fakeJobs(6)
 	for i := range jobs {
 		run := jobs[i].Run
-		jobs[i].Run = func() string { reran.Add(1); return run() }
+		jobs[i].Run = func(jc context.Context) string { reran.Add(1); return run(jc) }
 	}
 	resumed := Run(context.Background(), jobs, Options{Workers: 2, Checkpoint: ckpt, Resume: true})
 	if got := reran.Load(); got != 3 {

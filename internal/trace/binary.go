@@ -57,10 +57,17 @@ func ReadConnTraceBinary(r io.Reader) (*ConnTrace, error) {
 // header's record count is satisfied yields the records that did
 // decode, with the shortfall accounted in DecodeStats; header errors
 // abort in both modes.
-func ReadConnTraceBinaryWith(r io.Reader, opts DecodeOptions) (*ConnTrace, DecodeStats, error) {
+func ReadConnTraceBinaryWith(r io.Reader, opts DecodeOptions) (_ *ConnTrace, stats DecodeStats, _ error) {
 	opts = opts.withDefaults()
-	stats := DecodeStats{maxErrors: opts.MaxErrors}
-	br := bufio.NewReader(r)
+	stats = DecodeStats{maxErrors: opts.MaxErrors}
+	cr := &countReader{r: r}
+	// Named stats + defer so every return path — header error, lenient
+	// shortfall, strict abort, success — records its totals.
+	defer func() {
+		stats.BytesRead = cr.n
+		stats.record(opts.Metrics)
+	}()
+	br := bufio.NewReader(cr)
 	name, horizon, count, err := readHeaderWith(br, connMagic, opts)
 	if err != nil {
 		return nil, stats, err
@@ -134,10 +141,15 @@ func ReadPacketTraceBinary(r io.Reader) (*PacketTrace, error) {
 // ReadPacketTraceBinaryWith decodes a binary packet trace under the
 // given options; see ReadConnTraceBinaryWith for the lenient
 // contract.
-func ReadPacketTraceBinaryWith(r io.Reader, opts DecodeOptions) (*PacketTrace, DecodeStats, error) {
+func ReadPacketTraceBinaryWith(r io.Reader, opts DecodeOptions) (_ *PacketTrace, stats DecodeStats, _ error) {
 	opts = opts.withDefaults()
-	stats := DecodeStats{maxErrors: opts.MaxErrors}
-	br := bufio.NewReader(r)
+	stats = DecodeStats{maxErrors: opts.MaxErrors}
+	cr := &countReader{r: r}
+	defer func() {
+		stats.BytesRead = cr.n
+		stats.record(opts.Metrics)
+	}()
+	br := bufio.NewReader(cr)
 	name, horizon, count, err := readHeaderWith(br, packetMagic, opts)
 	if err != nil {
 		return nil, stats, err

@@ -74,8 +74,9 @@ func parseConnLine(f []string, line int) (Conn, error) {
 func ReadConnTraceWith(r io.Reader, opts DecodeOptions) (*ConnTrace, DecodeStats, error) {
 	opts = opts.withDefaults()
 	stats := DecodeStats{maxErrors: opts.MaxErrors}
+	cr := &countReader{r: r}
 	var t *ConnTrace
-	err := scanTrace(r, "#conntrace", opts, &stats, func(name string, horizon float64) {
+	err := scanTrace(cr, "#conntrace", opts, &stats, func(name string, horizon float64) {
 		t = &ConnTrace{Name: name, Horizon: horizon}
 	}, func(f []string, line int) error {
 		c, err := parseConnLine(f, line)
@@ -85,6 +86,8 @@ func ReadConnTraceWith(r io.Reader, opts DecodeOptions) (*ConnTrace, DecodeStats
 		t.Conns = append(t.Conns, c)
 		return nil
 	})
+	stats.BytesRead = cr.n
+	stats.record(opts.Metrics)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -192,8 +195,9 @@ func parsePacketLine(f []string, line int) (Packet, error) {
 func ReadPacketTraceWith(r io.Reader, opts DecodeOptions) (*PacketTrace, DecodeStats, error) {
 	opts = opts.withDefaults()
 	stats := DecodeStats{maxErrors: opts.MaxErrors}
+	cr := &countReader{r: r}
 	var t *PacketTrace
-	err := scanTrace(r, "#pkttrace", opts, &stats, func(name string, horizon float64) {
+	err := scanTrace(cr, "#pkttrace", opts, &stats, func(name string, horizon float64) {
 		t = &PacketTrace{Name: name, Horizon: horizon}
 	}, func(f []string, line int) error {
 		p, err := parsePacketLine(f, line)
@@ -203,6 +207,8 @@ func ReadPacketTraceWith(r io.Reader, opts DecodeOptions) (*PacketTrace, DecodeS
 		t.Packets = append(t.Packets, p)
 		return nil
 	})
+	stats.BytesRead = cr.n
+	stats.record(opts.Metrics)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -1,6 +1,11 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+
+	"wantraffic/internal/obs"
+)
 
 // Decode hardening. The paper's own datasets were messy — truncated
 // traces, clock drift, dropped SYN/FIN records (Section II and the
@@ -35,6 +40,11 @@ type DecodeOptions struct {
 	// retains (the skip *counts* are always exact); 0 selects
 	// DefaultMaxErrors.
 	MaxErrors int
+	// Metrics, when non-nil, accumulates every decode's totals into
+	// trace.* counters (trace.lines.read, trace.records.kept,
+	// trace.records.skipped, trace.bytes.read) when the decode
+	// returns — including decodes that abort with an error.
+	Metrics *obs.Registry
 }
 
 // Default resource limits for DecodeOptions zero values.
@@ -70,6 +80,9 @@ type DecodeStats struct {
 	// RecordsSkipped is the number of malformed records dropped in
 	// lenient mode (always 0 in strict mode — the first one aborts).
 	RecordsSkipped int `json:"records_skipped"`
+	// BytesRead counts bytes drawn from the underlying reader,
+	// including any readahead buffered past the last decoded record.
+	BytesRead int64 `json:"bytes_read,omitempty"`
 	// Errors holds the first MaxErrors per-record error messages.
 	Errors []string `json:"errors,omitempty"`
 
@@ -82,6 +95,28 @@ func (s *DecodeStats) skip(err error) {
 	if len(s.Errors) < s.maxErrors {
 		s.Errors = append(s.Errors, err.Error())
 	}
+}
+
+// record publishes the decode totals into the registry. A nil
+// registry no-ops, so every reader calls this unconditionally.
+func (s *DecodeStats) record(reg *obs.Registry) {
+	reg.Counter("trace.lines.read").Add(int64(s.LinesRead))
+	reg.Counter("trace.records.kept").Add(int64(s.RecordsKept))
+	reg.Counter("trace.records.skipped").Add(int64(s.RecordsSkipped))
+	reg.Counter("trace.bytes.read").Add(s.BytesRead)
+}
+
+// countReader tallies bytes drawn from the underlying stream, the
+// source of DecodeStats.BytesRead.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // String summarizes the decode for logs and CLI output.
