@@ -198,3 +198,45 @@ func TestObsOutputsWritten(t *testing.T) {
 		t.Errorf("trace export missing decode/analyze spans: %s", raw)
 	}
 }
+
+// TestStreamMode pins the -stream satellite: the one-pass path
+// produces a summary (text and JSON) with the same exit-code contract
+// as the batch path.
+func TestStreamMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-stream", goodTrace(t)}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bytes", "arrivals"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stream summary missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	err := run([]string{"-stream", "-lenient", "-json", damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitPartial {
+		t.Fatalf("stream lenient damaged trace: exit %d, want %d (err: %v)", got, cli.ExitPartial, err)
+	}
+	var rep struct {
+		Kind   string `json:"kind"`
+		Decode struct {
+			RecordsSkipped int `json:"records_skipped"`
+		} `json:"decode_stats"`
+		Stream *struct {
+			Records int64 `json:"records"`
+		} `json:"stream"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-stream -json output invalid: %v\n%s", err, out.String())
+	}
+	if rep.Kind != "conn" || rep.Stream == nil || rep.Stream.Records != 2 || rep.Decode.RecordsSkipped != 1 {
+		t.Errorf("stream report = %+v, want conn, 2 streamed records, 1 skip", rep)
+	}
+
+	// Strict mode still aborts on damage.
+	err = run([]string{"-stream", damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitFailure {
+		t.Fatalf("stream strict damaged trace: exit %d, want %d (err: %v)", got, cli.ExitFailure, err)
+	}
+}

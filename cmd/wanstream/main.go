@@ -1,0 +1,156 @@
+// Command wanstream summarizes a trace file in one bounded-memory
+// pass through the sharded streaming pipeline (internal/stream). It
+// auto-detects the trace kind and encoding from the header.
+//
+// Where wanstats materializes the whole trace before analyzing it,
+// wanstream's accumulator state is independent of trace length: exact
+// moments, ε-approximate quantiles, log₂ histograms, a seeded sample,
+// the Appendix-A windowed arrival counts (rate, index of dispersion,
+// lag-1 autocorrelation) and the Section VII variance-time slope all
+// come out of a single pass over the records.
+//
+// Usage:
+//
+//	wanstream trace.conn
+//	wanstream -json trace.pkt
+//	wanstream -shards 8 -eps 0.002 big.conn
+//	wanstream -state sketch.json trace.conn   # persist the merged sketch
+//	wanstream -lenient damaged.conn           # skip malformed records
+//
+// The sketch state written by -state is the deterministic serialized
+// form: re-running with the same trace, seed and shard count yields a
+// byte-identical file. Exit codes follow the internal/cli contract:
+// 0 success, 1 hard failure, 2 usage error, 3 partial success
+// (-lenient skipped records; the summary still covers the rest).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"wantraffic/internal/cli"
+	"wantraffic/internal/obs"
+	"wantraffic/internal/stream"
+	"wantraffic/internal/trace"
+)
+
+func main() {
+	os.Exit(cli.Main("wanstream", run))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("wanstream", stderr)
+	shards := fs.Int("shards", stream.DefaultShards, "sketch shards (part of the deterministic decomposition)")
+	chunk := fs.Int("chunk", stream.DefaultChunkSize, "observations per fan-out chunk")
+	eps := fs.Float64("eps", stream.DefaultEpsilon, "quantile sketch rank-error bound")
+	reservoir := fs.Int("reservoir", stream.DefaultReservoirSize, "sample capacity per dimension")
+	seed := fs.Int64("seed", 1, "reservoir sampling seed")
+	window := fs.Float64("window", 1, "arrival-count window (s)")
+	bin := fs.Float64("bin", 0, "variance-time base bin (s); 0 selects 1 s for conn, 0.01 s for packet traces")
+	lenient := fs.Bool("lenient", false, "skip malformed records (with accounting) instead of aborting")
+	maxLine := fs.Int("max-line-bytes", trace.DefaultMaxLineBytes, "hard limit on a single trace line")
+	maxRecords := fs.Int("max-records", trace.DefaultMaxRecords, "hard limit on decoded records")
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON")
+	statePath := fs.String("state", "", "also write the merged sketch state (deterministic JSON) to this file")
+	obsFlags := cli.RegisterObs(fs)
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := cli.FirstErr(
+		cli.Positive("shards", float64(*shards)),
+		cli.Positive("chunk", float64(*chunk)),
+		cli.Positive("eps", *eps),
+		cli.Positive("reservoir", float64(*reservoir)),
+		cli.Positive("window", *window),
+		cli.NonNegative("bin", *bin),
+		cli.Positive("max-line-bytes", float64(*maxLine)),
+		cli.Positive("max-records", float64(*maxRecords)),
+	); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return cli.Usagef("usage: wanstream [flags] <tracefile>")
+	}
+	sess, err := obsFlags.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ctx := obs.WithTracer(context.Background(), sess.Tracer)
+	res, err := stream.Ingest(ctx, f,
+		trace.DecodeOptions{Lenient: *lenient, MaxLineBytes: *maxLine,
+			MaxRecords: *maxRecords, Metrics: sess.Metrics},
+		stream.PipelineOptions{Shards: *shards, ChunkSize: *chunk, Metrics: sess.Metrics,
+			Config: stream.Config{Epsilon: *eps, ReservoirSize: *reservoir, Seed: *seed,
+				WindowWidth: *window, AggBinWidth: *bin}})
+	if err != nil {
+		return err
+	}
+	if *statePath != "" {
+		data, err := res.Sketch.State()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*statePath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	sum := res.Sketch.Summarize()
+	if *jsonOut {
+		raw, err := json.MarshalIndent(streamReport{
+			File: fs.Arg(0), Name: res.Header.Name, HorizonS: res.Header.Horizon,
+			Shards: res.Shards, Decode: res.Stats, Summary: sum,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", raw)
+	} else {
+		printSummary(stdout, res, sum)
+	}
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	if res.Stats.RecordsSkipped > 0 {
+		return cli.Partialf("summary complete, but %d malformed record(s) were skipped", res.Stats.RecordsSkipped)
+	}
+	return nil
+}
+
+// streamReport is the -json output schema.
+type streamReport struct {
+	File     string            `json:"file"`
+	Name     string            `json:"name"`
+	HorizonS float64           `json:"horizon_s"`
+	Shards   int               `json:"shards"`
+	Decode   trace.DecodeStats `json:"decode_stats"`
+	Summary  stream.Summary    `json:"summary"`
+}
+
+func printSummary(w io.Writer, res *stream.Result, sum stream.Summary) {
+	fmt.Fprintf(w, "%s trace %q: %d records over %.2f h (%d shards, one pass)\n\n",
+		sum.TraceKind, res.Header.Name, sum.Records, res.Header.Horizon/3600, res.Shards)
+	if res.Stats.RecordsSkipped > 0 {
+		fmt.Fprintf(w, "decode: %d record(s) skipped\n\n", res.Stats.RecordsSkipped)
+	}
+	for _, name := range res.Sketch.DimNames() {
+		d := sum.Dims[name]
+		fmt.Fprintf(w, "%-9s n=%d  mean %.4g  sd %.4g  min %.4g  max %.4g  p50 %.4g  p90 %.4g  p99 %.4g\n",
+			name, d.Count, d.Mean, d.StdDev, d.Min, d.Max, d.P50, d.P90, d.P99)
+	}
+	fmt.Fprintf(w, "\narrivals: %.4g /s over %d windows, dispersion %.3g (Poisson: 1), lag-1 %.3f\n",
+		sum.Rate, sum.Windows, sum.Dispersion, sum.Lag1)
+	if sum.VTSlope != 0 {
+		fmt.Fprintf(w, "variance-time slope %.2f (Poisson: -1.00) -> H_vt = %.2f\n",
+			sum.VTSlope, sum.HurstVT)
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wantraffic/internal/cli"
+)
+
+// writeTrace drops a small connection trace (with optional malformed
+// lines) into a temp file and returns its path.
+func writeTrace(t *testing.T, lines ...string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "t.conn")
+	if err := os.WriteFile(p, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func goodTrace(t *testing.T) string {
+	return writeTrace(t,
+		"#conntrace tiny 3600",
+		"1.0 2.0 TELNET 100 200 0",
+		"5.0 1.5 SMTP 300 400 0",
+		"9.0 0.5 TELNET 50 60 0",
+	)
+}
+
+func damagedTrace(t *testing.T) string {
+	return writeTrace(t,
+		"#conntrace tiny 3600",
+		"1.0 2.0 TELNET 100 200 0",
+		"this line is garbage",
+		"5.0 1.5 SMTP 300 400 0",
+	)
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no args", nil, cli.ExitUsage},
+		{"two args", []string{"a", "b"}, cli.ExitUsage},
+		{"unknown flag", []string{"-bogus"}, cli.ExitUsage},
+		{"zero shards", []string{"-shards", "0", "x"}, cli.ExitUsage},
+		{"zero eps", []string{"-eps", "0", "x"}, cli.ExitUsage},
+		{"negative bin", []string{"-bin", "-1", "x"}, cli.ExitUsage},
+		{"zero window", []string{"-window", "0", "x"}, cli.ExitUsage},
+		{"missing file", []string{"/nonexistent/path.conn"}, cli.ExitFailure},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			err := run(tc.args, &out, &errw)
+			if got := cli.ExitCode(err); got != tc.code {
+				t.Errorf("run(%v) exit %d, want %d (err: %v)", tc.args, got, tc.code, err)
+			}
+		})
+	}
+}
+
+func TestCleanTraceSummary(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{goodTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitOK {
+		t.Fatalf("clean trace: exit %d, want 0 (err: %v)", got, err)
+	}
+	for _, want := range []string{"3 records", "bytes", "duration", "gap", "arrivals"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestStrictAbortsLenientIsPartial(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitFailure {
+		t.Fatalf("strict damaged trace: exit %d, want %d (err: %v)", got, cli.ExitFailure, err)
+	}
+	out.Reset()
+	err = run([]string{"-lenient", damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitPartial {
+		t.Fatalf("lenient damaged trace: exit %d, want %d (err: %v)", got, cli.ExitPartial, err)
+	}
+	if !strings.Contains(out.String(), "2 records") {
+		t.Errorf("summary should cover the kept records:\n%s", out.String())
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-json", goodTrace(t)}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Name    string `json:"name"`
+		Shards  int    `json:"shards"`
+		Summary struct {
+			Kind    string `json:"trace_kind"`
+			Records int64  `json:"records"`
+			Dims    map[string]struct {
+				Count int64 `json:"count"`
+			} `json:"dims"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Name != "tiny" || rep.Summary.Kind != "conn" || rep.Summary.Records != 3 {
+		t.Errorf("report name=%q kind=%q records=%d, want tiny/conn/3",
+			rep.Name, rep.Summary.Kind, rep.Summary.Records)
+	}
+	if rep.Summary.Dims["bytes"].Count != 3 || rep.Summary.Dims["gap"].Count != 2 {
+		t.Errorf("dims = %+v, want bytes n=3 and gap n=2", rep.Summary.Dims)
+	}
+}
+
+// TestStateFileDeterministic pins the -state contract: re-running the
+// same trace with the same options writes byte-identical sketch state.
+func TestStateFileDeterministic(t *testing.T) {
+	p := goodTrace(t)
+	dir := t.TempDir()
+	var states [][]byte
+	for i := 0; i < 2; i++ {
+		sp := filepath.Join(dir, "s.json")
+		var out, errw bytes.Buffer
+		if err := run([]string{"-state", sp, p}, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, data)
+	}
+	if !bytes.Equal(states[0], states[1]) {
+		t.Fatal("-state files differ between identical runs")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"wantraffic/internal/fault"
 	"wantraffic/internal/obs"
 	"wantraffic/internal/runner"
+	"wantraffic/internal/stream"
 	"wantraffic/internal/trace"
 )
 
@@ -67,6 +68,7 @@ func Run(seed int64, cases int) *Report {
 func RunWith(seed int64, cases int, reg *obs.Registry) *Report {
 	rep := &Report{reg: reg}
 	ingestionChaos(rep, seed, cases)
+	streamChaos(rep, seed+1, cases)
 	pipelineChaos(rep)
 	reg.Counter("chaos.cases").Add(int64(rep.Cases))
 	reg.Counter("chaos.decodes").Add(int64(rep.Decodes))
@@ -212,6 +214,87 @@ func ingestionChaos(rep *Report, seed int64, cases int) {
 				rep.failf("conn-text encode seed=%d: injected write error swallowed", p.Seed)
 			}
 		}()
+	}
+}
+
+// streamChaos runs the sharded streaming pipeline (internal/stream)
+// over the same corrupted inputs. The contract extends the ingestion
+// invariants across the fan-out: no fault may panic or deadlock the
+// pipeline; whatever the fault, the merged sketch must cover exactly
+// the records the decoder kept (one observation per kept record, even
+// when ingest aborts mid-stream); and the partial sketch must still
+// serialize and round-trip byte-identically.
+func streamChaos(rep *Report, seed int64, cases int) {
+	rng := rand.New(rand.NewSource(seed))
+	ct, pt := sampleTraces(rng)
+
+	var connText, pktText, connBin, pktBin bytes.Buffer
+	if err := trace.WriteConnTrace(&connText, ct); err != nil {
+		rep.failf("stream: encoding clean trace: %v", err)
+	}
+	if err := trace.WritePacketTrace(&pktText, pt); err != nil {
+		rep.failf("stream: encoding clean trace: %v", err)
+	}
+	if err := trace.WriteConnTraceBinary(&connBin, ct); err != nil {
+		rep.failf("stream: encoding clean trace: %v", err)
+	}
+	if err := trace.WritePacketTraceBinary(&pktBin, pt); err != nil {
+		rep.failf("stream: encoding clean trace: %v", err)
+	}
+	inputs := []struct {
+		name string
+		data []byte
+	}{
+		{"conn-text", connText.Bytes()},
+		{"pkt-text", pktText.Bytes()},
+		{"conn-bin", connBin.Bytes()},
+		{"pkt-bin", pktBin.Bytes()},
+	}
+
+	for c := 0; c < cases; c++ {
+		for _, in := range inputs {
+			for _, plan := range plans(rng, len(in.data), rep.reg) {
+				rep.Cases++
+				for _, lenient := range []bool{false, true} {
+					rep.Decodes++
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								rep.failf("stream %s seed=%d lenient=%v: pipeline panic: %v", in.name, plan.Seed, lenient, r)
+							}
+						}()
+						opts := trace.DecodeOptions{Lenient: lenient, MaxRecords: 1 << 20, Metrics: rep.reg}
+						res, err := stream.Ingest(context.Background(),
+							fault.NewReader(bytes.NewReader(in.data), plan), opts,
+							stream.PipelineOptions{Shards: 3, ChunkSize: 64, Metrics: rep.reg})
+						if res == nil {
+							if err == nil {
+								rep.failf("stream %s seed=%d: nil result without error", in.name, plan.Seed)
+							}
+							return // header-level rejection, nothing ingested
+						}
+						if got, want := res.Sketch.Records(), int64(res.Stats.RecordsKept); got != want {
+							rep.failf("stream %s seed=%d lenient=%v: sketch covers %d records, decoder kept %d",
+								in.name, plan.Seed, lenient, got, want)
+						}
+						state, serr := res.Sketch.State()
+						if serr != nil {
+							rep.failf("stream %s seed=%d: partial sketch does not serialize: %v", in.name, plan.Seed, serr)
+							return
+						}
+						back, rerr := stream.RestoreSketch(state)
+						if rerr != nil {
+							rep.failf("stream %s seed=%d: partial sketch state does not restore: %v", in.name, plan.Seed, rerr)
+							return
+						}
+						state2, _ := back.State()
+						if !bytes.Equal(state, state2) {
+							rep.failf("stream %s seed=%d: sketch state round-trip not byte-identical", in.name, plan.Seed)
+						}
+					}()
+				}
+			}
+		}
 	}
 }
 

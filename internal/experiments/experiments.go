@@ -79,6 +79,7 @@ func All() []Experiment {
 		{"implications", "Sec. VIII: priority starvation and misled admission control", Implications},
 		{"responder", "Future work: the TELNET responder model", Responder},
 		{"ablation", "Robustness: burst cutoff, EXP mean, interval length", Ablation},
+		{"streamcal", "Streaming sketches: one-pass pipeline vs batch statistics", StreamCal},
 	}
 }
 

@@ -1,0 +1,480 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wantraffic/internal/stats"
+)
+
+// streams returns named deterministic observation streams covering the
+// distribution shapes the traces produce: heavy tails, near-constant
+// values, exponential gaps.
+func streams() map[string][]float64 {
+	rng := rand.New(rand.NewSource(11))
+	out := map[string][]float64{}
+	uniform := make([]float64, 20000)
+	exponential := make([]float64, 20000)
+	lognormal := make([]float64, 20000)
+	constant := make([]float64, 5000)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 100
+		exponential[i] = rng.ExpFloat64() * 3
+		lognormal[i] = math.Exp(rng.NormFloat64() * 2.5)
+	}
+	for i := range constant {
+		constant[i] = 42
+	}
+	out["uniform"] = uniform
+	out["exponential"] = exponential
+	out["lognormal"] = lognormal
+	out["constant"] = constant
+	out["tiny"] = []float64{3, 1, 2}
+	return out
+}
+
+// relErr is |a-b|/max(|b|,1).
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Abs(b); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// The documented tolerance for streamed floating moments vs batch.
+const momentsTol = 1e-11
+
+func TestMomentsMatchBatch(t *testing.T) {
+	for name, xs := range streams() {
+		m := NewMoments()
+		for _, x := range xs {
+			m.Observe(x)
+		}
+		if m.Count() != int64(len(xs)) {
+			t.Errorf("%s: count %d, want %d", name, m.Count(), len(xs))
+		}
+		if e := relErr(m.Mean(), stats.Mean(xs)); e > momentsTol {
+			t.Errorf("%s: mean off by %g", name, e)
+		}
+		if e := relErr(m.Variance(), stats.Variance(xs)); e > momentsTol {
+			t.Errorf("%s: variance off by %g", name, e)
+		}
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn, mx = math.Min(mn, x), math.Max(mx, x)
+		}
+		if m.Min() != mn || m.Max() != mx {
+			t.Errorf("%s: min/max %g/%g, want %g/%g", name, m.Min(), m.Max(), mn, mx)
+		}
+	}
+}
+
+// TestMomentsMergeMatchesWhole splits each stream at several points
+// and checks merge-of-parts equals ingest-of-whole.
+func TestMomentsMergeMatchesWhole(t *testing.T) {
+	for name, xs := range streams() {
+		for _, parts := range []int{2, 3, 7} {
+			merged := NewMoments()
+			for p := 0; p < parts; p++ {
+				part := NewMoments()
+				for i := p; i < len(xs); i += parts {
+					part.Observe(xs[i])
+				}
+				if err := merged.Merge(part); err != nil {
+					t.Fatalf("%s: merge: %v", name, err)
+				}
+			}
+			whole := NewMoments()
+			for _, x := range xs {
+				whole.Observe(x)
+			}
+			if merged.Count() != whole.Count() {
+				t.Errorf("%s/%d: merged count %d != %d", name, parts, merged.Count(), whole.Count())
+			}
+			if e := relErr(merged.Mean(), whole.Mean()); e > momentsTol {
+				t.Errorf("%s/%d: merged mean off by %g", name, parts, e)
+			}
+			if e := relErr(merged.Variance(), whole.Variance()); e > momentsTol {
+				t.Errorf("%s/%d: merged variance off by %g", name, parts, e)
+			}
+		}
+	}
+}
+
+// gkRankErr computes the achieved rank error of the sketch's estimate
+// at p against the sorted batch values.
+func gkRankErr(sorted []float64, v, p float64) float64 {
+	n := float64(len(sorted))
+	lo := float64(sort.SearchFloat64s(sorted, v)) / n
+	hi := float64(sort.Search(len(sorted), func(k int) bool { return sorted[k] > v })) / n
+	switch {
+	case p < lo:
+		return lo - p
+	case p > hi:
+		return p - hi
+	}
+	return 0
+}
+
+var quantileProbes = []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+
+// TestGKSingleSketchBound: a single sketch must achieve rank error
+// <= eps at every probed quantile.
+func TestGKSingleSketchBound(t *testing.T) {
+	const eps = 0.01
+	for name, xs := range streams() {
+		g := NewGK(eps)
+		for _, x := range xs {
+			g.Observe(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, p := range quantileProbes {
+			if e := gkRankErr(sorted, g.Quantile(p), p); e > eps+1e-9 {
+				t.Errorf("%s: p=%g rank error %.4f > eps %g", name, p, e, eps)
+			}
+		}
+	}
+}
+
+// TestGKMergedBound: merging shard sketches weakens the guarantee to
+// at most 2*eps (the documented bound).
+func TestGKMergedBound(t *testing.T) {
+	const eps = 0.01
+	for name, xs := range streams() {
+		if len(xs) < 100 {
+			continue
+		}
+		for _, shards := range []int{2, 4, 8} {
+			merged := NewGK(eps)
+			for s := 0; s < shards; s++ {
+				g := NewGK(eps)
+				for i := s; i < len(xs); i += shards {
+					g.Observe(xs[i])
+				}
+				if err := merged.Merge(g); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+			}
+			if merged.Count() != int64(len(xs)) {
+				t.Fatalf("%s/%d: merged count %d, want %d", name, shards, merged.Count(), len(xs))
+			}
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			for _, p := range quantileProbes {
+				if e := gkRankErr(sorted, merged.Quantile(p), p); e > 2*eps+1e-9 {
+					t.Errorf("%s/%d shards: p=%g rank error %.4f > 2eps %g", name, shards, p, e, 2*eps)
+				}
+			}
+		}
+	}
+}
+
+func TestGKMergeEmptyAndSelf(t *testing.T) {
+	g := NewGK(0.01)
+	for i := 0; i < 1000; i++ {
+		g.Observe(float64(i))
+	}
+	if err := g.Merge(NewGK(0.01)); err != nil {
+		t.Fatalf("merge empty: %v", err)
+	}
+	if g.Count() != 1000 {
+		t.Fatalf("merge with empty changed count: %d", g.Count())
+	}
+	empty := NewGK(0.01)
+	if err := empty.Merge(g); err != nil {
+		t.Fatalf("merge into empty: %v", err)
+	}
+	if empty.Count() != 1000 {
+		t.Fatalf("empty absorbed %d, want 1000", empty.Count())
+	}
+	if err := g.Merge(g); err != nil {
+		t.Fatalf("self-merge: %v", err)
+	}
+	if g.Count() != 2000 {
+		t.Fatalf("self-merge count %d, want 2000", g.Count())
+	}
+	if err := g.Merge(NewGK(0.05)); err == nil {
+		t.Fatal("merging mismatched eps should error")
+	}
+	if err := g.Merge(NewMoments()); err == nil {
+		t.Fatal("merging mismatched kinds should error")
+	}
+}
+
+func TestReservoirDeterministicAndUniformCount(t *testing.T) {
+	xs := streams()["uniform"]
+	a, b := NewReservoir(100, 7), NewReservoir(100, 7)
+	for _, x := range xs {
+		a.Observe(x)
+		b.Observe(x)
+	}
+	if !floatSliceEq(a.Sample(), b.Sample()) {
+		t.Fatal("same seed and stream must give identical samples")
+	}
+	c := NewReservoir(100, 8)
+	for _, x := range xs {
+		c.Observe(x)
+	}
+	if floatSliceEq(a.Sample(), c.Sample()) {
+		t.Fatal("different seeds should give different samples")
+	}
+	if a.Count() != int64(len(xs)) || len(a.Sample()) != 100 {
+		t.Fatalf("count %d sample %d", a.Count(), len(a.Sample()))
+	}
+}
+
+func TestReservoirMerge(t *testing.T) {
+	a, b := NewReservoir(64, 1), NewReservoir(64, 2)
+	for i := 0; i < 5000; i++ {
+		a.Observe(1) // all of stream A is 1s
+	}
+	for i := 0; i < 15000; i++ {
+		b.Observe(2) // all of stream B is 2s
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.Count() != 20000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	ones := 0
+	for _, v := range a.Sample() {
+		if v == 1 {
+			ones++
+		}
+	}
+	// Proportional draw: expect ~16 of 64 from A; allow wide slack.
+	if ones < 4 || ones > 36 {
+		t.Fatalf("merged sample has %d/64 from the 25%% stream", ones)
+	}
+	// Determinism: the same merge of the same states gives the same sample.
+	a2, b2 := NewReservoir(64, 1), NewReservoir(64, 2)
+	for i := 0; i < 5000; i++ {
+		a2.Observe(1)
+	}
+	for i := 0; i < 15000; i++ {
+		b2.Observe(2)
+	}
+	if err := a2.Merge(b2); err != nil {
+		t.Fatal(err)
+	}
+	if !floatSliceEq(a.Sample(), a2.Sample()) {
+		t.Fatal("merge is not deterministic")
+	}
+	if err := a.Merge(NewReservoir(32, 1)); err == nil {
+		t.Fatal("merging mismatched capacities should error")
+	}
+}
+
+func TestLog2HistExact(t *testing.T) {
+	xs := streams()["lognormal"]
+	h := NewLog2Hist()
+	direct := map[int]int64{}
+	for _, x := range xs {
+		h.Observe(x)
+		direct[math.Ilogb(x)]++
+	}
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	if h.NonPositive() != 3 {
+		t.Fatalf("non-positive count %d, want 3", h.NonPositive())
+	}
+	if h.Count() != int64(len(xs))+3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for k, n := range direct {
+		if h.BucketCount(k) != n {
+			t.Errorf("bucket %d: %d, want %d", k, h.BucketCount(k), n)
+		}
+	}
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b.Count
+		if b.Lo > b.Hi || b.Hi != 2*b.Lo {
+			t.Errorf("bucket %d edges %g..%g", b.Exp, b.Lo, b.Hi)
+		}
+	}
+	if total != int64(len(xs)) {
+		t.Fatalf("bucket sum %d, want %d", total, len(xs))
+	}
+}
+
+func TestWindowCounterMatchesCountProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var times []float64
+	tt := 0.0
+	for i := 0; i < 30000; i++ {
+		tt += rng.ExpFloat64() * 0.7
+		times = append(times, tt)
+	}
+	w := NewWindowCounter(5)
+	for _, x := range times {
+		w.Observe(x)
+	}
+	batch := stats.CountProcess(times, 5, float64(w.Windows())*5)
+	if !floatSliceEq(w.Counts(), batch) {
+		t.Fatal("window counts differ from stats.CountProcess")
+	}
+	if e := relErr(w.Dispersion(), stats.Variance(batch)/stats.Mean(batch)); e > 1e-9 {
+		t.Fatalf("dispersion off by %g", e)
+	}
+}
+
+func TestWindowCounterOverflowCap(t *testing.T) {
+	w := NewWindowCounter(1)
+	w.Observe(1e300) // corrupt timestamp must not force huge allocation
+	w.Observe(-3)
+	w.Observe(math.NaN())
+	w.Observe(2)
+	if w.Windows() > 3 {
+		t.Fatalf("corrupt timestamp grew %d windows", w.Windows())
+	}
+	if w.Overflow() != 1 {
+		t.Fatalf("overflow %d, want 1", w.Overflow())
+	}
+	if w.Count() != 4 {
+		t.Fatalf("count %d, want 4", w.Count())
+	}
+}
+
+func TestAggVarExactlyMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var times []float64
+	tt := 0.0
+	for i := 0; i < 50000; i++ {
+		tt += rng.ExpFloat64() * 0.05
+		times = append(times, tt)
+	}
+	horizon := tt + 1
+	a := NewAggVar(0.1, horizon)
+	for _, x := range times {
+		a.Observe(x)
+	}
+	batch := stats.CountProcess(times, 0.1, horizon)
+	if !floatSliceEq(a.Counts(), batch) {
+		t.Fatal("aggvar counts differ from stats.CountProcess")
+	}
+	got := a.VTSlope(100, 5, 5, 100)
+	want := stats.VTSlope(stats.VarianceTime(batch, 100, 5), 5, 100)
+	if got != want {
+		t.Fatalf("VT slope %g != batch %g", got, want)
+	}
+	// Element-wise integer merge is exact: split == whole.
+	parts := []*AggVar{NewAggVar(0.1, horizon), NewAggVar(0.1, horizon), NewAggVar(0.1, horizon)}
+	for i, x := range times {
+		parts[i%3].Observe(x)
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !floatSliceEq(merged.Counts(), batch) {
+		t.Fatal("merged aggvar counts differ from batch")
+	}
+}
+
+// TestStateRoundTrips: State -> Restore -> State must be
+// byte-identical for every accumulator kind, populated and empty.
+func TestStateRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	kinds := []string{"moments", "gk", "reservoir", "log2hist", "window", "aggvar"}
+	for _, kind := range kinds {
+		for _, n := range []int{0, 1, 10000} {
+			a, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt := 0.0
+			for i := 0; i < n; i++ {
+				tt += rng.ExpFloat64()
+				a.Observe(tt)
+			}
+			s1, err := a.State()
+			if err != nil {
+				t.Fatalf("%s/%d: State: %v", kind, n, err)
+			}
+			b, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Restore(s1); err != nil {
+				t.Fatalf("%s/%d: Restore: %v", kind, n, err)
+			}
+			s2, err := b.State()
+			if err != nil {
+				t.Fatalf("%s/%d: State after Restore: %v", kind, n, err)
+			}
+			if !bytes.Equal(s1, s2) {
+				t.Fatalf("%s/%d: round-trip not byte-identical:\n%s\nvs\n%s", kind, n, s1, s2)
+			}
+			if b.Count() != a.Count() {
+				t.Fatalf("%s/%d: restored count %d, want %d", kind, n, b.Count(), a.Count())
+			}
+		}
+	}
+	if _, err := New("nonsense"); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+// TestStateHandlesNonFinite: accumulators fed Inf/NaN (corrupted
+// traces) must still serialize and round-trip.
+func TestStateHandlesNonFinite(t *testing.T) {
+	for _, kind := range []string{"moments", "gk", "reservoir", "log2hist", "window", "aggvar"} {
+		a, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range []float64{1, math.Inf(1), math.Inf(-1), math.NaN(), 2} {
+			a.Observe(x)
+		}
+		s1, err := a.State()
+		if err != nil {
+			t.Fatalf("%s: State with non-finite observations: %v", kind, err)
+		}
+		b, _ := New(kind)
+		if err := b.Restore(s1); err != nil {
+			t.Fatalf("%s: Restore: %v", kind, err)
+		}
+		s2, err := b.State()
+		if err != nil || !bytes.Equal(s1, s2) {
+			t.Fatalf("%s: non-finite round-trip failed (%v)", kind, err)
+		}
+	}
+}
+
+func TestMergeKindMismatch(t *testing.T) {
+	kinds := []string{"moments", "gk", "reservoir", "log2hist", "window", "aggvar"}
+	for _, ka := range kinds {
+		for _, kb := range kinds {
+			if ka == kb {
+				continue
+			}
+			a, _ := New(ka)
+			b, _ := New(kb)
+			if err := a.Merge(b); err == nil {
+				t.Errorf("merging %s into %s should error", kb, ka)
+			}
+		}
+	}
+}
+
+func floatSliceEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wantraffic/internal/stats"
+	"wantraffic/internal/trace"
+)
+
+// benchHorizon holds the trace's time span fixed while the record
+// count grows, so larger benchmarks mean denser traffic — the regime
+// where streaming memory must stay flat while batch memory grows with
+// the record count.
+const benchHorizon = 3600.0
+
+// connGen is a generating io.Reader: it emits a text connection trace
+// of n records on the fly, never holding more than one buffered chunk.
+// This is what lets the streaming benchmarks run at sizes the batch
+// path could not materialize.
+type connGen struct {
+	n       int
+	emitted int
+	rng     *rand.Rand
+	t       float64
+	buf     bytes.Buffer
+	started bool
+}
+
+func newConnGen(n int, seed int64) *connGen {
+	return &connGen{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *connGen) Read(p []byte) (int, error) {
+	for g.buf.Len() < len(p) {
+		if !g.started {
+			fmt.Fprintf(&g.buf, "#conntrace synth %g\n", benchHorizon)
+			g.started = true
+			continue
+		}
+		if g.emitted >= g.n {
+			break
+		}
+		g.t += g.rng.ExpFloat64() * benchHorizon / float64(g.n+1)
+		fmt.Fprintf(&g.buf, "%.6f %.4f telnet %d %d %d\n",
+			g.t, g.rng.ExpFloat64()*30, g.rng.Int63n(4096), g.rng.Int63n(1<<20), int64(g.emitted))
+		g.emitted++
+	}
+	if g.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return g.buf.Read(p)
+}
+
+// BenchmarkStreamIngest measures the sharded one-pass pipeline over a
+// generated trace. state_B is the size of the merged serialized sketch
+// — the pipeline's retained memory — which must not grow with n.
+func BenchmarkStreamIngest(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var stateBytes int
+			for i := 0; i < b.N; i++ {
+				res, err := Ingest(context.Background(), newConnGen(n, 5), trace.DecodeOptions{},
+					PipelineOptions{Config: Config{Horizon: benchHorizon}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				state, err := res.Sketch.State()
+				if err != nil {
+					b.Fatal(err)
+				}
+				stateBytes = len(state)
+			}
+			b.ReportMetric(float64(stateBytes), "state_B")
+		})
+	}
+}
+
+// BenchmarkBatchStats is the materializing baseline: decode the whole
+// trace into memory, then compute the same statistics the sketch
+// carries (moments, sorted quantiles, count process). Memory grows
+// linearly with n, which is the failure mode the stream package
+// removes.
+func BenchmarkBatchStats(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var raw bytes.Buffer
+			if _, err := io.Copy(&raw, newConnGen(n, 5)); err != nil {
+				b.Fatal(err)
+			}
+			data := raw.Bytes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr, _, err := trace.ReadConnTraceWith(bytes.NewReader(data), trace.DecodeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				byteVals := make([]float64, len(tr.Conns))
+				times := make([]float64, len(tr.Conns))
+				for j, c := range tr.Conns {
+					byteVals[j] = float64(c.Bytes())
+					times[j] = c.Start
+				}
+				_ = stats.Mean(byteVals)
+				_ = stats.Variance(byteVals)
+				sorted := append([]float64(nil), byteVals...)
+				sort.Float64s(sorted)
+				_ = stats.CountProcess(times, 1, benchHorizon)
+			}
+		})
+	}
+}
+
+// BenchmarkAccumulatorObserve isolates per-observation cost of each
+// accumulator kind.
+func BenchmarkAccumulatorObserve(b *testing.B) {
+	for _, kind := range fuzzKinds {
+		b.Run(kind, func(b *testing.B) {
+			acc, err := New(kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			xs := make([]float64, 4096)
+			for i := range xs {
+				xs[i] = rng.Float64() * 1000
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.Observe(xs[i&4095])
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package stream
+
+import "math"
+
+const momentsKind = "moments"
+
+// Moments tracks count, mean, variance, min and max of a stream in
+// O(1) memory using Welford's online update, with Chan et al.'s
+// pairwise combination for Merge.
+//
+// Accuracy contract (property-tested): Count, Min and Max are exact.
+// Mean and Variance agree with the batch internal/stats results to
+// ~1e-12 relative error — Welford is at least as accurate as the
+// batch two-pass formulas, but reassociates the additions, so the
+// low-order bits differ.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// NewMoments returns an empty moments accumulator.
+func NewMoments() *Moments { return &Moments{min: math.Inf(1), max: math.Inf(-1)} }
+
+// Kind implements Accumulator.
+func (m *Moments) Kind() string { return momentsKind }
+
+// Count returns the number of observations.
+func (m *Moments) Count() int64 { return m.n }
+
+// Observe folds one observation in (Welford's update).
+func (m *Moments) Observe(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+	if x < m.min {
+		m.min = x
+	}
+	if x > m.max {
+		m.max = x
+	}
+}
+
+// Merge combines another Moments using the parallel variance
+// combination: with nA,nB observations, δ = meanB−meanA,
+//
+//	mean = meanA + δ·nB/n,  M2 = M2A + M2B + δ²·nA·nB/n.
+func (m *Moments) Merge(other Accumulator) error {
+	o, ok := other.(*Moments)
+	if !ok {
+		return kindError(momentsKind, other)
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if m.n == 0 {
+		*m = *o
+		return nil
+	}
+	nA, nB := float64(m.n), float64(o.n)
+	n := nA + nB
+	d := o.mean - m.mean
+	m.mean += d * nB / n
+	m.m2 += o.m2 + d*d*nA*nB/n
+	m.n += o.n
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	return nil
+}
+
+// Mean returns the running mean (0 when empty).
+func (m *Moments) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.mean
+}
+
+// Variance returns the population variance (divisor n), matching
+// stats.Variance.
+func (m *Moments) Variance() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// SampleVariance returns the unbiased sample variance (divisor n−1),
+// matching stats.SampleVariance.
+func (m *Moments) SampleVariance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the square root of the population variance.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest observation (+Inf when empty).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation (−Inf when empty).
+func (m *Moments) Max() float64 { return m.max }
+
+// momentsState is the serialized form. Every float rides through
+// jsonF64: the empty sketch's min/max are ±Inf, and a corrupted
+// binary record can feed Inf/NaN observations into any moment, which
+// plain JSON cannot encode.
+type momentsState struct {
+	N    int64   `json:"n"`
+	Mean jsonF64 `json:"mean"`
+	M2   jsonF64 `json:"m2"`
+	Min  jsonF64 `json:"min"`
+	Max  jsonF64 `json:"max"`
+}
+
+// State implements Accumulator.
+func (m *Moments) State() ([]byte, error) {
+	return marshalState(momentsKind, momentsState{
+		N: m.n, Mean: jsonF64(m.mean), M2: jsonF64(m.m2), Min: jsonF64(m.min), Max: jsonF64(m.max),
+	})
+}
+
+// Restore implements Accumulator.
+func (m *Moments) Restore(data []byte) error {
+	var st momentsState
+	if err := unmarshalState(momentsKind, data, &st); err != nil {
+		return err
+	}
+	*m = Moments{n: st.N, mean: float64(st.Mean), m2: float64(st.M2), min: float64(st.Min), max: float64(st.Max)}
+	return nil
+}
+
+// jsonF64 is a float64 that survives JSON round-trips of ±Inf and NaN
+// (encoded as the strings "+Inf", "-Inf", "NaN").
+type jsonF64 float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonF64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return jsonNumber(v), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jsonF64) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"+Inf"`:
+		*f = jsonF64(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = jsonF64(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = jsonF64(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := jsonUnmarshalFloat(data, &v); err != nil {
+		return err
+	}
+	*f = jsonF64(v)
+	return nil
+}

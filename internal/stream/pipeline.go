@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+
+	"wantraffic/internal/obs"
+	"wantraffic/internal/par"
+	"wantraffic/internal/trace"
+)
+
+// Pipeline defaults. Both are pinned into the observation→shard
+// assignment, so changing them changes which shard sees which record —
+// callers that need byte-reproducible sketches across runs (the
+// golden corpus) must hold them fixed.
+const (
+	// DefaultShards is the shard count. Four is deliberately NOT tied
+	// to GOMAXPROCS: the decomposition must be identical on a laptop
+	// and a 64-core box for merged state to be comparable.
+	DefaultShards = 4
+	// DefaultChunkSize is the number of observations per fan-out
+	// chunk. Chunk i goes to shard i mod Shards, so the assignment is
+	// a pure function of record position.
+	DefaultChunkSize = 512
+)
+
+// PipelineOptions configures a sharded ingest.
+type PipelineOptions struct {
+	// Shards is the number of sketch shards (DefaultShards when < 1).
+	Shards int
+	// ChunkSize is the observations-per-chunk fan-out granularity
+	// (DefaultChunkSize when < 1).
+	ChunkSize int
+	// Config parameterizes the per-shard sketches.
+	Config Config
+	// Metrics, when non-nil, accumulates stream.* counters
+	// (stream.records, stream.chunks, stream.shards).
+	Metrics *obs.Registry
+}
+
+func (o PipelineOptions) withDefaults() PipelineOptions {
+	if o.Shards < 1 {
+		o.Shards = DefaultShards
+	}
+	if o.ChunkSize < 1 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	return o
+}
+
+// Result is a completed (or, on decode error, partial) ingest: the
+// canonically merged sketch plus the trace header and the exact
+// decode accounting from the scanner.
+type Result struct {
+	Sketch *Sketch
+	Header trace.Header
+	Stats  trace.DecodeStats
+	Shards int
+}
+
+// Ingest streams a trace of either kind and either encoding through
+// the sharded pipeline, auto-detecting the format from the header. On
+// a decode error (strict-mode malformed record, truncated stream,
+// resource-limit violation) it still returns the merged sketch over
+// every record decoded before the failure, with DecodeStats accounting
+// for the partial read, alongside the error — the chaos-harness
+// contract: faults degrade coverage, never correctness.
+func Ingest(ctx context.Context, r io.Reader, dopts trace.DecodeOptions, popts PipelineOptions) (*Result, error) {
+	br := bufio.NewReader(r)
+	kind, binary, err := trace.SniffHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case trace.KindConn:
+		sc := trace.NewConnScanner(br, dopts)
+		if binary {
+			sc = trace.NewConnBinaryScanner(br, dopts)
+		}
+		return IngestConns(ctx, sc, popts)
+	case trace.KindPacket:
+		sc := trace.NewPacketScanner(br, dopts)
+		if binary {
+			sc = trace.NewPacketBinaryScanner(br, dopts)
+		}
+		return IngestPackets(ctx, sc, popts)
+	}
+	return nil, fmt.Errorf("stream: unsupported trace kind %v", kind)
+}
+
+// IngestConns streams a connection scanner through the pipeline,
+// deriving per-record observations (total bytes, duration, start-time
+// interarrival gap, arrival time).
+func IngestConns(ctx context.Context, sc *trace.ConnScanner, popts PipelineOptions) (*Result, error) {
+	return runPipeline(ctx, ConnSketch, popts, func(emit func(Obs)) (trace.Header, trace.DecodeStats, error) {
+		var prev float64
+		first := true
+		for sc.Scan() {
+			c := sc.Conn()
+			o := Obs{Time: c.Start, Value: float64(c.Bytes()), Duration: c.Duration}
+			if !first {
+				o.Gap, o.HasGap = c.Start-prev, true
+			}
+			prev, first = c.Start, false
+			emit(o)
+		}
+		return sc.Header(), sc.Stats(), sc.Err()
+	})
+}
+
+// IngestPackets streams a packet scanner through the pipeline,
+// deriving per-record observations (payload size, interarrival gap,
+// arrival time).
+func IngestPackets(ctx context.Context, sc *trace.PacketScanner, popts PipelineOptions) (*Result, error) {
+	return runPipeline(ctx, PacketSketch, popts, func(emit func(Obs)) (trace.Header, trace.DecodeStats, error) {
+		var prev float64
+		first := true
+		for sc.Scan() {
+			p := sc.Packet()
+			o := Obs{Time: p.Time, Value: float64(p.Size)}
+			if !first {
+				o.Gap, o.HasGap = p.Time-prev, true
+			}
+			prev, first = p.Time, false
+			emit(o)
+		}
+		return sc.Header(), sc.Stats(), sc.Err()
+	})
+}
+
+// runPipeline is the shared fan-out engine. One reader goroutine pulls
+// records sequentially (interarrival gaps need the previous record, so
+// the derivation cannot itself be sharded), batches observations into
+// fixed-size chunks, and deals chunk i to shard i mod Shards. Every
+// shard is drained by its own goroutine (par.ForEach with one worker
+// per shard — fewer would deadlock against the bounded channels), each
+// folding chunks into its private sketch: no cross-goroutine float
+// reduction ever happens, per the repo determinism rule, and the
+// chunk→shard assignment is position-based, so each shard's
+// observation subsequence — and therefore its sketch — is independent
+// of scheduling. The shards are then folded canonically by
+// MergeSketches.
+func runPipeline(ctx context.Context, traceKind string, popts PipelineOptions,
+	read func(emit func(Obs)) (trace.Header, trace.DecodeStats, error)) (*Result, error) {
+	popts = popts.withDefaults()
+	ctx, span := obs.StartSpan(ctx, "stream.ingest")
+	defer span.End()
+	span.SetAttr("kind", traceKind)
+	span.SetAttrInt("shards", int64(popts.Shards))
+
+	shards := make([]*Sketch, popts.Shards)
+	for i := range shards {
+		s, err := NewSketch(traceKind, i, popts.Config)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = s
+	}
+	chans := make([]chan []Obs, popts.Shards)
+	for i := range chans {
+		chans[i] = make(chan []Obs, 2)
+	}
+
+	var (
+		hdr     trace.Header
+		dstats  trace.DecodeStats
+		readErr error
+		chunks  int64
+	)
+	go func() {
+		defer func() {
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
+		buf := make([]Obs, 0, popts.ChunkSize)
+		next := 0
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			chunk := make([]Obs, len(buf))
+			copy(chunk, buf)
+			chans[next%popts.Shards] <- chunk
+			next++
+			chunks++
+			buf = buf[:0]
+		}
+		hdr, dstats, readErr = read(func(o Obs) {
+			buf = append(buf, o)
+			if len(buf) == popts.ChunkSize {
+				flush()
+			}
+		})
+		flush()
+	}()
+
+	par.ForEach(popts.Shards, popts.Shards, func(s int) {
+		_, sp := obs.StartSpan(ctx, "stream.shard")
+		defer sp.End()
+		sp.SetAttrInt("shard", int64(s))
+		for chunk := range chans[s] {
+			for _, o := range chunk {
+				shards[s].Observe(o)
+			}
+		}
+		sp.SetAttrInt("records", shards[s].Records())
+	})
+
+	_, msp := obs.StartSpan(ctx, "stream.merge")
+	merged, err := MergeSketches(shards)
+	msp.End()
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttrInt("records", merged.Records())
+	if popts.Metrics != nil {
+		popts.Metrics.Counter("stream.records").Add(merged.Records())
+		popts.Metrics.Counter("stream.chunks").Add(chunks)
+		popts.Metrics.Counter("stream.shards").Add(int64(popts.Shards))
+	}
+	res := &Result{Sketch: merged, Header: hdr, Stats: dstats, Shards: popts.Shards}
+	if readErr != nil {
+		return res, readErr
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+const reservoirKind = "reservoir"
+
+// DefaultReservoirSize is the default sample capacity.
+const DefaultReservoirSize = 1024
+
+// Reservoir keeps a uniform random sample of up to k observations
+// from an unbounded stream (Vitter's Algorithm R), seeded so a given
+// (seed, observation sequence) pair always yields the same sample.
+//
+// Merge draws the combined sample from the two parents in proportion
+// to their stream sizes, without replacement within each parent. The
+// merge RNG is seeded deterministically from both parents' seeds and
+// counts, so Merge is a pure function of the two states; like every
+// cross-shard reduction it is canonicalized by MergeSketches rather
+// than being order-independent itself.
+type Reservoir struct {
+	k      int
+	seed   int64
+	n      int64
+	sample []float64
+	rng    *rand.Rand
+}
+
+// NewReservoir returns an empty reservoir holding up to k samples
+// (k < 1 selects DefaultReservoirSize).
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k < 1 {
+		k = DefaultReservoirSize
+	}
+	return &Reservoir{k: k, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Kind implements Accumulator.
+func (r *Reservoir) Kind() string { return reservoirKind }
+
+// Count returns the number of observations seen (not kept).
+func (r *Reservoir) Count() int64 { return r.n }
+
+// Cap returns the sample capacity k.
+func (r *Reservoir) Cap() int { return r.k }
+
+// Sample returns the current sample in reservoir order. The returned
+// slice aliases internal state; callers must not modify it.
+func (r *Reservoir) Sample() []float64 { return r.sample }
+
+// Observe folds one observation in (Algorithm R).
+func (r *Reservoir) Observe(x float64) {
+	r.n++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.k) {
+		r.sample[j] = x
+	}
+}
+
+// Merge combines another reservoir of the same capacity: each slot of
+// the merged sample is drawn from parent A with probability nA/(nA+nB)
+// (without replacement within each parent), preserving uniformity
+// when both parents are uniform samples of disjoint streams.
+func (r *Reservoir) Merge(other Accumulator) error {
+	o, ok := other.(*Reservoir)
+	if !ok {
+		return kindError(reservoirKind, other)
+	}
+	if o.k != r.k {
+		return fmt.Errorf("stream: merging reservoirs with different capacities (%d vs %d)", o.k, r.k)
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if r.n == 0 {
+		r.n = o.n
+		r.sample = append(r.sample[:0], o.sample...)
+		// Reseed so the continuation differs from the parent's but
+		// stays a pure function of both states.
+		r.rng = rand.New(rand.NewSource(mergeSeed(r.seed, r.n, o.seed, o.n)))
+		return nil
+	}
+	a := append([]float64(nil), r.sample...)
+	b := append([]float64(nil), o.sample...)
+	rng := rand.New(rand.NewSource(mergeSeed(r.seed, r.n, o.seed, o.n)))
+	merged := make([]float64, 0, r.k)
+	nA, nB := r.n, o.n
+	for len(merged) < r.k && (len(a) > 0 || len(b) > 0) {
+		takeA := len(b) == 0
+		if len(a) > 0 && len(b) > 0 {
+			takeA = rng.Int63n(nA+nB) < nA
+		}
+		if takeA {
+			i := rng.Intn(len(a))
+			merged = append(merged, a[i])
+			a[i] = a[len(a)-1]
+			a = a[:len(a)-1]
+		} else {
+			i := rng.Intn(len(b))
+			merged = append(merged, b[i])
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+		}
+	}
+	r.n += o.n
+	r.sample = merged
+	r.rng = rng
+	return nil
+}
+
+// mergeSeed derives the deterministic RNG seed of a merge from both
+// parents' identities (an FNV-style mix).
+func mergeSeed(seedA, nA, seedB, nB int64) int64 {
+	h := uint64(1469598103934665603)
+	for _, v := range []int64{seedA, nA, seedB, nB} {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return int64(h & (1<<62 - 1))
+}
+
+// reservoirState is the serialized form. The RNG cannot be resumed
+// exactly (math/rand exposes no state), so Restore reseeds from
+// (seed, n); the restored trajectory is still deterministic, just not
+// the unserialized continuation. The pipeline only serializes final
+// states, where the distinction is invisible.
+type reservoirState struct {
+	K    int   `json:"k"`
+	Seed int64 `json:"seed"`
+	N    int64 `json:"n"`
+	// Sample rides through jsonF64 so Inf/NaN observations from a
+	// corrupted trace still serialize.
+	Sample []jsonF64 `json:"sample"`
+}
+
+// State implements Accumulator.
+func (r *Reservoir) State() ([]byte, error) {
+	sample := make([]jsonF64, len(r.sample))
+	for i, v := range r.sample {
+		sample[i] = jsonF64(v)
+	}
+	return marshalState(reservoirKind, reservoirState{K: r.k, Seed: r.seed, N: r.n, Sample: sample})
+}
+
+// Restore implements Accumulator.
+func (r *Reservoir) Restore(data []byte) error {
+	var st reservoirState
+	if err := unmarshalState(reservoirKind, data, &st); err != nil {
+		return err
+	}
+	if st.K < 1 || st.N < 0 || len(st.Sample) > st.K {
+		return fmt.Errorf("stream: reservoir state k=%d n=%d holds %d samples", st.K, st.N, len(st.Sample))
+	}
+	sample := make([]float64, len(st.Sample))
+	for i, v := range st.Sample {
+		sample[i] = float64(v)
+	}
+	*r = Reservoir{k: st.K, seed: st.Seed, n: st.N, sample: sample,
+		rng: rand.New(rand.NewSource(mergeSeed(st.Seed, st.N, st.Seed, st.N)))}
+	return nil
+}

@@ -56,52 +56,37 @@ func ReadConnTraceBinary(r io.Reader) (*ConnTrace, error) {
 // given options. In lenient mode a stream that ends before the
 // header's record count is satisfied yields the records that did
 // decode, with the shortfall accounted in DecodeStats; header errors
-// abort in both modes.
-func ReadConnTraceBinaryWith(r io.Reader, opts DecodeOptions) (_ *ConnTrace, stats DecodeStats, _ error) {
-	opts = opts.withDefaults()
-	stats = DecodeStats{maxErrors: opts.MaxErrors}
-	cr := &countReader{r: r}
-	// Named stats + defer so every return path — header error, lenient
-	// shortfall, strict abort, success — records its totals.
-	defer func() {
-		stats.BytesRead = cr.n
-		stats.record(opts.Metrics)
-	}()
-	br := bufio.NewReader(cr)
-	name, horizon, count, err := readHeaderWith(br, connMagic, opts)
-	if err != nil {
-		return nil, stats, err
+// abort in both modes. It is a materializing loop over
+// NewConnBinaryScanner.
+func ReadConnTraceBinaryWith(r io.Reader, opts DecodeOptions) (*ConnTrace, DecodeStats, error) {
+	sc := NewConnBinaryScanner(r, opts)
+	hdr := sc.Header()
+	if err := sc.Err(); err != nil {
+		return nil, sc.Stats(), err
 	}
 	// Preallocation is capped: a corrupt header must not force a huge
 	// allocation before the (short) stream disproves its record count.
-	t := &ConnTrace{Name: name, Horizon: horizon, Conns: make([]Conn, 0, capAlloc(count))}
-	var rec [41]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			err = fmt.Errorf("trace: record %d: %w", i, err)
-			if opts.Lenient {
-				// Account every record the header promised but the
-				// stream did not deliver.
-				stats.RecordsSkipped += int(count - i)
-				if len(stats.Errors) < opts.MaxErrors {
-					stats.Errors = append(stats.Errors, err.Error())
-				}
-				return t, stats, nil
-			}
-			return nil, stats, err
-		}
-		t.Conns = append(t.Conns, Conn{
-			Start:     math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
-			Duration:  math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
-			Proto:     Protocol(rec[16]),
-			BytesOrig: int64(binary.LittleEndian.Uint64(rec[17:])),
-			BytesResp: int64(binary.LittleEndian.Uint64(rec[25:])),
-			SessionID: int64(binary.LittleEndian.Uint64(rec[33:])),
-		})
-		stats.RecordsKept++
+	t := &ConnTrace{Name: hdr.Name, Horizon: hdr.Horizon, Conns: make([]Conn, 0, capAlloc(hdr.Expected))}
+	for sc.Scan() {
+		t.Conns = append(t.Conns, sc.Conn())
 	}
-	return t, stats, nil
+	if err := sc.Err(); err != nil {
+		return nil, sc.Stats(), err
+	}
+	return t, sc.Stats(), nil
 }
+
+// connRecordLayout is the fixed-width binary encoding of one Conn.
+var connRecordLayout = binaryRecord[Conn]{size: 41, decode: func(rec []byte) Conn {
+	return Conn{
+		Start:     math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+		Duration:  math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+		Proto:     Protocol(rec[16]),
+		BytesOrig: int64(binary.LittleEndian.Uint64(rec[17:])),
+		BytesResp: int64(binary.LittleEndian.Uint64(rec[25:])),
+		SessionID: int64(binary.LittleEndian.Uint64(rec[33:])),
+	}
+}}
 
 // capAlloc bounds an untrusted record count for slice preallocation.
 func capAlloc(count uint64) int {
@@ -141,43 +126,31 @@ func ReadPacketTraceBinary(r io.Reader) (*PacketTrace, error) {
 // ReadPacketTraceBinaryWith decodes a binary packet trace under the
 // given options; see ReadConnTraceBinaryWith for the lenient
 // contract.
-func ReadPacketTraceBinaryWith(r io.Reader, opts DecodeOptions) (_ *PacketTrace, stats DecodeStats, _ error) {
-	opts = opts.withDefaults()
-	stats = DecodeStats{maxErrors: opts.MaxErrors}
-	cr := &countReader{r: r}
-	defer func() {
-		stats.BytesRead = cr.n
-		stats.record(opts.Metrics)
-	}()
-	br := bufio.NewReader(cr)
-	name, horizon, count, err := readHeaderWith(br, packetMagic, opts)
-	if err != nil {
-		return nil, stats, err
+func ReadPacketTraceBinaryWith(r io.Reader, opts DecodeOptions) (*PacketTrace, DecodeStats, error) {
+	sc := NewPacketBinaryScanner(r, opts)
+	hdr := sc.Header()
+	if err := sc.Err(); err != nil {
+		return nil, sc.Stats(), err
 	}
-	t := &PacketTrace{Name: name, Horizon: horizon, Packets: make([]Packet, 0, capAlloc(count))}
-	var rec [21]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			err = fmt.Errorf("trace: record %d: %w", i, err)
-			if opts.Lenient {
-				stats.RecordsSkipped += int(count - i)
-				if len(stats.Errors) < opts.MaxErrors {
-					stats.Errors = append(stats.Errors, err.Error())
-				}
-				return t, stats, nil
-			}
-			return nil, stats, err
-		}
-		t.Packets = append(t.Packets, Packet{
-			Time:   math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
-			Size:   int(binary.LittleEndian.Uint32(rec[8:])),
-			Proto:  Protocol(rec[12]),
-			ConnID: int64(binary.LittleEndian.Uint64(rec[13:])),
-		})
-		stats.RecordsKept++
+	t := &PacketTrace{Name: hdr.Name, Horizon: hdr.Horizon, Packets: make([]Packet, 0, capAlloc(hdr.Expected))}
+	for sc.Scan() {
+		t.Packets = append(t.Packets, sc.Packet())
 	}
-	return t, stats, nil
+	if err := sc.Err(); err != nil {
+		return nil, sc.Stats(), err
+	}
+	return t, sc.Stats(), nil
 }
+
+// packetRecordLayout is the fixed-width binary encoding of one Packet.
+var packetRecordLayout = binaryRecord[Packet]{size: 21, decode: func(rec []byte) Packet {
+	return Packet{
+		Time:   math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+		Size:   int(binary.LittleEndian.Uint32(rec[8:])),
+		Proto:  Protocol(rec[12]),
+		ConnID: int64(binary.LittleEndian.Uint64(rec[13:])),
+	}
+}}
 
 func writeHeader(w io.Writer, magic [4]byte, name string, horizon float64, count uint64) error {
 	if len(name) > math.MaxUint16 {

@@ -70,83 +70,21 @@ func parseConnLine(f []string, line int) (Conn, error) {
 // ReadConnTraceWith decodes a connection trace under the given
 // options. In lenient mode malformed records are skipped and
 // accounted in the returned DecodeStats; header errors and resource
-// limits (line length, record count) abort in both modes.
+// limits (line length, record count) abort in both modes. It is a
+// materializing loop over NewConnScanner — streaming consumers that
+// must not hold the full trace use the scanner directly.
 func ReadConnTraceWith(r io.Reader, opts DecodeOptions) (*ConnTrace, DecodeStats, error) {
-	opts = opts.withDefaults()
-	stats := DecodeStats{maxErrors: opts.MaxErrors}
-	cr := &countReader{r: r}
-	var t *ConnTrace
-	err := scanTrace(cr, "#conntrace", opts, &stats, func(name string, horizon float64) {
-		t = &ConnTrace{Name: name, Horizon: horizon}
-	}, func(f []string, line int) error {
-		c, err := parseConnLine(f, line)
-		if err != nil {
-			return err
-		}
-		t.Conns = append(t.Conns, c)
-		return nil
-	})
-	stats.BytesRead = cr.n
-	stats.record(opts.Metrics)
-	if err != nil {
-		return nil, stats, err
-	}
-	return t, stats, nil
-}
-
-// scanTrace is the shared text-decode loop: header, then one record
-// per line with comments and blanks skipped, under the options'
-// resource limits and leniency. onHeader runs once before any record;
-// onRecord appends a decoded record and counts toward MaxRecords.
-func scanTrace(r io.Reader, magic string, opts DecodeOptions, stats *DecodeStats,
-	onHeader func(name string, horizon float64), onRecord func(f []string, line int) error) error {
-	sc := bufio.NewScanner(r)
-	// The scanner's cap is max(limit, cap(buf)), so the initial buffer
-	// must not exceed the configured line limit.
-	initial := 64 * 1024
-	if initial > opts.MaxLineBytes {
-		initial = opts.MaxLineBytes
-	}
-	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return fmt.Errorf("trace: reading header: %w", err)
-		}
-		return fmt.Errorf("trace: empty input")
-	}
-	stats.LinesRead++
-	name, horizon, err := parseHeader(sc.Text(), magic)
-	if err != nil {
-		return err
-	}
-	onHeader(name, horizon)
-	line := 1
+	sc := NewConnScanner(r, opts)
+	t := &ConnTrace{}
 	for sc.Scan() {
-		line++
-		stats.LinesRead++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		if stats.RecordsKept >= opts.MaxRecords {
-			return fmt.Errorf("trace: line %d: record limit %d exceeded", line, opts.MaxRecords)
-		}
-		if err := onRecord(strings.Fields(text), line); err != nil {
-			if opts.Lenient {
-				stats.skip(err)
-				continue
-			}
-			return err
-		}
-		stats.RecordsKept++
+		t.Conns = append(t.Conns, sc.Conn())
 	}
 	if err := sc.Err(); err != nil {
-		if err == bufio.ErrTooLong {
-			return fmt.Errorf("trace: line %d: exceeds %d-byte line limit", line+1, opts.MaxLineBytes)
-		}
-		return err
+		return nil, sc.Stats(), err
 	}
-	return nil
+	hdr := sc.Header()
+	t.Name, t.Horizon = hdr.Name, hdr.Horizon
+	return t, sc.Stats(), nil
 }
 
 // WritePacketTrace encodes a packet trace to w.
@@ -193,26 +131,17 @@ func parsePacketLine(f []string, line int) (Packet, error) {
 // ReadPacketTraceWith decodes a packet trace under the given options;
 // see ReadConnTraceWith for the strict/lenient contract.
 func ReadPacketTraceWith(r io.Reader, opts DecodeOptions) (*PacketTrace, DecodeStats, error) {
-	opts = opts.withDefaults()
-	stats := DecodeStats{maxErrors: opts.MaxErrors}
-	cr := &countReader{r: r}
-	var t *PacketTrace
-	err := scanTrace(cr, "#pkttrace", opts, &stats, func(name string, horizon float64) {
-		t = &PacketTrace{Name: name, Horizon: horizon}
-	}, func(f []string, line int) error {
-		p, err := parsePacketLine(f, line)
-		if err != nil {
-			return err
-		}
-		t.Packets = append(t.Packets, p)
-		return nil
-	})
-	stats.BytesRead = cr.n
-	stats.record(opts.Metrics)
-	if err != nil {
-		return nil, stats, err
+	sc := NewPacketScanner(r, opts)
+	t := &PacketTrace{}
+	for sc.Scan() {
+		t.Packets = append(t.Packets, sc.Packet())
 	}
-	return t, stats, nil
+	if err := sc.Err(); err != nil {
+		return nil, sc.Stats(), err
+	}
+	hdr := sc.Header()
+	t.Name, t.Horizon = hdr.Name, hdr.Horizon
+	return t, sc.Stats(), nil
 }
 
 // nameField makes a trace name safe for the single-token header field.

@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record-at-a-time decoding. The batch readers (ReadConnTraceWith and
+// friends) materialize the whole trace before returning, which caps
+// analyses at available memory. The scanners below pull one record at
+// a time instead, so a streaming consumer (internal/stream,
+// cmd/wanstream, wanstats -stream) ingests traces of any length in
+// bounded memory. The batch readers are thin loops over these
+// scanners, so both paths share one decode implementation — the same
+// strict/lenient semantics, resource limits and DecodeStats
+// accounting documented in decode.go.
+//
+// Usage:
+//
+//	sc := trace.NewConnScanner(r, opts)
+//	for sc.Scan() {
+//		c := sc.Conn()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//	stats := sc.Stats()
+//
+// The header is read lazily on the first Scan (or Header) call; a
+// header error surfaces through Err. Metrics (DecodeOptions.Metrics)
+// are recorded once, when the scan terminates — EOF, error, or header
+// failure — matching the batch readers' accounting.
+
+// Kind classifies a trace stream's record type.
+type Kind uint8
+
+// Trace kinds recognized by Sniff.
+const (
+	KindUnknown Kind = iota
+	KindConn
+	KindPacket
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindConn:
+		return "conn"
+	case KindPacket:
+		return "packet"
+	}
+	return "unknown"
+}
+
+// Header is the metadata of a scanned trace.
+type Header struct {
+	Kind    Kind
+	Name    string
+	Horizon float64
+	Binary  bool
+	// Expected is the record count a binary header promises (0 for
+	// text traces, which carry no count).
+	Expected uint64
+}
+
+// Sniff peeks at the buffered reader and classifies the trace without
+// consuming any bytes, so the appropriate scanner can be constructed
+// over the same reader.
+func Sniff(br *bufio.Reader) (Kind, error) {
+	kind, _, err := SniffHeader(br)
+	return kind, err
+}
+
+// SniffHeader classifies both the trace kind and its encoding without
+// consuming any bytes: binary is true for the WCT1/WPT1 framing, false
+// for the text formats.
+func SniffHeader(br *bufio.Reader) (kind Kind, binary bool, err error) {
+	magic, err := br.Peek(10)
+	if err != nil && len(magic) < 4 {
+		return KindUnknown, false, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	s := string(magic)
+	switch {
+	case strings.HasPrefix(s, "#conntrace"):
+		return KindConn, false, nil
+	case strings.HasPrefix(s, string(connMagic[:])):
+		return KindConn, true, nil
+	case strings.HasPrefix(s, "#pkttrace"):
+		return KindPacket, false, nil
+	case strings.HasPrefix(s, string(packetMagic[:])):
+		return KindPacket, true, nil
+	}
+	return KindUnknown, false, fmt.Errorf("trace: unrecognized trace header %q", s)
+}
+
+// scanner is the shared pull-decode state; the exported Conn/Packet
+// scanners embed it with a typed current record.
+type scanner[T any] struct {
+	opts DecodeOptions
+	cr   *countReader
+
+	hdr   Header
+	stats DecodeStats
+
+	// pull reads the next record. ok=false with nil err is clean EOF.
+	pull func() (rec T, ok bool, err error)
+	// start reads the header and installs pull; run lazily once.
+	start func() error
+
+	started  bool
+	done     bool
+	recorded bool
+	err      error
+	cur      T
+}
+
+// init runs the deferred header read.
+func (s *scanner[T]) init() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if err := s.start(); err != nil {
+		s.fail(err)
+	}
+}
+
+// fail terminates the scan with an error.
+func (s *scanner[T]) fail(err error) {
+	s.err = err
+	s.finish()
+}
+
+// finish closes out the scan and records metrics exactly once.
+func (s *scanner[T]) finish() {
+	s.done = true
+	if !s.recorded {
+		s.recorded = true
+		s.stats.BytesRead = s.cr.n
+		s.stats.record(s.opts.Metrics)
+	}
+}
+
+// Scan advances to the next record, returning false at end of trace
+// or on error (check Err).
+func (s *scanner[T]) Scan() bool {
+	s.init()
+	if s.done {
+		return false
+	}
+	rec, ok, err := s.pull()
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	if !ok {
+		s.finish()
+		return false
+	}
+	s.cur = rec
+	return true
+}
+
+// Err returns the terminal error, if any. Clean EOF is not an error.
+func (s *scanner[T]) Err() error { return s.err }
+
+// Header returns the trace metadata, forcing the header read; on a
+// header error it returns the zero Header and Err is set.
+func (s *scanner[T]) Header() Header {
+	s.init()
+	return s.hdr
+}
+
+// Stats returns a snapshot of the decode accounting. BytesRead
+// includes readahead buffered past the last decoded record.
+func (s *scanner[T]) Stats() DecodeStats {
+	st := s.stats
+	if st.BytesRead == 0 {
+		st.BytesRead = s.cr.n
+	}
+	return st
+}
+
+// ConnScanner yields one connection record at a time.
+type ConnScanner struct {
+	scanner[Conn]
+}
+
+// Conn returns the current record after a true Scan.
+func (s *ConnScanner) Conn() Conn { return s.cur }
+
+// PacketScanner yields one packet record at a time.
+type PacketScanner struct {
+	scanner[Packet]
+}
+
+// Packet returns the current record after a true Scan.
+func (s *PacketScanner) Packet() Packet { return s.cur }
+
+// NewConnScanner returns a streaming reader for a text connection
+// trace.
+func NewConnScanner(r io.Reader, opts DecodeOptions) *ConnScanner {
+	s := &ConnScanner{}
+	initTextScanner(&s.scanner, r, opts, "#conntrace", KindConn, parseConnLine)
+	return s
+}
+
+// NewPacketScanner returns a streaming reader for a text packet trace.
+func NewPacketScanner(r io.Reader, opts DecodeOptions) *PacketScanner {
+	s := &PacketScanner{}
+	initTextScanner(&s.scanner, r, opts, "#pkttrace", KindPacket, parsePacketLine)
+	return s
+}
+
+// initTextScanner wires the shared text pull loop: header line, then
+// one record per line with comments and blanks skipped, under the
+// options' resource limits and leniency.
+func initTextScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
+	magic string, kind Kind, parse func(f []string, line int) (T, error)) {
+	opts = opts.withDefaults()
+	s.opts = opts
+	s.stats = DecodeStats{maxErrors: opts.MaxErrors}
+	s.cr = &countReader{r: r}
+	sc := bufio.NewScanner(s.cr)
+	// The bufio.Scanner's cap is max(limit, cap(buf)), so the initial
+	// buffer must not exceed the configured line limit.
+	initial := 64 * 1024
+	if initial > opts.MaxLineBytes {
+		initial = opts.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
+	line := 0
+	s.start = func() error {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return fmt.Errorf("trace: reading header: %w", err)
+			}
+			return fmt.Errorf("trace: empty input")
+		}
+		line = 1
+		s.stats.LinesRead++
+		name, horizon, err := parseHeader(sc.Text(), magic)
+		if err != nil {
+			return err
+		}
+		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon}
+		return nil
+	}
+	s.pull = func() (rec T, ok bool, err error) {
+		for sc.Scan() {
+			line++
+			s.stats.LinesRead++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			if s.stats.RecordsKept >= opts.MaxRecords {
+				return rec, false, fmt.Errorf("trace: line %d: record limit %d exceeded", line, opts.MaxRecords)
+			}
+			rec, perr := parse(strings.Fields(text), line)
+			if perr != nil {
+				if opts.Lenient {
+					s.stats.skip(perr)
+					continue
+				}
+				return rec, false, perr
+			}
+			s.stats.RecordsKept++
+			return rec, true, nil
+		}
+		if err := sc.Err(); err != nil {
+			if err == bufio.ErrTooLong {
+				return rec, false, fmt.Errorf("trace: line %d: exceeds %d-byte line limit", line+1, opts.MaxLineBytes)
+			}
+			return rec, false, err
+		}
+		return rec, false, nil
+	}
+}
+
+// NewConnBinaryScanner returns a streaming reader for a binary
+// connection trace.
+func NewConnBinaryScanner(r io.Reader, opts DecodeOptions) *ConnScanner {
+	s := &ConnScanner{}
+	initBinaryScanner(&s.scanner, r, opts, connMagic, KindConn, connRecordLayout)
+	return s
+}
+
+// NewPacketBinaryScanner returns a streaming reader for a binary
+// packet trace.
+func NewPacketBinaryScanner(r io.Reader, opts DecodeOptions) *PacketScanner {
+	s := &PacketScanner{}
+	initBinaryScanner(&s.scanner, r, opts, packetMagic, KindPacket, packetRecordLayout)
+	return s
+}
+
+// binaryRecord describes one fixed-width record layout: its size and
+// field decoding.
+type binaryRecord[T any] struct {
+	size   int
+	decode func(rec []byte) T
+}
+
+// initBinaryScanner wires the shared binary pull loop: header with an
+// up-front record-count limit check, then fixed-width records. In
+// lenient mode a stream that ends before the header's count is
+// satisfied ends the scan cleanly with the shortfall accounted.
+func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
+	magic [4]byte, kind Kind, layout binaryRecord[T]) {
+	opts = opts.withDefaults()
+	s.opts = opts
+	s.stats = DecodeStats{maxErrors: opts.MaxErrors}
+	s.cr = &countReader{r: r}
+	br := bufio.NewReader(s.cr)
+	var count, next uint64
+	s.start = func() error {
+		name, horizon, c, err := readHeaderWith(br, magic, opts)
+		if err != nil {
+			return err
+		}
+		count = c
+		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Expected: c}
+		return nil
+	}
+	rec := make([]byte, layout.size)
+	s.pull = func() (out T, ok bool, err error) {
+		if next >= count {
+			return out, false, nil
+		}
+		if _, err := io.ReadFull(br, rec); err != nil {
+			err = fmt.Errorf("trace: record %d: %w", next, err)
+			if opts.Lenient {
+				// Account every record the header promised but the
+				// stream did not deliver.
+				s.stats.RecordsSkipped += int(count - next)
+				if len(s.stats.Errors) < opts.MaxErrors {
+					s.stats.Errors = append(s.stats.Errors, err.Error())
+				}
+				return out, false, nil
+			}
+			return out, false, err
+		}
+		next++
+		s.stats.RecordsKept++
+		return layout.decode(rec), true, nil
+	}
+}
