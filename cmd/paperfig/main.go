@@ -19,6 +19,11 @@
 //	                         and a metrics snapshot of the run
 //	paperfig -exp fig2 -cpuprofile cpu.pprof       profile one driver
 //	paperfig -exp all -parallel -progress          progress ticker on stderr
+//	paperfig -exp all -parallel -serve :8077       live monitor while running
+//	                         (/metrics, /healthz, /events, /debug/pprof;
+//	                         watch it with wanmon watch :8077)
+//	paperfig -exp appxa -serve :0 -serve-linger 30s  keep serving after exit
+//	paperfig -exp all -log json                    structured run log on stderr
 //
 // The artifact text is byte-identical between serial and parallel
 // runs — and with retries enabled: every driver owns its RNG and is a
@@ -134,6 +139,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Resume:     *resume,
 		Tracer:     sess.Tracer,
 		Metrics:    sess.Metrics,
+		Events:     sess.Bus,
+		Logger:     sess.Logger,
 	}
 	if *parallel {
 		opts.Workers = *workers // 0 → GOMAXPROCS inside the engine

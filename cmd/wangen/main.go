@@ -10,10 +10,13 @@
 //	wangen -telnet 137 -hours 2 -o t.pkt  FULL-TEL packet trace
 //	wangen -ftp 400 -days 3 -o f.conn     FTP connection trace
 //
-// With no -o the trace is written to stdout. Exit codes follow the
-// internal/cli contract: 0 success, 1 hard failure (output file not
-// writable), 2 usage error (bad flag values, unknown dataset,
-// nothing to do).
+// With no -o the trace is written to stdout. The shared observability
+// flags apply: -serve exposes the run live (/metrics, /healthz,
+// /events, /debug/pprof), -log json writes structured log lines to
+// stderr, and -metrics-out/-trace-out export artifacts on exit. Exit
+// codes follow the internal/cli contract: 0 success, 1 hard failure
+// (output file not writable), 2 usage error (bad flag values, unknown
+// dataset, nothing to do).
 package main
 
 import (

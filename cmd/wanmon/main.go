@@ -1,0 +1,285 @@
+// Command wanmon is the operator console for the live telemetry the
+// other tools expose with -serve (internal/monitor): it attaches to a
+// running tool, validates expositions, and gates benchmark
+// trajectories.
+//
+// Usage:
+//
+//	wanmon watch :8077                  attach to a running tool and
+//	                                    render its /events stream live
+//	wanmon watch -max 50 127.0.0.1:8077 detach after 50 events
+//	wanmon check metrics.txt            validate an OpenMetrics file
+//	wanmon check http://127.0.0.1:8077/metrics   ...or a live endpoint
+//	wanmon bench-diff old.json new.json compare two normalized
+//	                                    BENCH_*.json snapshots
+//	wanmon bench-diff -gate 0.05 -json old.json new.json
+//
+// watch renders one line per event: job-state transitions from the
+// experiment engine (running/retry/ok/error/timeout/canceled), span
+// starts and ends mirrored from the tracer, and a summary when the
+// stream ends. bench-diff applies the shared wantraffic-bench/v1
+// schema (internal/bench): a record must move more than the noise
+// gate (default 10%) in its worse direction to count as a regression.
+//
+// Exit codes follow the internal/cli contract: 0 success, 1 hard
+// failure (endpoint unreachable, invalid exposition), 2 usage error,
+// 3 partial success (bench-diff found regressions — the CI gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"wantraffic/internal/bench"
+	"wantraffic/internal/cli"
+	"wantraffic/internal/monitor"
+	"wantraffic/internal/obs"
+)
+
+func main() {
+	os.Exit(cli.Main("wanmon", run))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return cli.Usagef("usage: wanmon <watch|check|bench-diff> [flags] ...")
+	}
+	switch args[0] {
+	case "watch":
+		return runWatch(args[1:], stdout, stderr)
+	case "check":
+		return runCheck(args[1:], stdout, stderr)
+	case "bench-diff":
+		return runBenchDiff(args[1:], stdout, stderr)
+	default:
+		return cli.Usagef("unknown subcommand %q (want watch, check or bench-diff)", args[0])
+	}
+}
+
+// normalizeBase turns an address argument into a base URL:
+// ":8077" → "http://127.0.0.1:8077", "host:port" → "http://host:port",
+// full URLs pass through with any trailing slash trimmed.
+func normalizeBase(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+func runWatch(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("wanmon watch", stderr)
+	max := fs.Int("max", 0, "detach after this many events (0: until the stream ends)")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0: no limit)")
+	quiet := fs.Bool("quiet", false, "suppress per-span lines; show only job states and the summary")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return cli.Usagef("usage: wanmon watch [flags] <addr>")
+	}
+	base := normalizeBase(fs.Arg(0))
+
+	client := &http.Client{}
+	if *timeout > 0 {
+		client.Timeout = *timeout
+	}
+
+	// /healthz first: fail fast with a clear message when nothing is
+	// serving, and learn the tool name for the banner.
+	tool := "unknown"
+	if resp, err := client.Get(base + "/healthz"); err != nil {
+		return fmt.Errorf("no monitor at %s (is the tool running with -serve?): %w", base, err)
+	} else {
+		var hz struct {
+			Tool string `json:"tool"`
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if json.Unmarshal(raw, &hz) == nil && hz.Tool != "" {
+			tool = hz.Tool
+		}
+	}
+	fmt.Fprintf(stdout, "watching %s (%s)\n", base, tool)
+
+	resp, err := client.Get(base + "/events")
+	if err != nil {
+		return fmt.Errorf("attach %s/events: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("attach %s/events: HTTP %d", base, resp.StatusCode)
+	}
+	return renderEvents(resp.Body, stdout, *max, *quiet)
+}
+
+// watchState tallies the stream for the detach summary.
+type watchState struct {
+	events   int
+	jobs     map[string]string // job ID → last state
+	terminal map[string]int    // terminal state → count
+}
+
+// renderEvents consumes an SSE stream, printing one line per event.
+func renderEvents(r io.Reader, w io.Writer, max int, quiet bool) error {
+	st := watchState{jobs: map[string]string{}, terminal: map[string]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var ev obs.StreamEvent
+			if err := json.Unmarshal([]byte(data), &ev); err == nil {
+				renderEvent(&st, ev, w, quiet)
+			}
+			data = ""
+			if max > 0 && st.events >= max {
+				summarize(&st, w)
+				return nil
+			}
+		}
+	}
+	summarize(&st, w)
+	if err := sc.Err(); err != nil && !strings.Contains(err.Error(), "EOF") {
+		// The server closing the stream mid-read is a normal detach,
+		// not a failure; anything else (timeout, reset) is.
+		return fmt.Errorf("event stream: %w", err)
+	}
+	return nil
+}
+
+func renderEvent(st *watchState, ev obs.StreamEvent, w io.Writer, quiet bool) {
+	st.events++
+	ts := fmt.Sprintf("%9.1fms", ev.TMS)
+	switch ev.Kind {
+	case obs.EventJobState:
+		state := ev.Attrs["state"]
+		st.jobs[ev.Name] = state
+		switch state {
+		case "running", "retry", "resumed":
+		default:
+			st.terminal[state]++
+		}
+		line := fmt.Sprintf("%s  job %-12s %s", ts, ev.Name, state)
+		if a := ev.Attrs["attempt"]; a != "" && a != "1" {
+			line += " (attempt " + a + ")"
+		}
+		fmt.Fprintln(w, line)
+	case obs.EventSpanStart:
+		if !quiet {
+			fmt.Fprintf(w, "%s  span %-12s start\n", ts, ev.Name)
+		}
+	case obs.EventSpanEnd:
+		if !quiet {
+			fmt.Fprintf(w, "%s  span %-12s end (%s ms)\n", ts, ev.Name, ev.Attrs["dur_ms"])
+		}
+	default:
+		fmt.Fprintf(w, "%s  %s %s %v\n", ts, ev.Kind, ev.Name, ev.Attrs)
+	}
+}
+
+func summarize(st *watchState, w io.Writer) {
+	if len(st.jobs) == 0 {
+		fmt.Fprintf(w, "stream ended: %d event(s), no jobs observed\n", st.events)
+		return
+	}
+	var parts []string
+	states := make([]string, 0, len(st.terminal))
+	for s := range st.terminal {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		parts = append(parts, fmt.Sprintf("%d %s", st.terminal[s], s))
+	}
+	fmt.Fprintf(w, "stream ended: %d event(s), %d job(s): %s\n",
+		st.events, len(st.jobs), strings.Join(parts, ", "))
+}
+
+func runCheck(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("wanmon check", stderr)
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return cli.Usagef("usage: wanmon check <file|url>")
+	}
+	src := fs.Arg(0)
+	var data []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(src)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: HTTP %d", src, resp.StatusCode)
+		}
+		if data, err = io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if data, err = os.ReadFile(src); err != nil {
+			return err
+		}
+	}
+	if err := monitor.ValidateOpenMetrics(data); err != nil {
+		return err
+	}
+	fams := monitor.FamilyNames(data)
+	fmt.Fprintf(stdout, "%s: valid OpenMetrics, %d metric families\n", src, len(fams))
+	return nil
+}
+
+func runBenchDiff(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("wanmon bench-diff", stderr)
+	gate := fs.Float64("gate", bench.DefaultGate,
+		"noise gate as a fraction: a record must move more than this in its worse direction to regress")
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return cli.Usagef("usage: wanmon bench-diff [flags] <old.json> <new.json>")
+	}
+	if *gate <= 0 || *gate >= 1 {
+		return cli.Usagef("-gate must be in (0, 1), got %g", *gate)
+	}
+	old, err := bench.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := bench.Load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := bench.Compare(old, cur, *gate)
+	if *jsonOut {
+		raw, err := d.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", raw)
+	} else {
+		fmt.Fprint(stdout, d.Text())
+	}
+	if d.Regressions > 0 {
+		return cli.Partialf("%d benchmark regression(s) beyond the %.0f%% gate", d.Regressions, *gate*100)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wantraffic/internal/bench"
+	"wantraffic/internal/cli"
+	"wantraffic/internal/monitor"
+	"wantraffic/internal/obs"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return cli.ExitCode(err), stdout.String(), stderr.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"watch"},
+		{"check"},
+		{"bench-diff", "only-one.json"},
+		{"bench-diff", "-gate", "1.5", "a.json", "b.json"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runTool(t, args...); code != 2 {
+			t.Errorf("wanmon %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestNormalizeBase(t *testing.T) {
+	cases := map[string]string{
+		":8077":                  "http://127.0.0.1:8077",
+		"127.0.0.1:8077":         "http://127.0.0.1:8077",
+		"http://example.com:80/": "http://example.com:80",
+	}
+	for in, want := range cases {
+		if got := normalizeBase(in); got != want {
+			t.Errorf("normalizeBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWatchRendersLiveRun attaches a watch to a real monitor server
+// while a bus replays an engine-shaped event sequence, checking the
+// rendered lines and summary.
+func TestWatchRendersLiveRun(t *testing.T) {
+	bus := obs.NewBusClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+	tracer := obs.NewTracerClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+	tracer.PublishTo(bus)
+	srv, err := monitor.Start("127.0.0.1:0", monitor.Options{Tool: "paperfig", Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	go func() {
+		for i := 0; i < 100 && bus.Subscribers() == 0; i++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		ctx := obs.WithTracer(context.Background(), tracer)
+		_, sp := obs.StartSpan(ctx, "run")
+		bus.Publish(obs.EventJobState, "fig2", map[string]string{"state": "running", "attempt": "1"})
+		bus.Publish(obs.EventJobState, "fig2", map[string]string{"state": "ok", "attempt": "1"})
+		bus.Publish(obs.EventJobState, "tab3", map[string]string{"state": "running", "attempt": "2"})
+		bus.Publish(obs.EventJobState, "tab3", map[string]string{"state": "error", "attempt": "2"})
+		sp.End()
+	}()
+
+	code, out, stderr := runTool(t, "watch", "-max", "6", srv.Addr())
+	if code != 0 {
+		t.Fatalf("watch exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"watching http://" + srv.Addr() + " (paperfig)",
+		"span run          start",
+		"job fig2         running",
+		"job fig2         ok",
+		"job tab3         running (attempt 2)",
+		"job tab3         error (attempt 2)",
+		"stream ended: 6 event(s), 2 job(s): 1 error, 1 ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchNoServer(t *testing.T) {
+	// Reserved port with nothing listening: fail fast, exit 1.
+	code, _, _ := runTool(t, "watch", "-timeout", "2s", "127.0.0.1:1")
+	if code != 1 {
+		t.Errorf("watch against dead port: exit %d, want 1", code)
+	}
+}
+
+func TestCheckFileAndURL(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("runner.jobs.done").Add(3)
+	reg.Histogram("runner.run_ms", nil).Observe(5)
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	os.WriteFile(good, reg.OpenMetrics(), 0o644)
+	if code, out, _ := runTool(t, "check", good); code != 0 || !strings.Contains(out, "valid OpenMetrics, 2 metric families") {
+		t.Errorf("check good file: exit %d, out %q", code, out)
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("garbage 1\n"), 0o644)
+	if code, _, _ := runTool(t, "check", bad); code != 1 {
+		t.Errorf("check bad file: exit %d, want 1", code)
+	}
+
+	srv, err := monitor.Start("127.0.0.1:0", monitor.Options{Tool: "t", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _, _ := runTool(t, "check", srv.URL()+"/metrics"); code != 0 {
+		t.Errorf("check live endpoint: exit %d, want 0", code)
+	}
+}
+
+func writeBench(t *testing.T, dir, name string, records ...bench.Record) string {
+	t.Helper()
+	f := bench.File{Schema: bench.Schema, Suite: "test", Date: "2026-08-06", Records: records}
+	raw, _ := json.Marshal(f)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchDiffRegressionGate is the ISSUE acceptance criterion: a
+// synthetic 20% regression exits 3; an in-gate drift exits 0.
+func TestBenchDiffRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json",
+		bench.Record{Name: "obs.counter_add", Unit: "ns/op", Value: 10})
+	slower := writeBench(t, dir, "slower.json",
+		bench.Record{Name: "obs.counter_add", Unit: "ns/op", Value: 12}) // +20%
+	steady := writeBench(t, dir, "steady.json",
+		bench.Record{Name: "obs.counter_add", Unit: "ns/op", Value: 10.5}) // +5%
+
+	code, out, _ := runTool(t, "bench-diff", old, slower)
+	if code != 3 {
+		t.Errorf("20%% regression: exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "regression") {
+		t.Errorf("diff table missing regression row:\n%s", out)
+	}
+
+	if code, _, _ := runTool(t, "bench-diff", old, steady); code != 0 {
+		t.Errorf("5%% drift: exit %d, want 0", code)
+	}
+	// A wider gate forgives the 20% move.
+	if code, _, _ := runTool(t, "bench-diff", "-gate", "0.5", old, slower); code != 0 {
+		t.Errorf("20%% under 50%% gate: exit %d, want 0", code)
+	}
+}
+
+func TestBenchDiffJSON(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "o.json", bench.Record{Name: "m", Unit: "ns/op", Value: 100})
+	cur := writeBench(t, dir, "n.json", bench.Record{Name: "m", Unit: "ns/op", Value: 150})
+	code, out, _ := runTool(t, "bench-diff", "-json", old, cur)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3", code)
+	}
+	var d bench.Diff
+	if err := json.Unmarshal([]byte(out), &d); err != nil {
+		t.Fatalf("-json output not JSON: %v\n%s", err, out)
+	}
+	if d.Regressions != 1 || d.Rows[0].DeltaPct != 50 {
+		t.Errorf("diff = %+v", d)
+	}
+}
+
+// TestBenchDiffCommittedTrajectory is the CI smoke contract: the
+// repo's committed BENCH files self-diff to exit 0.
+func TestBenchDiffCommittedTrajectory(t *testing.T) {
+	for _, name := range []string{"BENCH_obs.json", "BENCH_stream.json", "BENCH_mon.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			t.Logf("skipping %s (not committed yet)", name)
+			continue
+		}
+		if code, _, stderr := runTool(t, "bench-diff", path, path); code != 0 {
+			t.Errorf("self-diff of %s: exit %d, stderr %s", name, code, stderr)
+		}
+	}
+}

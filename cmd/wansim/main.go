@@ -18,9 +18,12 @@
 //
 //	wansim -hours 1 -telnet 137 -ftp 40 -o link.pkt
 //	wansim -hours 1 -priority          # TELNET prioritized over bulk
+//	wansim -hours 4 -serve :8077       # watch a long simulation live
 //
-// Exit codes follow the internal/cli contract: 0 success, 1 hard
-// failure, 2 usage error (invalid flag values).
+// The shared observability flags apply (-serve, -log, -metrics-out,
+// -trace-out, -progress; see internal/cli). Exit codes follow the
+// internal/cli contract: 0 success, 1 hard failure, 2 usage error
+// (invalid flag values).
 package main
 
 import (

@@ -18,9 +18,12 @@
 // The paper's own traces were messy (truncated captures, dropped
 // SYN/FIN records — Section II); -lenient ingests such a trace by
 // skipping malformed records with full accounting instead of
-// aborting. Exit codes follow the internal/cli contract: 0 success,
-// 1 hard failure (unreadable trace), 2 usage error, 3 partial
-// success (-lenient decode skipped records; the analysis still ran).
+// aborting. The shared observability flags apply (-serve for a live
+// monitor, -log for structured stderr logs, -metrics-out/-trace-out
+// for exports; see internal/cli). Exit codes follow the internal/cli
+// contract: 0 success, 1 hard failure (unreadable trace), 2 usage
+// error, 3 partial success (-lenient decode skipped records; the
+// analysis still ran).
 package main
 
 import (

@@ -16,6 +16,9 @@
 //	wanstream -shards 8 -eps 0.002 big.conn
 //	wanstream -state sketch.json trace.conn   # persist the merged sketch
 //	wanstream -lenient damaged.conn           # skip malformed records
+//	wanstream -serve :8077 -progress big.conn # live monitor + ticker:
+//	                  # /metrics serves stream.records.ingested and the
+//	                  # per-shard counters while the ingest runs
 //
 // The sketch state written by -state is the deterministic serialized
 // form: re-running with the same trace, seed and shard count yields a

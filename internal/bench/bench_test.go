@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mk(records ...Record) *File {
+	return &File{Schema: Schema, Suite: "test", Date: "2026-08-06", Records: records}
+}
+
+func TestParseValid(t *testing.T) {
+	f := mk(
+		Record{Name: "a.ns", Unit: "ns/op", Value: 7.97},
+		Record{Name: "b.throughput", Unit: "rec/s", Value: 1e6, Better: BetterHigher},
+		Record{Name: "c.spans", Unit: "count", Value: 39, Better: BetterNone},
+	)
+	raw, _ := json.Marshal(f)
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 3 || got.Suite != "test" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, json string
+	}{
+		{"not json", `{`},
+		{"wrong schema", `{"schema":"v0","records":[]}`},
+		{"missing schema", `{"records":[{"name":"a","value":1}]}`},
+		{"unnamed record", `{"schema":"wantraffic-bench/v1","records":[{"value":1}]}`},
+		{"duplicate name", `{"schema":"wantraffic-bench/v1","records":[{"name":"a","value":1},{"name":"a","value":2}]}`},
+		{"bad better", `{"schema":"wantraffic-bench/v1","records":[{"name":"a","value":1,"better":"sideways"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.json)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	raw, _ := json.Marshal(mk(Record{Name: "a", Unit: "ns/op", Value: 1}))
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+// TestCompareTwentyPercentRegression is the ISSUE acceptance case: a
+// synthetic 20% slowdown must clear the default 10% gate.
+func TestCompareTwentyPercentRegression(t *testing.T) {
+	old := mk(Record{Name: "obs.counter_add", Unit: "ns/op", Value: 10})
+	new := mk(Record{Name: "obs.counter_add", Unit: "ns/op", Value: 12})
+	d := Compare(old, new, 0)
+	if d.Gate != DefaultGate {
+		t.Errorf("gate = %g, want default %g", d.Gate, DefaultGate)
+	}
+	if d.Regressions != 1 || d.Rows[0].Verdict != VerdictRegression {
+		t.Errorf("20%% slowdown not flagged: %+v", d.Rows)
+	}
+	if d.Rows[0].DeltaPct != 20 {
+		t.Errorf("DeltaPct = %g, want 20", d.Rows[0].DeltaPct)
+	}
+}
+
+func TestCompareWithinGate(t *testing.T) {
+	old := mk(Record{Name: "a", Unit: "ns/op", Value: 100})
+	new := mk(Record{Name: "a", Unit: "ns/op", Value: 108}) // +8% < 10% gate
+	d := Compare(old, new, 0)
+	if d.Regressions != 0 || d.Rows[0].Verdict != VerdictOK {
+		t.Errorf("8%% drift flagged: %+v", d.Rows)
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	old := mk(
+		Record{Name: "latency", Unit: "ns/op", Value: 100},
+		Record{Name: "throughput", Unit: "rec/s", Value: 100, Better: BetterHigher},
+		Record{Name: "spans", Unit: "count", Value: 100, Better: BetterNone},
+	)
+	new := mk(
+		Record{Name: "latency", Unit: "ns/op", Value: 50},                          // halved: improvement
+		Record{Name: "throughput", Unit: "rec/s", Value: 50, Better: BetterHigher}, // halved: regression
+		Record{Name: "spans", Unit: "count", Value: 500, Better: BetterNone},       // info, never gated
+	)
+	d := Compare(old, new, 0)
+	byName := map[string]string{}
+	for _, r := range d.Rows {
+		byName[r.Name] = r.Verdict
+	}
+	if byName["latency"] != VerdictImprovement {
+		t.Errorf("latency verdict = %s", byName["latency"])
+	}
+	if byName["throughput"] != VerdictRegression {
+		t.Errorf("throughput verdict = %s", byName["throughput"])
+	}
+	if byName["spans"] != VerdictInfo {
+		t.Errorf("spans verdict = %s", byName["spans"])
+	}
+	if d.Regressions != 1 {
+		t.Errorf("Regressions = %d, want 1", d.Regressions)
+	}
+}
+
+func TestCompareAddedRemoved(t *testing.T) {
+	old := mk(Record{Name: "kept", Value: 1}, Record{Name: "gone", Value: 2})
+	new := mk(Record{Name: "kept", Value: 1}, Record{Name: "fresh", Value: 3})
+	d := Compare(old, new, 0)
+	if len(d.Added) != 1 || d.Added[0] != "fresh" {
+		t.Errorf("Added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "gone" {
+		t.Errorf("Removed = %v", d.Removed)
+	}
+	// Added/removed names never count as regressions.
+	if d.Regressions != 0 {
+		t.Errorf("Regressions = %d, want 0", d.Regressions)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	old := mk(Record{Name: "allocs", Unit: "allocs/op", Value: 0})
+	new := mk(Record{Name: "allocs", Unit: "allocs/op", Value: 3})
+	d := Compare(old, new, 0)
+	if d.Rows[0].Verdict != VerdictInfo || d.Regressions != 0 {
+		t.Errorf("zero-baseline row should be info: %+v", d.Rows[0])
+	}
+}
+
+func TestCompareCustomGate(t *testing.T) {
+	old := mk(Record{Name: "a", Value: 100})
+	new := mk(Record{Name: "a", Value: 115}) // +15%
+	if d := Compare(old, new, 0.20); d.Regressions != 0 {
+		t.Error("+15% should pass a 20% gate")
+	}
+	if d := Compare(old, new, 0.05); d.Regressions != 1 {
+		t.Error("+15% should fail a 5% gate")
+	}
+}
+
+func TestDiffRenderers(t *testing.T) {
+	old := mk(Record{Name: "a.ns", Unit: "ns/op", Value: 10}, Record{Name: "b", Value: 1})
+	new := mk(Record{Name: "a.ns", Unit: "ns/op", Value: 20}, Record{Name: "c", Value: 2})
+	d := Compare(old, new, 0)
+
+	text := d.Text()
+	for _, want := range []string{"a.ns", "regression", "added:   c", "removed: b", "1 regression(s)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+
+	raw, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Diff
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("JSON() not decodable: %v", err)
+	}
+	if back.Regressions != 1 || len(back.Rows) != 1 {
+		t.Errorf("JSON round trip = %+v", back)
+	}
+}
+
+// TestCommittedBenchFiles locks the repo's own BENCH_*.json trajectory
+// to the normalized schema and checks the self-diff property the CI
+// smoke job relies on: a file diffed against itself has zero
+// regressions.
+func TestCommittedBenchFiles(t *testing.T) {
+	for _, name := range []string{"BENCH_obs.json", "BENCH_stream.json", "BENCH_mon.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			t.Logf("skipping %s (not committed yet)", name)
+			continue
+		}
+		f, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(f.Records) == 0 {
+			t.Errorf("%s: no records", name)
+		}
+		if d := Compare(f, f, 0); d.Regressions != 0 {
+			t.Errorf("%s: self-diff found %d regressions", name, d.Regressions)
+		}
+	}
+}

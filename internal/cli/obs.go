@@ -2,30 +2,48 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"wantraffic/internal/monitor"
 	"wantraffic/internal/obs"
 )
 
-// ObsFlags bundles the observability flags shared by the four tools:
-// metrics and trace export, CPU/heap profiling, and a progress ticker.
-// Register them with RegisterObs, then Start a session after parsing.
+// ObsFlags bundles the observability flags shared by the tools:
+// metrics and trace export, CPU/heap profiling, a progress ticker,
+// structured logging, and the live monitor server. Register them with
+// RegisterObs, then Start a session after parsing.
 type ObsFlags struct {
 	MetricsOut string
 	TraceOut   string
 	CPUProfile string
 	MemProfile string
 	Progress   bool
+	// Serve, when non-empty, runs the live telemetry server
+	// (internal/monitor) on this address for the whole session.
+	Serve string
+	// ServeLinger keeps the monitor serving this long after the tool's
+	// work finishes, so short runs stay observable; POST /quitquitquit
+	// ends the linger early. Requires Serve.
+	ServeLinger time.Duration
+	// LogFormat selects structured logging on stderr: "json"
+	// (deterministic single-line JSON, internal/obs handler), "text"
+	// (slog text handler), or "" for no logging.
+	LogFormat string
+
+	tool string
 }
 
 // RegisterObs registers the shared observability flags on fs. The
-// returned struct is populated by fs.Parse.
+// returned struct is populated by fs.Parse; the flag set's name is
+// reported as the tool name on /healthz.
 func RegisterObs(fs *flag.FlagSet) *ObsFlags {
-	o := &ObsFlags{}
+	o := &ObsFlags{tool: fs.Name()}
 	fs.StringVar(&o.MetricsOut, "metrics-out", "",
 		"write a metrics snapshot as JSON to this file on exit")
 	fs.StringVar(&o.TraceOut, "trace-out", "",
@@ -36,34 +54,82 @@ func RegisterObs(fs *flag.FlagSet) *ObsFlags {
 		"write a heap profile to this file on exit (inspect with go tool pprof)")
 	fs.BoolVar(&o.Progress, "progress", false,
 		"print a progress line to stderr every 2s while running")
+	fs.StringVar(&o.Serve, "serve", "",
+		"serve live telemetry on this address while running (/metrics, /healthz, /events, /debug/pprof); :0 picks a free port")
+	fs.DurationVar(&o.ServeLinger, "serve-linger", 0,
+		"with -serve: keep serving this long after the work finishes (POST /quitquitquit ends the linger early)")
+	fs.StringVar(&o.LogFormat, "log", "",
+		"structured log format on stderr: json (deterministic one-line JSON) or text; empty disables logging")
 	return o
 }
 
 // ObsSession is the live observability state of one tool invocation.
-// Tracer and Metrics are nil unless the corresponding output was
-// requested, so instrumented code paths stay no-ops by default
-// (nil-receiver semantics in internal/obs).
+// Tracer and Metrics are nil unless an export, the progress ticker or
+// the monitor server needs them, so instrumented code paths stay
+// no-ops by default (nil-receiver semantics in internal/obs). Logger
+// is always non-nil — a discard logger when -log is off — so callers
+// pass it without guarding. Bus and Server are non-nil only under
+// -serve.
 type ObsSession struct {
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+	Bus     *obs.Bus
+	Logger  *slog.Logger
+	Server  *monitor.Server
 
 	flags        *ObsFlags
+	stderr       io.Writer
 	cpuFile      *os.File
 	stopProgress func()
 	closed       bool
 }
 
 // Start begins the session: allocates the tracer/registry the flags
-// call for, starts CPU profiling and the progress ticker. Callers
-// must Close the session; see Close for the deferred-plus-explicit
-// idiom.
+// call for, starts CPU profiling, the progress ticker and the monitor
+// server. Callers must Close the session; see Close for the
+// deferred-plus-explicit idiom.
 func (o *ObsFlags) Start(stderr io.Writer) (*ObsSession, error) {
-	s := &ObsSession{flags: o}
-	if o.TraceOut != "" {
+	if o.ServeLinger != 0 && o.Serve == "" {
+		return nil, Usagef("-serve-linger requires -serve")
+	}
+	if o.ServeLinger < 0 {
+		return nil, Usagef("-serve-linger must be >= 0")
+	}
+	switch o.LogFormat {
+	case "", "json", "text":
+	default:
+		return nil, Usagef("-log must be json, text or empty, got %q", o.LogFormat)
+	}
+	s := &ObsSession{flags: o, stderr: stderr}
+	if o.TraceOut != "" || o.Serve != "" {
 		s.Tracer = obs.NewTracer()
 	}
-	if o.MetricsOut != "" || o.Progress {
+	if o.MetricsOut != "" || o.Progress || o.Serve != "" {
 		s.Metrics = obs.NewRegistry()
+	}
+	switch o.LogFormat {
+	case "json":
+		s.Logger = obs.NewLogger(stderr, nil, slog.LevelInfo)
+	case "text":
+		s.Logger = slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	default:
+		s.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	if o.Serve != "" {
+		s.Bus = obs.NewBus()
+		s.Tracer.PublishTo(s.Bus)
+		srv, err := monitor.Start(o.Serve, monitor.Options{
+			Tool:     o.tool,
+			Registry: s.Metrics,
+			Bus:      s.Bus,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Server = srv
+		// Parseable single line: scripts attach by scraping the URL.
+		fmt.Fprintf(stderr, "monitor: serving on %s\n", srv.URL())
+		s.Logger.Info("monitor serving", "url", srv.URL(), "tool", o.tool)
 	}
 	if o.CPUProfile != "" {
 		f, err := os.Create(o.CPUProfile)
@@ -82,10 +148,12 @@ func (o *ObsFlags) Start(stderr io.Writer) (*ObsSession, error) {
 	return s, nil
 }
 
-// Close stops profiling and writes the requested artifacts (metrics
-// JSON, Chrome trace, heap profile). It is idempotent: tools defer it
-// for cleanup on error paths and also call it explicitly on the
-// success path to surface write errors.
+// Close stops profiling, writes the requested artifacts (metrics
+// JSON, Chrome trace, heap profile), honors the -serve-linger window
+// while the monitor keeps serving the final state, and then shuts the
+// monitor down. It is idempotent: tools defer it for cleanup on error
+// paths and also call it explicitly on the success path to surface
+// write errors.
 func (s *ObsSession) Close() error {
 	if s == nil || s.closed {
 		return nil
@@ -129,6 +197,21 @@ func (s *ObsSession) Close() error {
 		} else {
 			keep(os.WriteFile(s.flags.TraceOut, raw, 0o644))
 		}
+	}
+	if s.Server != nil {
+		// Artifacts are already written, so /metrics serves the run's
+		// final state for the whole linger window.
+		if s.flags.ServeLinger > 0 {
+			fmt.Fprintf(s.stderr, "monitor: work done, serving for %s more (POST %s/quitquitquit to stop)\n",
+				s.flags.ServeLinger, s.Server.URL())
+			t := time.NewTimer(s.flags.ServeLinger)
+			select {
+			case <-t.C:
+			case <-s.Server.QuitRequested():
+			}
+			t.Stop()
+		}
+		keep(s.Server.Close())
 	}
 	return first
 }

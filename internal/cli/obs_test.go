@@ -1,0 +1,137 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func obsFlagsFor(t *testing.T, args ...string) *ObsFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("testtool", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o := RegisterObs(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestObsStartValidation(t *testing.T) {
+	cases := [][]string{
+		{"-serve-linger", "5s"},         // linger without serve
+		{"-log", "yaml"},                // unknown log format
+		{"-serve", ":0", "-log", "xml"}, // unknown format with serve
+	}
+	for _, args := range cases {
+		o := obsFlagsFor(t, args...)
+		if _, err := o.Start(io.Discard); err == nil {
+			t.Errorf("Start(%v): expected usage error", args)
+		} else if ExitCode(err) != 2 {
+			t.Errorf("Start(%v): exit code %d, want 2", args, ExitCode(err))
+		}
+	}
+}
+
+func TestObsSessionDefaults(t *testing.T) {
+	o := obsFlagsFor(t)
+	sess, err := o.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Tracer != nil || sess.Metrics != nil || sess.Bus != nil || sess.Server != nil {
+		t.Error("bare session should not allocate instruments")
+	}
+	if sess.Logger == nil {
+		t.Fatal("Logger must always be non-nil")
+	}
+	sess.Logger.Info("swallowed") // discard logger must not panic
+	if err := sess.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestObsSessionServe(t *testing.T) {
+	o := obsFlagsFor(t, "-serve", "127.0.0.1:0")
+	var stderr bytes.Buffer
+	sess, err := o.Start(&stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Server == nil || sess.Bus == nil || sess.Metrics == nil || sess.Tracer == nil {
+		t.Fatal("-serve must allocate server, bus, registry and tracer")
+	}
+
+	// The announce line is the parseable attach point for scripts.
+	m := regexp.MustCompile(`monitor: serving on (http://\S+)`).FindStringSubmatch(stderr.String())
+	if m == nil {
+		t.Fatalf("no serve announce line in stderr: %q", stderr.String())
+	}
+	if m[1] != sess.Server.URL() {
+		t.Errorf("announced %q, server at %q", m[1], sess.Server.URL())
+	}
+
+	sess.Metrics.Counter("test.hits").Inc()
+	resp, err := http.Get(sess.Server.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "test_hits_total 1") {
+		t.Errorf("live registry not served:\n%s", body)
+	}
+
+	hz, err := http.Get(sess.Server.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hzBody, _ := io.ReadAll(hz.Body)
+	hz.Body.Close()
+	if !strings.Contains(string(hzBody), `"tool":"testtool"`) {
+		t.Errorf("healthz missing tool name: %s", hzBody)
+	}
+}
+
+// TestObsSessionLingerQuit checks the CI-smoke contract: Close blocks
+// for -serve-linger, and POST /quitquitquit releases it early.
+func TestObsSessionLingerQuit(t *testing.T) {
+	o := obsFlagsFor(t, "-serve", "127.0.0.1:0", "-serve-linger", "30s")
+	var stderr bytes.Buffer
+	sess, err := o.Start(&stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := sess.Server.URL()
+	closed := make(chan error, 1)
+	go func() { closed <- sess.Close() }()
+
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned before the linger window: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	resp, err := http.Post(url+"/quitquitquit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Errorf("Close after quit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after POST /quitquitquit")
+	}
+	if !strings.Contains(stderr.String(), "quitquitquit") {
+		t.Errorf("linger announce missing from stderr: %q", stderr.String())
+	}
+}

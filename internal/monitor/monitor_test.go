@@ -1,0 +1,328 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+func startTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("runner.jobs.done").Add(5)
+	reg.Gauge("runner.jobs.total").Set(30)
+	reg.Histogram("runner.run_ms", nil).Observe(12)
+	s := startTestServer(t, Options{Tool: "test", Registry: reg})
+
+	code, body, hdr := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if err := ValidateOpenMetrics([]byte(body)); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{"runner_jobs_done_total 5", "runner_jobs_total 30", "runner_run_ms_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Byte-identical across requests while the registry is unchanged.
+	_, body2, _ := get(t, s.URL()+"/metrics")
+	if body != body2 {
+		t.Error("two /metrics reads of an unchanged registry differ")
+	}
+}
+
+func TestMetricsNilRegistry(t *testing.T) {
+	s := startTestServer(t, Options{Tool: "test"})
+	code, body, _ := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK || body != "# EOF\n" {
+		t.Errorf("nil-registry /metrics = %d %q", code, body)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	s := startTestServer(t, Options{Tool: "paperfig"})
+	code, body, _ := get(t, s.URL()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var resp struct {
+		Status   string  `json:"status"`
+		Tool     string  `json:"tool"`
+		UptimeMS float64 `json:"uptime_ms"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if resp.Status != "ok" || resp.Tool != "paperfig" || resp.UptimeMS < 0 {
+		t.Errorf("healthz = %+v", resp)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	s := startTestServer(t, Options{Tool: "test"})
+	code, body, _ := get(t, s.URL()+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "heap profile") {
+		t.Errorf("GET /debug/pprof/heap = %d, body %.60q", code, body)
+	}
+}
+
+func TestQuitEndpoint(t *testing.T) {
+	s := startTestServer(t, Options{Tool: "test"})
+	code, _, _ := get(t, s.URL()+"/quitquitquit")
+	if code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /quitquitquit = %d, want 405", code)
+	}
+	select {
+	case <-s.QuitRequested():
+		t.Fatal("quit fired on GET")
+	default:
+	}
+	resp, err := http.Post(s.URL()+"/quitquitquit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case <-s.QuitRequested():
+	case <-time.After(2 * time.Second):
+		t.Fatal("QuitRequested not closed after POST")
+	}
+	// Second POST is idempotent.
+	resp, err = http.Post(s.URL()+"/quitquitquit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	ID    string
+	Event string
+	Data  string
+}
+
+// readSSE parses up to n events from an SSE stream.
+func readSSE(t *testing.T, r io.Reader, n int) []sseEvent {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	var out []sseEvent
+	var cur sseEvent
+	for sc.Scan() && len(out) < n {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Data != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ":"):
+			// comment/heartbeat
+		}
+	}
+	return out
+}
+
+func TestEventsSSE(t *testing.T) {
+	bus := obs.NewBusClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+	s := startTestServer(t, Options{Tool: "test", Bus: bus, Heartbeat: 50 * time.Millisecond})
+
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	go func() {
+		// Give the subscription a moment to register, then publish.
+		for i := 0; i < 50 && bus.Subscribers() == 0; i++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		bus.Publish(obs.EventJobState, "fig2", map[string]string{"state": "running", "attempt": "1"})
+		bus.Publish(obs.EventJobState, "fig2", map[string]string{"state": "ok"})
+	}()
+
+	events := readSSE(t, resp.Body, 2)
+	if len(events) != 2 {
+		t.Fatalf("got %d SSE events, want 2", len(events))
+	}
+	if events[0].Event != obs.EventJobState || events[0].ID != "1" {
+		t.Errorf("first event = %+v", events[0])
+	}
+	var ev obs.StreamEvent
+	if err := json.Unmarshal([]byte(events[0].Data), &ev); err != nil {
+		t.Fatalf("SSE data not JSON: %v\n%s", err, events[0].Data)
+	}
+	if ev.Name != "fig2" || ev.Attrs["state"] != "running" {
+		t.Errorf("decoded event = %+v", ev)
+	}
+}
+
+func TestEventsSpanMirror(t *testing.T) {
+	bus := obs.NewBus()
+	tracer := obs.NewTracer()
+	tracer.PublishTo(bus)
+	s := startTestServer(t, Options{Tool: "test", Bus: bus})
+
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	go func() {
+		for i := 0; i < 50 && bus.Subscribers() == 0; i++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		ctx := obs.WithTracer(context.Background(), tracer)
+		_, sp := obs.StartSpan(ctx, "stream.ingest")
+		sp.End()
+	}()
+
+	events := readSSE(t, resp.Body, 2)
+	if len(events) != 2 || events[0].Event != obs.EventSpanStart || events[1].Event != obs.EventSpanEnd {
+		t.Fatalf("span mirror events = %+v", events)
+	}
+}
+
+func TestEventsNilBusHeartbeats(t *testing.T) {
+	s := startTestServer(t, Options{Tool: "test", Heartbeat: 20 * time.Millisecond})
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.After(5 * time.Second)
+	found := make(chan bool, 1)
+	go func() {
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), ": ping") {
+				found <- true
+				return
+			}
+		}
+		found <- false
+	}()
+	select {
+	case ok := <-found:
+		if !ok {
+			t.Error("stream ended without a heartbeat")
+		}
+	case <-deadline:
+		t.Error("no heartbeat within deadline")
+	}
+}
+
+func TestCloseTerminatesSSE(t *testing.T) {
+	bus := obs.NewBus()
+	s, err := Start("127.0.0.1:0", Options{Tool: "test", Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(s.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, resp.Body) // returns when the server closes
+		close(done)
+	}()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Error("SSE stream still open after Close")
+	}
+}
+
+func TestValidateOpenMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a.count").Add(1)
+	reg.Gauge("b.gauge").Set(2.5)
+	reg.Histogram("c.h_ms", nil).Observe(3)
+	if err := ValidateOpenMetrics(reg.OpenMetrics()); err != nil {
+		t.Errorf("registry exposition rejected: %v", err)
+	}
+
+	bad := []struct {
+		name, text string
+	}{
+		{"no EOF", "# TYPE a counter\na_total 1\n"},
+		{"undeclared sample", "undeclared 1\n# EOF\n"},
+		{"counter without _total", "# TYPE a counter\na 1\n# EOF\n"},
+		{"negative counter", "# TYPE a counter\na_total -1\n# EOF\n"},
+		{"bad value", "# TYPE a gauge\na xyz\n# EOF\n"},
+		{"non-cumulative buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n# EOF\n"},
+		{"missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# EOF\n"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n# EOF\n"},
+		{"content after EOF", "# EOF\n# TYPE a counter\n"},
+		{"bad type", "# TYPE a summary\n# EOF\n"},
+	}
+	for _, c := range bad {
+		if err := ValidateOpenMetrics([]byte(c.text)); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestFamilyNames(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("z.last").Inc()
+	reg.Gauge("a.first").Set(1)
+	got := FamilyNames(reg.OpenMetrics())
+	want := []string{"a_first", "z_last"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("FamilyNames = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,214 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateOpenMetrics is the promtool-free exposition checker used by
+// the monitor tests, wanmon check, and the CI smoke job. It verifies
+// the subset of the OpenMetrics text format the registry emits:
+//
+//   - metric and label names match the exposition grammar;
+//   - every sample belongs to a family declared by a # TYPE line
+//     before it, with the kind-appropriate suffix (counters: _total;
+//     histograms: _bucket/_sum/_count);
+//   - histogram buckets are cumulative (non-decreasing counts), end
+//     at le="+Inf", and the +Inf bucket equals the _count sample;
+//   - sample values parse as OpenMetrics numbers;
+//   - the exposition ends with exactly one # EOF terminator.
+func ValidateOpenMetrics(data []byte) error {
+	text := string(data)
+	if !strings.HasSuffix(text, "# EOF\n") && text != "# EOF" {
+		return fmt.Errorf("openmetrics: missing '# EOF' terminator")
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+
+	types := map[string]string{}     // family → kind
+	hists := map[string]*histCheck{} // family → bucket state
+	counts := map[string]float64{}   // histogram family → _count value
+	sawEOF := false
+	for i, line := range lines {
+		lineNo := i + 1
+		if sawEOF {
+			return fmt.Errorf("openmetrics: line %d: content after # EOF", lineNo)
+		}
+		switch {
+		case line == "# EOF":
+			sawEOF = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("openmetrics: line %d: malformed TYPE line", lineNo)
+			}
+			name, kind := parts[0], parts[1]
+			if !nameRE.MatchString(name) {
+				return fmt.Errorf("openmetrics: line %d: bad metric name %q", lineNo, name)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				return fmt.Errorf("openmetrics: line %d: unsupported type %q", lineNo, kind)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("openmetrics: line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			types[name] = kind
+			if kind == "histogram" {
+				hists[name] = &histCheck{}
+			}
+		case strings.HasPrefix(line, "# HELP "):
+			// HELP is free text; nothing to check beyond the prefix.
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("openmetrics: line %d: unknown comment %q", lineNo, line)
+		case strings.TrimSpace(line) == "":
+			return fmt.Errorf("openmetrics: line %d: blank line", lineNo)
+		default:
+			if err := checkSample(line, types, hists, counts); err != nil {
+				return fmt.Errorf("openmetrics: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if !sawEOF {
+		return fmt.Errorf("openmetrics: missing '# EOF' terminator")
+	}
+	for fam, h := range hists {
+		if !h.sawInf {
+			return fmt.Errorf("openmetrics: histogram %q has no le=\"+Inf\" bucket", fam)
+		}
+		if c, ok := counts[fam]; !ok {
+			return fmt.Errorf("openmetrics: histogram %q missing _count", fam)
+		} else if c != h.last {
+			return fmt.Errorf("openmetrics: histogram %q: _count %g != +Inf bucket %g", fam, c, h.last)
+		}
+	}
+	return nil
+}
+
+var (
+	nameRE   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	labelRE  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+type histCheck struct {
+	lastLE float64
+	last   float64
+	sawAny bool
+	sawInf bool
+}
+
+func checkSample(line string, types map[string]string, hists map[string]*histCheck, counts map[string]float64) error {
+	m := sampleRE.FindStringSubmatch(line)
+	if m == nil {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	name, labels, valueStr := m[1], m[2], m[3]
+	value, err := parseOMNumber(valueStr)
+	if err != nil {
+		return fmt.Errorf("sample %q: bad value %q", name, valueStr)
+	}
+	le := ""
+	if labels != "" {
+		for _, l := range strings.Split(strings.Trim(labels, "{}"), ",") {
+			lm := labelRE.FindStringSubmatch(l)
+			if lm == nil {
+				return fmt.Errorf("sample %q: malformed label %q", name, l)
+			}
+			if lm[1] == "le" {
+				le = lm[2]
+			}
+		}
+	}
+
+	// Resolve the sample back to its declared family.
+	fam, suffix := name, ""
+	for _, s := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, s); ok {
+			if _, declared := types[base]; declared {
+				fam, suffix = base, s
+				break
+			}
+		}
+	}
+	kind, declared := types[fam]
+	if !declared {
+		return fmt.Errorf("sample %q has no preceding TYPE declaration", name)
+	}
+	switch kind {
+	case "counter":
+		if suffix != "_total" {
+			return fmt.Errorf("counter %q sample must use the _total suffix, got %q", fam, name)
+		}
+		if value < 0 {
+			return fmt.Errorf("counter %q is negative: %g", fam, value)
+		}
+	case "gauge":
+		if suffix != "" {
+			return fmt.Errorf("gauge %q sample must be unsuffixed, got %q", fam, name)
+		}
+	case "histogram":
+		h := hists[fam]
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("histogram %q bucket missing le label", fam)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("histogram %q: bad le %q", fam, le)
+				}
+			}
+			if h.sawAny && bound <= h.lastLE {
+				return fmt.Errorf("histogram %q: le %q not increasing", fam, le)
+			}
+			if h.sawAny && value < h.last {
+				return fmt.Errorf("histogram %q: bucket counts not cumulative at le=%q", fam, le)
+			}
+			h.lastLE, h.last, h.sawAny = bound, value, true
+			if le == "+Inf" {
+				h.sawInf = true
+			}
+		case "_sum":
+			// any finite number is fine
+		case "_count":
+			counts[fam] = value
+		default:
+			return fmt.Errorf("histogram %q: unexpected sample %q", fam, name)
+		}
+	}
+	return nil
+}
+
+// parseOMNumber parses an OpenMetrics sample value.
+func parseOMNumber(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// FamilyNames extracts the sorted family names of an exposition —
+// used by tests asserting instrumentation coverage.
+func FamilyNames(data []byte) []string {
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) == 2 {
+				out = append(out, parts[0])
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

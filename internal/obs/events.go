@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StreamEvent is one live telemetry event: a span starting or ending,
+// a runner job changing state, or a pipeline shard reporting progress.
+// Events exist for *watching* a run (the monitor server's SSE stream,
+// wanmon watch) — they are never inputs to experiments, so emitting
+// them cannot change artifact bytes.
+//
+// TMS is milliseconds since the bus epoch; under a fixed test clock it
+// is deterministic, under the wall clock only it varies (Seq, Kind,
+// Name and Attrs are pinned by the instrumentation points).
+type StreamEvent struct {
+	Seq   int64             `json:"seq"`
+	TMS   float64           `json:"t_ms"`
+	Kind  string            `json:"kind"`
+	Name  string            `json:"name"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Event kinds published by the repo's instrumentation (DESIGN.md §11).
+const (
+	EventSpanStart = "span_start"
+	EventSpanEnd   = "span_end"
+	EventJobState  = "job_state"
+)
+
+// Bus is a small fan-out event bus: publishers never block, slow
+// subscribers drop (with accounting) rather than stall the run. A nil
+// *Bus is a valid receiver whose methods no-op, mirroring the nil
+// Registry/Span contract, so instrumented code is unconditional.
+type Bus struct {
+	clock Clock
+	epoch time.Time
+
+	mu      sync.Mutex
+	seq     int64
+	nextSub int
+	subs    map[int]chan StreamEvent
+	dropped int64
+}
+
+// NewBus returns a bus on the wall clock.
+func NewBus() *Bus { return NewBusClock(time.Now) }
+
+// NewBusClock returns a bus on the given clock. The first reading
+// becomes the epoch for StreamEvent.TMS.
+func NewBusClock(clock Clock) *Bus {
+	return &Bus{clock: clock, epoch: clock(), subs: make(map[int]chan StreamEvent)}
+}
+
+// Publish fans one event out to every subscriber. The send is
+// non-blocking: a subscriber whose buffer is full misses the event
+// (counted in Dropped). Sequence numbers are assigned under the bus
+// lock, so every subscriber observes a gap-free or monotonically
+// increasing Seq.
+func (b *Bus) Publish(kind, name string, attrs map[string]string) {
+	if b == nil {
+		return
+	}
+	now := b.clock()
+	b.mu.Lock()
+	b.seq++
+	ev := StreamEvent{
+		Seq:   b.seq,
+		TMS:   float64(now.Sub(b.epoch)) / float64(time.Millisecond),
+		Kind:  kind,
+		Name:  name,
+		Attrs: attrs,
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe registers a listener with the given buffer capacity
+// (minimum 1) and returns its channel plus a cancel function. Cancel
+// removes the subscription and closes the channel; it is safe to call
+// more than once and safe against concurrent Publish (both hold the
+// bus lock, so no send can race the close).
+func (b *Bus) Subscribe(buf int) (<-chan StreamEvent, func()) {
+	if b == nil {
+		ch := make(chan StreamEvent)
+		close(ch)
+		return ch, func() {}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan StreamEvent, buf)
+	b.mu.Lock()
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, id)
+			close(ch)
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Dropped returns the total number of events lost to full subscriber
+// buffers (0 on a nil bus).
+func (b *Bus) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Subscribers returns the current subscriber count (0 on a nil bus).
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

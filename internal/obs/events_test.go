@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBusClock(StepClock(TestEpoch, time.Millisecond))
+	ch, cancel := b.Subscribe(8)
+	defer cancel()
+	b.Publish(EventJobState, "fig2", map[string]string{"state": "running"})
+	b.Publish(EventJobState, "fig2", map[string]string{"state": "ok"})
+	ev1, ev2 := <-ch, <-ch
+	if ev1.Seq != 1 || ev2.Seq != 2 {
+		t.Errorf("seq = %d, %d, want 1, 2", ev1.Seq, ev2.Seq)
+	}
+	if ev1.Kind != EventJobState || ev1.Name != "fig2" || ev1.Attrs["state"] != "running" {
+		t.Errorf("unexpected first event: %+v", ev1)
+	}
+	// StepClock: epoch at NewBusClock, then one tick per publish.
+	if ev1.TMS != 1 || ev2.TMS != 2 {
+		t.Errorf("TMS = %g, %g, want 1, 2", ev1.TMS, ev2.TMS)
+	}
+}
+
+func TestBusSlowSubscriberDrops(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Publish("k", "a", nil)
+	b.Publish("k", "b", nil) // buffer full: dropped, not blocked
+	if got := b.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+	if ev := <-ch; ev.Name != "a" {
+		t.Errorf("delivered event = %q, want %q", ev.Name, "a")
+	}
+}
+
+func TestBusCancelClosesChannel(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(1)
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Error("channel should be closed after cancel")
+	}
+	if b.Subscribers() != 0 {
+		t.Errorf("Subscribers() = %d, want 0", b.Subscribers())
+	}
+	b.Publish("k", "after-cancel", nil) // must not panic
+}
+
+func TestBusNilSafety(t *testing.T) {
+	var b *Bus
+	b.Publish("k", "n", nil)
+	if b.Dropped() != 0 || b.Subscribers() != 0 {
+		t.Error("nil bus accounting should be zero")
+	}
+	ch, cancel := b.Subscribe(4)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("nil bus subscription channel should be closed")
+	}
+}
+
+// TestBusRace hammers one bus from concurrent publishers and
+// subscribers under -race. Delivery counts are best-effort (slow
+// subscribers drop), so readers drain whatever arrives and only
+// assert per-subscriber Seq monotonicity.
+func TestBusRace(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	subs := make([]func(), 3)
+	for s := range subs {
+		ch, cancel := b.Subscribe(16)
+		subs[s] = cancel
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for ev := range ch { // drains until cancel closes the channel
+				if ev.Seq <= last {
+					t.Errorf("non-increasing seq: %d after %d", ev.Seq, last)
+				}
+				last = ev.Seq
+			}
+		}()
+	}
+	var pubs sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pubs.Add(1)
+		go func(g int) {
+			defer pubs.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish("k", fmt.Sprintf("p%d", g), map[string]string{"i": fmt.Sprint(i)})
+			}
+		}(g)
+	}
+	pubs.Wait()
+	for _, cancel := range subs {
+		cancel()
+	}
+	wg.Wait()
+}
+
+// TestTracerPublishesSpans checks the tracer→bus mirror: every
+// StartSpan/End pair becomes a span_start/span_end event with span,
+// trace and duration attributes, without touching the tracer's own
+// exports.
+func TestTracerPublishesSpans(t *testing.T) {
+	tr := NewTracerClock(StepClock(TestEpoch, time.Millisecond))
+	b := NewBusClock(StepClock(TestEpoch, time.Millisecond))
+	tr.PublishTo(b)
+	ch, cancel := b.Subscribe(16)
+	defer cancel()
+
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run")
+	_, child := StartSpan(ctx, "job:fig2")
+	child.End()
+	root.End()
+
+	want := []struct{ kind, name string }{
+		{EventSpanStart, "run"},
+		{EventSpanStart, "job:fig2"},
+		{EventSpanEnd, "job:fig2"},
+		{EventSpanEnd, "run"},
+	}
+	for i, w := range want {
+		ev := <-ch
+		if ev.Kind != w.kind || ev.Name != w.name {
+			t.Fatalf("event %d = %s %q, want %s %q", i, ev.Kind, ev.Name, w.kind, w.name)
+		}
+		if ev.Attrs["span"] == "" || ev.Attrs["trace"] == "" {
+			t.Errorf("event %d missing span/trace attrs: %v", i, ev.Attrs)
+		}
+		if w.kind == EventSpanEnd && ev.Attrs["dur_ms"] == "" {
+			t.Errorf("span_end %d missing dur_ms: %v", i, ev.Attrs)
+		}
+	}
+	// The child inherits the root's trace ID.
+	if child.RootID() != root.ID() {
+		t.Errorf("child RootID = %d, want root ID %d", child.RootID(), root.ID())
+	}
+}
+
+func TestSpanIdentityAccessors(t *testing.T) {
+	var nilSpan *Span
+	if nilSpan.ID() != 0 || nilSpan.RootID() != 0 || nilSpan.Name() != "" {
+		t.Error("nil span identity accessors should return zero values")
+	}
+	tr := NewTracerClock(StepClock(TestEpoch, time.Millisecond))
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	if root.ID() != 1 || root.RootID() != 1 {
+		t.Errorf("root ID/RootID = %d/%d, want 1/1", root.ID(), root.RootID())
+	}
+	if child.ID() != 2 || child.RootID() != 1 || child.Name() != "child" {
+		t.Errorf("child ID/RootID/Name = %d/%d/%q", child.ID(), child.RootID(), child.Name())
+	}
+}
+
+func BenchmarkBusPublishNoSubscribers(b *testing.B) {
+	bus := NewBus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(EventJobState, "bench", nil)
+	}
+}
+
+func BenchmarkBusPublishFanout4(b *testing.B) {
+	bus := NewBus()
+	for s := 0; s < 4; s++ {
+		ch, cancel := bus.Subscribe(1024)
+		defer cancel()
+		go func() {
+			for range ch {
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(EventJobState, "bench", nil)
+	}
+	b.StopTimer()
+}

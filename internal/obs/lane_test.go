@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chromeSpans decodes the complete ("X") events of a Chrome trace as
+// (name, tid, ts, dur) tuples.
+type chromeSpan struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	TID   int    `json:"tid"`
+	TS    int64  `json:"ts"`
+	Dur   int64  `json:"dur"`
+}
+
+func decodeChromeSpans(t *testing.T, raw []byte) []chromeSpan {
+	t.Helper()
+	var file struct {
+		TraceEvents []chromeSpan `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	var spans []chromeSpan
+	for _, e := range file.TraceEvents {
+		if e.Phase == "X" {
+			spans = append(spans, e)
+		}
+	}
+	return spans
+}
+
+// TestChromeLaneAssignmentSerial pins the greedy interval coloring on
+// a crafted overlap pattern: r1 [1,3] and r2 [2,5] overlap so r2 gets
+// a second lane; r3 starts at 4, after r1 ended, and reuses lane 1.
+func TestChromeLaneAssignmentSerial(t *testing.T) {
+	tr := NewTracerClock(StepClock(TestEpoch, time.Millisecond))
+	ctx := WithTracer(context.Background(), tr)
+	_, r1 := StartSpan(ctx, "r1") // start t=1ms
+	_, r2 := StartSpan(ctx, "r2") // start t=2ms
+	r1.End()                      // end t=3ms
+	_, r3 := StartSpan(ctx, "r3") // start t=4ms >= r1 end: reuses lane 1
+	r2.End()
+	r3.End()
+
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[string]int{}
+	for _, s := range decodeChromeSpans(t, raw) {
+		lanes[s.Name] = s.TID
+	}
+	if lanes["r1"] != 1 || lanes["r2"] != 2 || lanes["r3"] != 1 {
+		t.Errorf("lanes = %v, want r1:1 r2:2 r3:1", lanes)
+	}
+
+	// Same construction, same bytes: the lane assignment is a pure
+	// function of span intervals and IDs.
+	tr2 := NewTracerClock(StepClock(TestEpoch, time.Millisecond))
+	ctx2 := WithTracer(context.Background(), tr2)
+	_, a1 := StartSpan(ctx2, "r1")
+	_, a2 := StartSpan(ctx2, "r2")
+	a1.End()
+	_, a3 := StartSpan(ctx2, "r3")
+	a2.End()
+	a3.End()
+	raw2, err := tr2.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Error("identical span forests produced different Chrome traces")
+	}
+}
+
+// TestChromeLaneConcurrentRoots creates overlapping root spans from
+// many goroutines (the sharded-pipeline shape: concurrent roots, not
+// one shared parent) while exports run, then checks the coloring
+// invariant: spans sharing a lane never overlap in time. Run under
+// -race this also pins the tracer's root-list locking.
+func TestChromeLaneConcurrentRoots(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, sp := StartSpan(ctx, fmt.Sprintf("root:%d:%d", g, i))
+				sp.SetAttrInt("i", int64(i))
+				time.Sleep(time.Microsecond)
+				sp.End()
+			}
+		}(g)
+	}
+	for i := 0; i < 10; i++ { // exports race span creation
+		if _, err := tr.ChromeTrace(); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := decodeChromeSpans(t, raw)
+	if len(spans) != 160 {
+		t.Fatalf("got %d spans, want 160", len(spans))
+	}
+	byLane := map[int][]chromeSpan{}
+	for _, s := range spans {
+		if s.TID < 1 {
+			t.Fatalf("span %q on invalid lane %d", s.Name, s.TID)
+		}
+		byLane[s.TID] = append(byLane[s.TID], s)
+	}
+	for lane, ls := range byLane {
+		// Events arrive sorted by ts (the export's determinism rule).
+		for i := 1; i < len(ls); i++ {
+			if ls[i].TS < ls[i-1].TS {
+				t.Fatalf("lane %d events not sorted by ts", lane)
+			}
+			if ls[i].TS < ls[i-1].TS+ls[i-1].Dur {
+				t.Errorf("lane %d: %q [%d,%d] overlaps %q starting %d",
+					lane, ls[i-1].Name, ls[i-1].TS, ls[i-1].TS+ls[i-1].Dur, ls[i].Name, ls[i].TS)
+			}
+		}
+	}
+}
+
+// TestProgressStreamMode covers the ticker's streaming branch: with
+// no runner jobs but live ingest counters, the line reports records.
+func TestProgressStreamMode(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	reg := NewRegistry()
+	reg.Counter("stream.records.ingested").Add(51200)
+	stop := StartProgress(w, reg, 2*time.Millisecond)
+	time.Sleep(15 * time.Millisecond)
+	stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "progress: 51200 records ingested") {
+		t.Errorf("stream progress line missing:\n%s", out)
+	}
+}

@@ -24,6 +24,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string // registry name → HELP text (OpenMetrics)
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpenMetrics exposition: the Prometheus-compatible text format the
+// monitor server publishes on /metrics. The rendering is deterministic
+// by construction — families sort by exposition name, bucket bounds
+// keep registration order, and no line carries a timestamp — so two
+// snapshots of registries with identical contents are byte-identical
+// (the acceptance bar the exposition golden test pins).
+//
+// Mapping from the registry's dotted names (DESIGN.md §9) to the
+// exposition grammar:
+//
+//   - every character outside [a-zA-Z0-9_:] becomes '_'
+//     ("runner.jobs.done" → "runner_jobs_done");
+//   - counters gain the OpenMetrics-required "_total" sample suffix;
+//   - histograms emit cumulative "_bucket{le=...}" samples plus
+//     "_sum" and "_count";
+//   - the exposition ends with the mandatory "# EOF" terminator.
+
+// SetHelp registers a HELP string for a metric name (the registry's
+// dotted name, not the sanitized exposition name). Help lines are
+// optional in OpenMetrics; unregistered names render without one.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// SanitizeMetricName maps a registry name onto the exposition
+// grammar: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// omFamily is one family prepared for rendering, pre-sorted by Name.
+type omFamily struct {
+	Name string // sanitized exposition name
+	Kind string // counter | gauge | histogram
+	Reg  string // original registry name (help lookup)
+}
+
+// OpenMetrics renders the registry in the OpenMetrics text format.
+// A nil registry renders the empty exposition ("# EOF" only).
+func (r *Registry) OpenMetrics() []byte {
+	var b bytes.Buffer
+	if r == nil {
+		b.WriteString("# EOF\n")
+		return b.Bytes()
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	fams := make([]omFamily, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		fams = append(fams, omFamily{SanitizeMetricName(n), "counter", n})
+	}
+	for n := range r.gauges {
+		fams = append(fams, omFamily{SanitizeMetricName(n), "gauge", n})
+	}
+	for n := range r.hists {
+		fams = append(fams, omFamily{SanitizeMetricName(n), "histogram", n})
+	}
+	sort.Slice(fams, func(i, j int) bool {
+		if fams[i].Name != fams[j].Name {
+			return fams[i].Name < fams[j].Name
+		}
+		return fams[i].Kind < fams[j].Kind // collision tie-break, still total
+	})
+
+	for _, f := range fams {
+		if help, ok := r.help[f.Reg]; ok && help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		switch f.Kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s_total %d\n", f.Name, r.counters[f.Reg].Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%s %s\n", f.Name, formatFloat(r.gauges[f.Reg].Value()))
+		case "histogram":
+			h := r.hists[f.Reg]
+			var cum int64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatFloat(h.bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.Name, le, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", f.Name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", f.Name, h.Count())
+		}
+	}
+	b.WriteString("# EOF\n")
+	return b.Bytes()
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// expositionRegistry builds the registry every OpenMetrics test
+// shares: one of each kind plus a name needing sanitization.
+func expositionRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("runner.jobs.done").Add(3)
+	r.Counter("trace.records.kept").Add(1200)
+	r.Gauge("runner.jobs.total").Set(30)
+	r.Gauge("par.occupancy").Set(0.75)
+	h := r.Histogram("runner.run_ms", nil)
+	for _, v := range []float64{0.05, 2, 2, 40, 900, 45000} {
+		h.Observe(v)
+	}
+	r.SetHelp("runner.jobs.done", "jobs completed (any status)")
+	return r
+}
+
+func TestOpenMetricsGolden(t *testing.T) {
+	checkGolden(t, "openmetrics.golden.txt", expositionRegistry().OpenMetrics())
+}
+
+// TestOpenMetricsByteIdentical is the acceptance bar: two registries
+// built by the same operations expose byte-identical text.
+func TestOpenMetricsByteIdentical(t *testing.T) {
+	a := expositionRegistry().OpenMetrics()
+	b := expositionRegistry().OpenMetrics()
+	if !bytes.Equal(a, b) {
+		t.Errorf("expositions differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestOpenMetricsShape(t *testing.T) {
+	text := string(expositionRegistry().OpenMetrics())
+	for _, want := range []string{
+		"# HELP runner_jobs_done jobs completed (any status)\n",
+		"# TYPE runner_jobs_done counter\n",
+		"runner_jobs_done_total 3\n",
+		"# TYPE runner_jobs_total gauge\n",
+		"runner_jobs_total 30\n",
+		"par_occupancy 0.75\n",
+		"# TYPE runner_run_ms histogram\n",
+		`runner_run_ms_bucket{le="0.1"} 1` + "\n",
+		`runner_run_ms_bucket{le="+Inf"} 6` + "\n",
+		"runner_run_ms_count 6\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Errorf("exposition must end with # EOF:\n%s", text)
+	}
+	// Families sort by exposition name.
+	if strings.Index(text, "par_occupancy") > strings.Index(text, "runner_jobs_done") {
+		t.Error("families not sorted by name")
+	}
+	// Bucket counts are cumulative: the +Inf bucket equals the count.
+	if !strings.Contains(text, `runner_run_ms_bucket{le="45000"} 6`) &&
+		!strings.Contains(text, `runner_run_ms_bucket{le="30000"} 5`) {
+		t.Errorf("bucket counts not cumulative:\n%s", text)
+	}
+}
+
+func TestOpenMetricsNilRegistry(t *testing.T) {
+	var r *Registry
+	if got := string(r.OpenMetrics()); got != "# EOF\n" {
+		t.Errorf("nil registry exposition = %q, want %q", got, "# EOF\n")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"runner.jobs.done":      "runner_jobs_done",
+		"stream.shard0.records": "stream_shard0_records",
+		"9lives":                "_9lives",
+		"a-b c":                 "a_b_c",
+		"":                      "_",
+		"ok_name:sub":           "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSetHelpNilSafe(t *testing.T) {
+	var r *Registry
+	r.SetHelp("x", "help") // must not panic
+}
+
+func BenchmarkOpenMetrics(b *testing.B) {
+	r := expositionRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.OpenMetrics()
+	}
+}

@@ -15,9 +15,10 @@ import (
 //
 // It reads the metric names the runner maintains ("runner.jobs.total"
 // gauge, "runner.jobs.done"/"runner.jobs.ok"/"runner.retries"
-// counters); with no runner activity it still reports elapsed time.
-// The returned stop function halts the ticker, prints a final line,
-// and is safe to call more than once.
+// counters) and, for streaming ingests with no runner in play, the
+// pipeline's live "stream.records.ingested" counter; with neither it
+// still reports elapsed time. The returned stop function halts the
+// ticker, prints a final line, and is safe to call more than once.
 func StartProgress(w io.Writer, reg *Registry, interval time.Duration) (stop func()) {
 	if reg == nil || interval <= 0 {
 		return func() {}
@@ -28,11 +29,15 @@ func StartProgress(w io.Writer, reg *Registry, interval time.Duration) (stop fun
 		done := reg.Counter("runner.jobs.done").Value()
 		ok := reg.Counter("runner.jobs.ok").Value()
 		retries := reg.Counter("runner.retries").Value()
+		ingested := reg.Counter("stream.records.ingested").Value()
 		elapsed := time.Since(start).Round(time.Second)
-		if total > 0 {
+		switch {
+		case total > 0:
 			fmt.Fprintf(w, "progress: %d/%d jobs done (%d ok, %d retries), elapsed %s\n",
 				done, total, ok, retries, elapsed)
-		} else {
+		case ingested > 0:
+			fmt.Fprintf(w, "progress: %d records ingested, elapsed %s\n", ingested, elapsed)
+		default:
 			fmt.Fprintf(w, "progress: elapsed %s\n", elapsed)
 		}
 	}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"sync"
+	"time"
+)
+
+// Structured logging: a log/slog handler whose JSON output is
+// deterministic — keys render in a fixed order (t, lvl, msg, trace,
+// span, then attributes in their declaration order), the timestamp
+// comes from an injectable Clock, and every record emitted below a
+// span-carrying context is stamped with the ambient trace and span ID
+// (Span.RootID / Span.ID). Under a fixed test clock two identical
+// logging sequences produce byte-identical output, matching the rest
+// of the obs exports.
+//
+// The handler replaces the tools' ad-hoc fmt.Fprintf(stderr, ...)
+// diagnostics: internal/cli builds one per session (-log json|text)
+// and internal/runner logs job lifecycle through it.
+
+// LogHandler implements slog.Handler with deterministic JSON output.
+// Writes are serialized by an internal mutex shared across WithAttrs /
+// WithGroup clones, so one handler may back loggers on many
+// goroutines.
+type LogHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	clock Clock
+	level slog.Level
+	attrs []slog.Attr // pre-bound attributes, already group-prefixed
+	group string      // current group prefix ("a.b." form)
+}
+
+// NewLogHandler returns a handler writing records at or above level
+// to w. A nil clock selects the wall clock.
+func NewLogHandler(w io.Writer, clock Clock, level slog.Level) *LogHandler {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &LogHandler{mu: &sync.Mutex{}, w: w, clock: clock, level: level}
+}
+
+// NewLogger is the convenience constructor tools use:
+// slog.New(NewLogHandler(...)).
+func NewLogger(w io.Writer, clock Clock, level slog.Level) *slog.Logger {
+	return slog.New(NewLogHandler(w, clock, level))
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level
+}
+
+// Handle implements slog.Handler: one JSON object per line.
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	writeJSONString(&b, "t")
+	b.WriteByte(':')
+	writeJSONString(&b, h.clock().UTC().Format("2006-01-02T15:04:05.000Z07:00"))
+	b.WriteString(",")
+	writeJSONString(&b, "lvl")
+	b.WriteByte(':')
+	writeJSONString(&b, rec.Level.String())
+	b.WriteString(",")
+	writeJSONString(&b, "msg")
+	b.WriteByte(':')
+	writeJSONString(&b, rec.Message)
+	if sp := SpanFrom(ctx); sp != nil {
+		fmt.Fprintf(&b, ",\"trace\":%d,\"span\":%d", sp.RootID(), sp.ID())
+		if n := sp.Name(); n != "" {
+			b.WriteString(",")
+			writeJSONString(&b, "span_name")
+			b.WriteByte(':')
+			writeJSONString(&b, n)
+		}
+	}
+	for _, a := range h.attrs {
+		writeAttr(&b, "", a)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.group, a)
+		return true
+	})
+	b.WriteString("}\n")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.w.Write(b.Bytes())
+	return err
+}
+
+// WithAttrs implements slog.Handler: the clone shares the mutex and
+// writer, so interleaved output stays line-atomic.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	c := *h
+	c.attrs = append(append([]slog.Attr(nil), h.attrs...), prefixAttrs(h.group, attrs)...)
+	return &c
+}
+
+// WithGroup implements slog.Handler using dotted key prefixes (the
+// repo's metric-name idiom) rather than nested objects.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	c := *h
+	c.group = h.group + name + "."
+	return &c
+}
+
+func prefixAttrs(group string, attrs []slog.Attr) []slog.Attr {
+	if group == "" {
+		return attrs
+	}
+	out := make([]slog.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = slog.Attr{Key: group + a.Key, Value: a.Value}
+	}
+	return out
+}
+
+// writeAttr appends one ,"key":value pair. Groups flatten to dotted
+// keys; empty-keyed attrs are dropped per the slog contract.
+func writeAttr(b *bytes.Buffer, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if a.Key == "" && v.Kind() != slog.KindGroup {
+		return
+	}
+	if v.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p = prefix + a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			writeAttr(b, p, ga)
+		}
+		return
+	}
+	b.WriteString(",")
+	writeJSONString(b, prefix+a.Key)
+	b.WriteByte(':')
+	switch v.Kind() {
+	case slog.KindInt64:
+		fmt.Fprintf(b, "%d", v.Int64())
+	case slog.KindUint64:
+		fmt.Fprintf(b, "%d", v.Uint64())
+	case slog.KindBool:
+		fmt.Fprintf(b, "%t", v.Bool())
+	case slog.KindFloat64:
+		f := v.Float64()
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			writeJSONString(b, fmt.Sprintf("%g", f))
+		} else {
+			b.WriteString(formatFloat(f))
+		}
+	case slog.KindDuration:
+		writeJSONString(b, v.Duration().String())
+	case slog.KindTime:
+		writeJSONString(b, v.Time().UTC().Format("2006-01-02T15:04:05.000Z07:00"))
+	default:
+		writeJSONString(b, v.String())
+	}
+}
+
+// writeJSONString appends s as a JSON string literal.
+func writeJSONString(b *bytes.Buffer, s string) {
+	raw, err := json.Marshal(s)
+	if err != nil { // unreachable for strings; keep the line well-formed
+		b.WriteString(`""`)
+		return
+	}
+	b.Write(raw)
+}

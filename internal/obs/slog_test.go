@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogHandlerDeterministicJSON(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		log := NewLogger(&buf, StepClock(TestEpoch, time.Second), slog.LevelInfo)
+		log.Info("job done", "id", "fig2", "wall_ms", 12.5, "ok", true, "n", 3)
+		log.Warn("retry", "attempt", 2)
+		return buf.String()
+	}
+	first, second := emit(), emit()
+	if first != second {
+		t.Errorf("log output not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	want := `{"t":"2026-01-01T00:00:00.000Z","lvl":"INFO","msg":"job done","id":"fig2","wall_ms":12.5,"ok":true,"n":3}` + "\n" +
+		`{"t":"2026-01-01T00:00:01.000Z","lvl":"WARN","msg":"retry","attempt":2}` + "\n"
+	if first != want {
+		t.Errorf("log output:\n%s\nwant:\n%s", first, want)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(first), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("line is not valid JSON: %s", line)
+		}
+	}
+}
+
+func TestLogHandlerStampsSpanIDs(t *testing.T) {
+	tr := NewTracerClock(StepClock(TestEpoch, time.Millisecond))
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run")
+	jctx, job := StartSpan(ctx, "job:fig2")
+	defer job.End()
+	defer root.End()
+
+	var buf bytes.Buffer
+	log := NewLogger(&buf, StepClock(TestEpoch, time.Second), slog.LevelInfo)
+	log.InfoContext(jctx, "inside job")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rec["trace"] != float64(root.ID()) || rec["span"] != float64(job.ID()) {
+		t.Errorf("trace/span = %v/%v, want %d/%d", rec["trace"], rec["span"], root.ID(), job.ID())
+	}
+	if rec["span_name"] != "job:fig2" {
+		t.Errorf("span_name = %v, want job:fig2", rec["span_name"])
+	}
+}
+
+func TestLogHandlerLevelsGroupsAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, StepClock(TestEpoch, time.Second), slog.LevelInfo)
+	log := base.With("tool", "paperfig").WithGroup("runner").With("workers", 4)
+	log.Debug("hidden") // below level: dropped
+	log.Info("go", "jobs", 30, slog.Group("stats", "ok", 29, "err", 1))
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line should be suppressed:\n%s", out)
+	}
+	for _, want := range []string{
+		`"tool":"paperfig"`, `"runner.workers":4`, `"runner.jobs":30`,
+		`"runner.stats.ok":29`, `"runner.stats.err":1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %s:\n%s", want, out)
+		}
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+}
+
+func TestLogHandlerValueKinds(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, StepClock(TestEpoch, time.Second), slog.LevelInfo)
+	log.Info("kinds",
+		"dur", 1500*time.Millisecond,
+		"when", TestEpoch,
+		"quote", `say "hi"`,
+		"any", struct{ X int }{1},
+	)
+	out := buf.String()
+	if !json.Valid([]byte(out)) {
+		t.Fatalf("invalid JSON: %s", out)
+	}
+	for _, want := range []string{`"dur":"1.5s"`, `"when":"2026-01-01T00:00:00.000Z"`, `"quote":"say \"hi\""`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestLogHandlerRace writes through clones from many goroutines into
+// one unsynchronized buffer: the handler's internal mutex (shared by
+// WithAttrs/WithGroup clones) must make that safe — -race verifies.
+func TestLogHandlerRace(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, nil, slog.LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			log := base.With("g", g)
+			for i := 0; i < 100; i++ {
+				log.Info("tick", "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved write produced invalid JSON: %s", line)
+		}
+	}
+}

@@ -17,6 +17,7 @@ type Tracer struct {
 	clock  Clock
 	epoch  time.Time
 	nextID atomic.Int64
+	bus    atomic.Pointer[Bus]
 
 	mu    sync.Mutex
 	roots []*Span
@@ -37,12 +38,24 @@ func NewTracerClock(clock Clock) *Tracer {
 // start.
 func (t *Tracer) SeedIDs(next int64) { t.nextID.Store(next - 1) }
 
+// PublishTo mirrors every span start and end onto the bus as live
+// StreamEvents (EventSpanStart / EventSpanEnd), in addition to the
+// tracer's own in-memory record. A nil bus detaches. Events are
+// observation-only: they never feed back into span state, so exports
+// are byte-identical with or without a bus attached.
+func (t *Tracer) PublishTo(b *Bus) {
+	if t != nil {
+		t.bus.Store(b)
+	}
+}
+
 // Span is one timed operation, possibly nested. A nil *Span is a
 // valid receiver: all methods no-op, so instrumented code needs no
 // "is tracing on" branches.
 type Span struct {
 	tracer *Tracer
 	id     int64
+	rootID int64 // ID of the span's root ancestor; doubles as the trace ID
 	name   string
 	start  time.Time
 
@@ -113,7 +126,9 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		name:   name,
 		start:  t.clock(),
 	}
+	s.rootID = s.id
 	if parent != nil {
+		s.rootID = parent.rootID
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
@@ -122,7 +137,37 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		t.roots = append(t.roots, s)
 		t.mu.Unlock()
 	}
+	if b := t.bus.Load(); b != nil { // guard: avoid attr-map allocation when off
+		b.Publish(EventSpanStart, name, map[string]string{
+			"span": fmt.Sprintf("%d", s.id), "trace": fmt.Sprintf("%d", s.rootID),
+		})
+	}
 	return context.WithValue(ctx, spanKey, s), s
+}
+
+// ID returns the span's sequential identifier (0 on nil).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// RootID returns the ID of the span's root ancestor — the repo's
+// trace ID (0 on nil). Root spans are their own root.
+func (s *Span) RootID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rootID
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
 }
 
 // End marks the span finished. Second and later calls are no-ops, so
@@ -132,11 +177,22 @@ func (s *Span) End() {
 		return
 	}
 	s.mu.Lock()
-	if !s.ended {
+	first := !s.ended
+	if first {
 		s.ended = true
 		s.end = s.tracer.clock()
 	}
+	var dur time.Duration
+	if first {
+		dur = s.end.Sub(s.start)
+	}
 	s.mu.Unlock()
+	if b := s.tracer.bus.Load(); first && b != nil {
+		b.Publish(EventSpanEnd, s.name, map[string]string{
+			"span": fmt.Sprintf("%d", s.id), "trace": fmt.Sprintf("%d", s.rootID),
+			"dur_ms": fmt.Sprintf("%.3f", float64(dur)/float64(time.Millisecond)),
+		})
+	}
 }
 
 // SetAttr annotates the span. Attributes keep insertion order.

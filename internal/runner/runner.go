@@ -20,6 +20,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strings"
 	"text/tabwriter"
@@ -151,6 +152,16 @@ type Options struct {
 	// Metrics, when non-nil, receives the engine's counters and
 	// histograms (runner.* and par.* names; see DESIGN.md §9).
 	Metrics *obs.Registry
+	// Events, when non-nil, receives live job-state transitions
+	// (obs.EventJobState, name = job ID, attrs state/attempt) for the
+	// monitor's /events stream: running, retry, resumed, then the
+	// terminal ok/error/timeout/canceled. Publishing is non-blocking
+	// and drops on slow subscribers, so it cannot stall the engine.
+	Events *obs.Bus
+	// Logger, when non-nil, writes one structured line per job
+	// completion and retry. Log lines carry the ambient span IDs when
+	// the handler is context-aware (internal/obs LogHandler).
+	Logger *slog.Logger
 }
 
 // instr holds the engine's pre-resolved instruments so the hot path
@@ -222,6 +233,10 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 					res.Output = "" // checkpoints pin by digest only
 					rep.Results[i] = res
 					rep.Resumed++
+					if opts.Events != nil {
+						opts.Events.Publish(obs.EventJobState, job.ID,
+							map[string]string{"state": "resumed"})
+					}
 					continue
 				}
 				pending = append(pending, i)
@@ -279,15 +294,27 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 }
 
 // runJob executes one job with the options' retry policy under a
-// "job:<id>" span.
+// "job:<id>" span, mirroring each state transition onto Options.Events
+// and Options.Logger.
 func runJob(ctx context.Context, job Job, opts Options, in *instr) Result {
 	ctx, jspan := obs.StartSpan(ctx, "job:"+job.ID)
 	defer jspan.End()
+	state := func(s string, attempt int) {
+		if opts.Events != nil {
+			opts.Events.Publish(obs.EventJobState, job.ID,
+				map[string]string{"state": s, "attempt": fmt.Sprintf("%d", attempt)})
+		}
+	}
 	for attempt := 1; ; attempt++ {
 		if attempt > 1 {
 			in.retries.Inc()
 			jspan.Event("retry")
+			state("retry", attempt)
+			if opts.Logger != nil {
+				opts.Logger.WarnContext(ctx, "job retrying", "id", job.ID, "attempt", attempt)
+			}
 		}
+		state("running", attempt)
 		res := runOne(ctx, job, opts.Timeout, attempt, in)
 		if res.Attempts != 0 { // 0 = canceled before start: never ran
 			res.Attempts = attempt
@@ -296,6 +323,16 @@ func runJob(ctx context.Context, job Job, opts Options, in *instr) Result {
 			jspan.SetAttr("status", res.Status())
 			if res.Attempts > 1 {
 				jspan.SetAttrInt("attempts", int64(res.Attempts))
+			}
+			state(strings.ToLower(res.Status()), res.Attempts)
+			if opts.Logger != nil {
+				if res.OK() {
+					opts.Logger.InfoContext(ctx, "job done", "id", job.ID,
+						"wall_ms", res.WallMS, "output_bytes", res.OutputBytes)
+				} else {
+					opts.Logger.ErrorContext(ctx, "job failed", "id", job.ID,
+						"status", res.Status(), "error", res.Err)
+				}
 			}
 			return res
 		}
@@ -307,6 +344,7 @@ func runJob(ctx context.Context, job Job, opts Options, in *instr) Result {
 				res.Canceled = true
 				res.Err = "canceled during retry backoff: " + ctx.Err().Error()
 				jspan.SetAttr("status", res.Status())
+				state("canceled", res.Attempts)
 				return res
 			}
 		}

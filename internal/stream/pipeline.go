@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"wantraffic/internal/obs"
 	"wantraffic/internal/par"
@@ -35,8 +36,15 @@ type PipelineOptions struct {
 	ChunkSize int
 	// Config parameterizes the per-shard sketches.
 	Config Config
-	// Metrics, when non-nil, accumulates stream.* counters
-	// (stream.records, stream.chunks, stream.shards).
+	// Metrics, when non-nil, accumulates stream.* instruments: run
+	// totals (stream.records, stream.chunks, stream.shards), the live
+	// ingest counter the progress ticker and /metrics read mid-run
+	// (stream.records.ingested), per-shard work accounting
+	// (stream.shard<i>.records, stream.shard<i>.bytes; decode skips
+	// stay global under trace.records.skipped because records are
+	// dropped before shard assignment), fan-out health gauges
+	// (stream.queue.depth, stream.shards.inflight) and the merge-phase
+	// duration histogram (stream.merge_ms).
 	Metrics *obs.Registry
 }
 
@@ -163,6 +171,14 @@ func runPipeline(ctx context.Context, traceKind string, popts PipelineOptions,
 		chans[i] = make(chan []Obs, 2)
 	}
 
+	// Live instruments, resolved once outside the hot loops. All of
+	// them no-op on a nil registry (nil-receiver semantics), so the
+	// uninstrumented path pays only a few nil checks per chunk.
+	ingested := popts.Metrics.Counter("stream.records.ingested")
+	queueDepth := popts.Metrics.Gauge("stream.queue.depth")
+	inflight := popts.Metrics.Gauge("stream.shards.inflight")
+	mergeMS := popts.Metrics.Histogram("stream.merge_ms", nil)
+
 	var (
 		hdr     trace.Header
 		dstats  trace.DecodeStats
@@ -187,6 +203,12 @@ func runPipeline(ctx context.Context, traceKind string, popts PipelineOptions,
 			next++
 			chunks++
 			buf = buf[:0]
+			ingested.Add(int64(len(chunk)))
+			depth := 0
+			for _, ch := range chans {
+				depth += len(ch)
+			}
+			queueDepth.Set(float64(depth))
 		}
 		hdr, dstats, readErr = read(func(o Obs) {
 			buf = append(buf, o)
@@ -201,16 +223,27 @@ func runPipeline(ctx context.Context, traceKind string, popts PipelineOptions,
 		_, sp := obs.StartSpan(ctx, "stream.shard")
 		defer sp.End()
 		sp.SetAttrInt("shard", int64(s))
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		var bytes float64
 		for chunk := range chans[s] {
 			for _, o := range chunk {
 				shards[s].Observe(o)
+				bytes += o.Value
 			}
 		}
 		sp.SetAttrInt("records", shards[s].Records())
+		if popts.Metrics != nil {
+			popts.Metrics.Counter(fmt.Sprintf("stream.shard%d.records", s)).Add(shards[s].Records())
+			popts.Metrics.Counter(fmt.Sprintf("stream.shard%d.bytes", s)).Add(int64(bytes))
+		}
 	})
+	queueDepth.Set(0)
 
 	_, msp := obs.StartSpan(ctx, "stream.merge")
+	mergeStart := time.Now()
 	merged, err := MergeSketches(shards)
+	mergeMS.Observe(float64(time.Since(mergeStart)) / float64(time.Millisecond))
 	msp.End()
 	if err != nil {
 		return nil, err

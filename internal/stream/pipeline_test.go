@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -211,6 +212,47 @@ func TestPipelineMetricsAndSpans(t *testing.T) {
 		if !strings.Contains(tree, want) {
 			t.Fatalf("span %q missing from:\n%s", want, tree)
 		}
+	}
+}
+
+// TestPipelineLiveMetrics covers the instruments the monitor's
+// /metrics endpoint reads mid-run: the live ingest counter, the
+// per-shard work accounting, and the merge-phase histogram. The
+// chunk→shard assignment is position-based, so per-shard record
+// counts are deterministic for a fixed trace/shards/chunk config.
+func TestPipelineLiveMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	data := encodeConn(t, testConnTrace(1000))
+	res, err := Ingest(context.Background(), bytes.NewReader(data),
+		trace.DecodeOptions{}, PipelineOptions{Shards: 3, ChunkSize: 64, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("stream.records.ingested").Value(); got != res.Sketch.Records() {
+		t.Errorf("stream.records.ingested %d, want %d", got, res.Sketch.Records())
+	}
+	var shardSum int64
+	for s := 0; s < 3; s++ {
+		n := reg.Counter(fmt.Sprintf("stream.shard%d.records", s)).Value()
+		if n == 0 {
+			t.Errorf("shard %d saw no records", s)
+		}
+		if reg.Counter(fmt.Sprintf("stream.shard%d.bytes", s)).Value() == 0 {
+			t.Errorf("shard %d counted no bytes", s)
+		}
+		shardSum += n
+	}
+	if shardSum != res.Sketch.Records() {
+		t.Errorf("per-shard records sum to %d, want %d", shardSum, res.Sketch.Records())
+	}
+	if reg.Histogram("stream.merge_ms", nil).Count() != 1 {
+		t.Error("stream.merge_ms not observed exactly once")
+	}
+	if got := reg.Gauge("stream.shards.inflight").Value(); got != 0 {
+		t.Errorf("stream.shards.inflight = %g after completion, want 0", got)
+	}
+	if got := reg.Gauge("stream.queue.depth").Value(); got != 0 {
+		t.Errorf("stream.queue.depth = %g after completion, want 0", got)
 	}
 }
 
