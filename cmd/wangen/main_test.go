@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+
 	"bytes"
 	"strings"
 	"testing"
+	"wantraffic/internal/trace"
 
 	"wantraffic/internal/cli"
 )
@@ -52,5 +56,70 @@ func TestListAndGenerate(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "#pkttrace full-tel") {
 		t.Errorf("generated trace has wrong header:\n%.80s", out.String())
+	}
+}
+
+// TestBinaryOutput: -binary must emit the compact framing for both
+// trace kinds, decode back to exactly the trace the text encoder
+// describes.
+func TestBinaryOutput(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name  string
+		args  []string
+		magic string
+	}{
+		{"conn", []string{"-ftp", "200", "-days", "1", "-seed", "7"}, "WCT1"},
+		{"packet", []string{"-telnet", "30", "-hours", "0.2", "-seed", "7"}, "WPT1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			textPath := filepath.Join(dir, tc.name+".text")
+			binPath := filepath.Join(dir, tc.name+".bin")
+			var out, errw bytes.Buffer
+			if err := run(append(tc.args, "-o", textPath), &out, &errw); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(append(tc.args, "-binary", "-o", binPath), &out, &errw); err != nil {
+				t.Fatal(err)
+			}
+			text, err := os.ReadFile(textPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin, err := os.ReadFile(binPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(bin, []byte(tc.magic)) {
+				t.Fatalf("-binary output lacks %s magic: % x", tc.magic, bin[:8])
+			}
+			if tc.name == "conn" {
+				want, err := trace.ReadConnTrace(bytes.NewReader(text))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := trace.ReadConnTraceBinary(bytes.NewReader(bin))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Name != want.Name || len(got.Conns) != len(want.Conns) {
+					t.Errorf("binary decodes to %s/%d conns, text to %s/%d",
+						got.Name, len(got.Conns), want.Name, len(want.Conns))
+				}
+			} else {
+				want, err := trace.ReadPacketTrace(bytes.NewReader(text))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := trace.ReadPacketTraceBinary(bytes.NewReader(bin))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Name != want.Name || len(got.Packets) != len(want.Packets) {
+					t.Errorf("binary decodes to %s/%d packets, text to %s/%d",
+						got.Name, len(got.Packets), want.Name, len(want.Packets))
+				}
+			}
+		})
 	}
 }

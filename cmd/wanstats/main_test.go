@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"wantraffic/internal/trace"
 
 	"wantraffic/internal/cli"
 )
@@ -238,5 +239,48 @@ func TestStreamMode(t *testing.T) {
 	err = run([]string{"-stream", damagedTrace(t)}, &out, &errw)
 	if got := cli.ExitCode(err); got != cli.ExitFailure {
 		t.Fatalf("stream strict damaged trace: exit %d, want %d (err: %v)", got, cli.ExitFailure, err)
+	}
+}
+
+// TestBinaryTraceBothModes: the binary encoding must flow through
+// both the batch methodology and the -stream pipeline, producing the
+// same analysis as the text encoding of the same records.
+func TestBinaryTraceBothModes(t *testing.T) {
+	tr := &trace.ConnTrace{Name: "bin-both", Horizon: 3600}
+	for i := 0; i < 300; i++ {
+		tr.Conns = append(tr.Conns, trace.Conn{
+			Start: float64(i) * 10, Duration: 3, Proto: trace.SMTP,
+			BytesOrig: int64(50 + i), BytesResp: int64(20 * i),
+		})
+	}
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "b.conn")
+	binPath := filepath.Join(dir, "b.wct")
+	var buf bytes.Buffer
+	if err := trace.WriteConnTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(textPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := trace.WriteConnTraceBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range [][]string{nil, {"-stream"}} {
+		var textOut, binOut, errw bytes.Buffer
+		if err := run(append(append([]string{}, mode...), textPath), &textOut, &errw); err != nil {
+			t.Fatalf("mode %v text: %v", mode, err)
+		}
+		if err := run(append(append([]string{}, mode...), binPath), &binOut, &errw); err != nil {
+			t.Fatalf("mode %v binary: %v", mode, err)
+		}
+		if textOut.String() != binOut.String() {
+			t.Errorf("mode %v: binary analysis diverges from text:\n--- text\n%s--- binary\n%s",
+				mode, textOut.String(), binOut.String())
+		}
 	}
 }

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"fmt"
+
 	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"wantraffic/internal/trace"
 
 	"wantraffic/internal/cli"
 )
@@ -143,5 +146,99 @@ func TestStateFileDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(states[0], states[1]) {
 		t.Fatal("-state files differ between identical runs")
+	}
+}
+
+// bigTrace writes a trace of n generated records, mangling the record
+// indices in bad (mid-chunk positions when read with a small -chunk).
+func bigTrace(t *testing.T, n int, bad map[int]bool) string {
+	t.Helper()
+	lines := []string{"#conntrace big 7200"}
+	for i := 0; i < n; i++ {
+		if bad[i] {
+			lines = append(lines, "MANGLED record here")
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%d.5 1.0 SMTP %d %d 0", i, 100+i, 200+i))
+	}
+	return writeTrace(t, lines...)
+}
+
+// TestLenientMidChunkSkipAccounting is the regression test for skip
+// accounting inside a batch: with malformed records landing mid-chunk
+// (including two adjacent ones), the partial-success message and the
+// JSON decode stats must report the exact per-record skip count —
+// not a count rounded to chunk granularity.
+func TestLenientMidChunkSkipAccounting(t *testing.T) {
+	bad := map[int]bool{10: true, 57: true, 58: true, 199: true}
+	p := bigTrace(t, 200, bad)
+	var out, errw bytes.Buffer
+	err := run([]string{"-lenient", "-chunk", "16", "-json", p}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitPartial {
+		t.Fatalf("exit %d, want %d (err: %v)", got, cli.ExitPartial, err)
+	}
+	if want := "4 malformed record(s)"; !strings.Contains(err.Error(), want) {
+		t.Errorf("partial message %q, want substring %q", err.Error(), want)
+	}
+	var rep struct {
+		Decode struct {
+			RecordsKept    int `json:"records_kept"`
+			RecordsSkipped int `json:"records_skipped"`
+		} `json:"decode_stats"`
+		Summary struct {
+			Records int64 `json:"records"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Decode.RecordsSkipped != 4 || rep.Decode.RecordsKept != 196 || rep.Summary.Records != 196 {
+		t.Errorf("decode stats %+v / summary records %d, want 4 skipped, 196 kept",
+			rep.Decode, rep.Summary.Records)
+	}
+}
+
+// TestBinaryTraceEndToEnd: a wangen-style binary trace must ingest
+// through the sharded pipeline and summarize identically to the text
+// encoding of the same records — the encodings are interchangeable
+// end to end.
+func TestBinaryTraceEndToEnd(t *testing.T) {
+	tr := &trace.ConnTrace{Name: "bin-e2e", Horizon: 3600}
+	for i := 0; i < 500; i++ {
+		tr.Conns = append(tr.Conns, trace.Conn{
+			Start: float64(i) * 1.5, Duration: 2, Proto: trace.SMTP,
+			BytesOrig: int64(100 + i), BytesResp: int64(40 * i),
+		})
+	}
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "t.conn")
+	binPath := filepath.Join(dir, "t.wct")
+	var buf bytes.Buffer
+	if err := trace.WriteConnTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(textPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := trace.WriteConnTraceBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var textOut, binOut, errw bytes.Buffer
+	if err := run([]string{textPath}, &textOut, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{binPath}, &binOut, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if textOut.String() != binOut.String() {
+		t.Errorf("binary summary diverges from text summary:\n--- text\n%s--- binary\n%s",
+			textOut.String(), binOut.String())
+	}
+	if !strings.Contains(binOut.String(), "500 records") {
+		t.Errorf("binary summary missing record count:\n%s", binOut.String())
 	}
 }

@@ -81,6 +81,14 @@ func (a *AggVar) Observe(x float64) {
 	a.counts.Observe(x)
 }
 
+// ObserveMany folds a batch of event times in — exact integer
+// binning, identical to repeated Observe.
+func (a *AggVar) ObserveMany(xs []float64) {
+	for _, x := range xs {
+		a.Observe(x)
+	}
+}
+
 // Counts returns the base count process as float64s — exactly
 // stats.CountProcess(times, binWidth, horizon) when the horizon is
 // pinned.

@@ -34,6 +34,11 @@ type GK struct {
 	tuples  []gkTuple
 	buf     []float64 // insertion buffer, flushed in sorted order
 	bufSize int
+	// scratch is flush's spare tuple array: each flush builds into it
+	// and retires the old tuples array as the next scratch, so the
+	// steady-state hot path allocates nothing. Never serialized or
+	// cloned — it carries no state, only capacity.
+	scratch []gkTuple
 }
 
 // gkTuple is one summary entry: value v covering g ranks, with rank
@@ -78,14 +83,43 @@ func (g *GK) Observe(x float64) {
 	}
 }
 
-// flush drains the insertion buffer into the tuple list and
-// re-compresses.
+// ObserveMany folds a batch in through the same flush boundaries the
+// per-observation path hits: the buffer fills to exactly bufSize
+// before each flush, so the buffered contents at every flush — and
+// therefore the summary's state — are byte-identical to an Observe
+// loop. Each flush is one sorted-batch insert (sort the buffer, one
+// merge pass against the tuple list, compress).
+func (g *GK) ObserveMany(xs []float64) {
+	for len(xs) > 0 {
+		room := g.bufSize - len(g.buf)
+		if room <= 0 {
+			g.flush()
+			continue
+		}
+		if room > len(xs) {
+			room = len(xs)
+		}
+		g.buf = append(g.buf, xs[:room]...)
+		xs = xs[room:]
+		if len(g.buf) >= g.bufSize {
+			g.flush()
+		}
+	}
+}
+
+// flush drains the insertion buffer into the tuple list (one merge
+// pass over both sorted sequences) and re-compresses. It builds into
+// the scratch array and retires the old tuple array as the next
+// scratch, so steady-state flushes allocate nothing.
 func (g *GK) flush() {
 	if len(g.buf) == 0 {
 		return
 	}
 	sort.Float64s(g.buf)
-	merged := make([]gkTuple, 0, len(g.tuples)+len(g.buf))
+	merged := g.scratch[:0]
+	if cap(merged) < len(g.tuples)+len(g.buf) {
+		merged = make([]gkTuple, 0, len(g.tuples)+len(g.buf))
+	}
 	maxDelta := int64(2 * g.eps * float64(g.n+int64(len(g.buf))))
 	i, j := 0, 0
 	for i < len(g.tuples) || j < len(g.buf) {
@@ -110,6 +144,7 @@ func (g *GK) flush() {
 	}
 	g.n += int64(len(g.buf))
 	g.buf = g.buf[:0]
+	g.scratch = g.tuples[:0]
 	g.tuples = merged
 	g.compress()
 }
@@ -215,11 +250,13 @@ func (g *GK) Merge(other Accumulator) error {
 	return nil
 }
 
-// clone copies the summary (buffer included).
+// clone copies the summary (buffer included; scratch stays behind —
+// sharing it would let two summaries scribble on one array).
 func (g *GK) clone() *GK {
 	c := *g
 	c.tuples = append([]gkTuple(nil), g.tuples...)
 	c.buf = append([]float64(nil), g.buf...)
+	c.scratch = nil
 	return &c
 }
 

@@ -52,6 +52,19 @@ func (h *Log2Hist) Observe(x float64) {
 	h.counts[Exponent(x)]++
 }
 
+// ObserveMany folds a batch in — integer bucket adds, so the loop is
+// trivially identical to repeated Observe.
+func (h *Log2Hist) ObserveMany(xs []float64) {
+	for _, x := range xs {
+		h.total++
+		if !(x > 0) || math.IsInf(x, 1) {
+			h.nonPos++
+			continue
+		}
+		h.counts[Exponent(x)]++
+	}
+}
+
 // BucketCount returns the count of bucket [2^k, 2^(k+1)).
 func (h *Log2Hist) BucketCount(k int) int64 { return h.counts[k] }
 

@@ -44,6 +44,26 @@ func (m *Moments) Observe(x float64) {
 	}
 }
 
+// ObserveMany folds a batch in. The running state lives in locals for
+// the duration of the loop; the arithmetic (and so the resulting
+// bits) is exactly Observe's.
+func (m *Moments) ObserveMany(xs []float64) {
+	n, mean, m2, lo, hi := m.n, m.mean, m.m2, m.min, m.max
+	for _, x := range xs {
+		n++
+		d := x - mean
+		mean += d / float64(n)
+		m2 += d * (x - mean)
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	m.n, m.mean, m.m2, m.min, m.max = n, mean, m2, lo, hi
+}
+
 // Merge combines another Moments using the parallel variance
 // combination: with nA,nB observations, δ = meanB−meanA,
 //

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"wantraffic/internal/obs"
@@ -68,9 +69,294 @@ type Result struct {
 	Shards int
 }
 
+// obsBatch is the pooled fan-out unit shipped from the reader
+// goroutine to a shard worker. The pointer wrapper keeps sync.Pool
+// round-trips allocation-free (a bare slice would be boxed on Put).
+type obsBatch struct {
+	obs []Obs
+}
+
+// The hot-path pools. Record buffers are filled by ScanBatch and read
+// back by the same (reader) goroutine; obs batches cross goroutines
+// from reader to shard worker and return via Put when drained. Both
+// are written before being read on every cycle — only buf[:n] of a
+// ScanBatch result and batch.obs[:len] of a filled batch are ever
+// consumed — so recycled (or even poisoned) buffer contents can never
+// leak into results.
+var (
+	obsBatchPool = sync.Pool{New: func() any { return new(obsBatch) }}
+	connBufPool  = sync.Pool{New: func() any { return new([]trace.Conn) }}
+	pktBufPool   = sync.Pool{New: func() any { return new([]trace.Packet) }}
+)
+
+// Session is a persistent sharded sketch set: each Ingest* call
+// streams one trace (or trace fragment) through the fan-out and folds
+// it into the same per-shard sketches, so a long-running consumer (a
+// daemon draining trace segments, the steady-state benchmarks)
+// amortizes sketch construction and merging across many reads.
+// Merged snapshots the canonical fold at any point. A Session is not
+// safe for concurrent use; calls must be sequential.
+type Session struct {
+	popts  PipelineOptions
+	kind   string
+	shards []*Sketch
+	chunks int64
+	br     *bufio.Reader // reused by IngestReader across calls
+}
+
+// NewSession builds a session for the given trace kind (ConnSketch or
+// PacketSketch).
+func NewSession(traceKind string, popts PipelineOptions) (*Session, error) {
+	popts = popts.withDefaults()
+	shards := make([]*Sketch, popts.Shards)
+	for i := range shards {
+		s, err := NewSketch(traceKind, i, popts.Config)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = s
+	}
+	return &Session{popts: popts, kind: traceKind, shards: shards}, nil
+}
+
+// Shards returns the session's shard count.
+func (s *Session) Shards() int { return s.popts.Shards }
+
+// Records returns the total records folded in across all calls.
+func (s *Session) Records() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.Records()
+	}
+	return n
+}
+
+// IngestReader streams one trace through the session, auto-detecting
+// kind and encoding from the header; the kind must match the
+// session's. It returns the trace header and the exact decode
+// accounting; on a decode error the records decoded before the
+// failure are already folded in (the chaos-harness contract: faults
+// degrade coverage, never correctness).
+func (s *Session) IngestReader(ctx context.Context, r io.Reader, dopts trace.DecodeOptions) (trace.Header, trace.DecodeStats, error) {
+	if s.br == nil {
+		s.br = bufio.NewReader(r)
+	} else {
+		s.br.Reset(r)
+	}
+	kind, binary, err := trace.SniffHeader(s.br)
+	if err != nil {
+		return trace.Header{}, trace.DecodeStats{}, err
+	}
+	switch {
+	case kind == trace.KindConn && s.kind == ConnSketch:
+		sc := trace.NewConnScanner(s.br, dopts)
+		if binary {
+			sc = trace.NewConnBinaryScanner(s.br, dopts)
+		}
+		return s.IngestConns(ctx, sc)
+	case kind == trace.KindPacket && s.kind == PacketSketch:
+		sc := trace.NewPacketScanner(s.br, dopts)
+		if binary {
+			sc = trace.NewPacketBinaryScanner(s.br, dopts)
+		}
+		return s.IngestPackets(ctx, sc)
+	}
+	return trace.Header{}, trace.DecodeStats{},
+		fmt.Errorf("stream: %v trace fed to %s session", kind, s.kind)
+}
+
+// IngestConns streams a connection scanner through the session,
+// deriving per-record observations (total bytes, duration, start-time
+// interarrival gap, arrival time) batch by batch.
+func (s *Session) IngestConns(ctx context.Context, sc *trace.ConnScanner) (trace.Header, trace.DecodeStats, error) {
+	return s.run(ctx, func(emit func(*obsBatch)) (trace.Header, trace.DecodeStats, error) {
+		bufp := connBufPool.Get().(*[]trace.Conn)
+		defer connBufPool.Put(bufp)
+		if cap(*bufp) < s.popts.ChunkSize {
+			*bufp = make([]trace.Conn, s.popts.ChunkSize)
+		}
+		recs := (*bufp)[:s.popts.ChunkSize]
+		var prev float64
+		first := true
+		for {
+			n, err := sc.ScanBatch(recs)
+			if n > 0 {
+				b := getObsBatch(s.popts.ChunkSize)
+				for _, c := range recs[:n] {
+					o := Obs{Time: c.Start, Value: float64(c.Bytes()), Duration: c.Duration}
+					if !first {
+						o.Gap, o.HasGap = c.Start-prev, true
+					}
+					prev, first = c.Start, false
+					b.obs = append(b.obs, o)
+				}
+				emit(b)
+			}
+			if err == io.EOF {
+				return sc.Header(), sc.Stats(), nil
+			}
+			if err != nil {
+				return sc.Header(), sc.Stats(), err
+			}
+		}
+	})
+}
+
+// IngestPackets streams a packet scanner through the session,
+// deriving per-record observations (payload size, interarrival gap,
+// arrival time) batch by batch.
+func (s *Session) IngestPackets(ctx context.Context, sc *trace.PacketScanner) (trace.Header, trace.DecodeStats, error) {
+	return s.run(ctx, func(emit func(*obsBatch)) (trace.Header, trace.DecodeStats, error) {
+		bufp := pktBufPool.Get().(*[]trace.Packet)
+		defer pktBufPool.Put(bufp)
+		if cap(*bufp) < s.popts.ChunkSize {
+			*bufp = make([]trace.Packet, s.popts.ChunkSize)
+		}
+		recs := (*bufp)[:s.popts.ChunkSize]
+		var prev float64
+		first := true
+		for {
+			n, err := sc.ScanBatch(recs)
+			if n > 0 {
+				b := getObsBatch(s.popts.ChunkSize)
+				for _, p := range recs[:n] {
+					o := Obs{Time: p.Time, Value: float64(p.Size)}
+					if !first {
+						o.Gap, o.HasGap = p.Time-prev, true
+					}
+					prev, first = p.Time, false
+					b.obs = append(b.obs, o)
+				}
+				emit(b)
+			}
+			if err == io.EOF {
+				return sc.Header(), sc.Stats(), nil
+			}
+			if err != nil {
+				return sc.Header(), sc.Stats(), err
+			}
+		}
+	})
+}
+
+// getObsBatch draws an empty batch with at least the given capacity
+// from the pool.
+func getObsBatch(capacity int) *obsBatch {
+	b := obsBatchPool.Get().(*obsBatch)
+	if cap(b.obs) < capacity {
+		b.obs = make([]Obs, 0, capacity)
+	} else {
+		b.obs = b.obs[:0]
+	}
+	return b
+}
+
+// run is the shared fan-out engine. One reader goroutine decodes
+// records in ChunkSize batches (interarrival gaps need the previous
+// record, so the derivation cannot itself be sharded) and deals batch
+// i to shard i mod Shards — ScanBatch returns short batches only at
+// end of stream, so batch boundaries fall every ChunkSize kept
+// records, exactly where the record-at-a-time path flushed its
+// chunks. Every shard is drained by its own goroutine (par.ForEach
+// with one worker per shard — fewer would deadlock against the
+// bounded channels), each folding batches into its private sketch
+// via ObserveBatch and recycling them: no cross-goroutine float
+// reduction ever happens, per the repo determinism rule, and the
+// batch→shard assignment is position-based, so each shard's
+// observation subsequence — and therefore its sketch — is independent
+// of scheduling.
+func (s *Session) run(ctx context.Context, read func(emit func(*obsBatch)) (trace.Header, trace.DecodeStats, error)) (trace.Header, trace.DecodeStats, error) {
+	popts := s.popts
+	ctx, span := obs.StartSpan(ctx, "stream.ingest")
+	defer span.End()
+	span.SetAttr("kind", s.kind)
+	span.SetAttrInt("shards", int64(popts.Shards))
+
+	chans := make([]chan *obsBatch, popts.Shards)
+	for i := range chans {
+		chans[i] = make(chan *obsBatch, 2)
+	}
+
+	// Live instruments, resolved once outside the hot loops. All of
+	// them no-op on a nil registry (nil-receiver semantics), so the
+	// uninstrumented path pays only a few nil checks per batch.
+	ingested := popts.Metrics.Counter("stream.records.ingested")
+	queueDepth := popts.Metrics.Gauge("stream.queue.depth")
+	inflight := popts.Metrics.Gauge("stream.shards.inflight")
+
+	var (
+		hdr     trace.Header
+		dstats  trace.DecodeStats
+		readErr error
+	)
+	go func() {
+		defer func() {
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
+		next := 0
+		hdr, dstats, readErr = read(func(b *obsBatch) {
+			n := int64(len(b.obs)) // before send: the worker truncates b on recycle
+			chans[next%popts.Shards] <- b
+			next++
+			s.chunks++
+			ingested.Add(n)
+			depth := 0
+			for _, ch := range chans {
+				depth += len(ch)
+			}
+			queueDepth.Set(float64(depth))
+		})
+	}()
+
+	par.ForEach(popts.Shards, popts.Shards, func(sh int) {
+		_, sp := obs.StartSpan(ctx, "stream.shard")
+		defer sp.End()
+		sp.SetAttrInt("shard", int64(sh))
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		var records int64
+		var bytes float64
+		for b := range chans[sh] {
+			s.shards[sh].ObserveBatch(b.obs)
+			records += int64(len(b.obs))
+			for _, o := range b.obs {
+				bytes += o.Value
+			}
+			b.obs = b.obs[:0]
+			obsBatchPool.Put(b)
+		}
+		sp.SetAttrInt("records", s.shards[sh].Records())
+		if popts.Metrics != nil {
+			// Per-call deltas, so a reused session's counters stay
+			// additive across Ingest* calls.
+			popts.Metrics.Counter(fmt.Sprintf("stream.shard%d.records", sh)).Add(records)
+			popts.Metrics.Counter(fmt.Sprintf("stream.shard%d.bytes", sh)).Add(int64(bytes))
+		}
+	})
+	queueDepth.Set(0)
+	return hdr, dstats, readErr
+}
+
+// Merged snapshots the canonical cross-shard fold: shards are merged
+// in ascending shard index regardless of arrival order, so the result
+// is byte-identical under any shard-completion permutation. The shard
+// sketches are not modified; Merged may be called repeatedly as the
+// session keeps ingesting.
+func (s *Session) Merged(ctx context.Context) (*Sketch, error) {
+	_, msp := obs.StartSpan(ctx, "stream.merge")
+	defer msp.End()
+	mergeMS := s.popts.Metrics.Histogram("stream.merge_ms", nil)
+	start := time.Now()
+	merged, err := MergeSketches(s.shards)
+	mergeMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return merged, err
+}
+
 // Ingest streams a trace of either kind and either encoding through
-// the sharded pipeline, auto-detecting the format from the header. On
-// a decode error (strict-mode malformed record, truncated stream,
+// a fresh sharded session, auto-detecting the format from the header.
+// On a decode error (strict-mode malformed record, truncated stream,
 // resource-limit violation) it still returns the merged sketch over
 // every record decoded before the failure, with DecodeStats accounting
 // for the partial read, alongside the error — the chaos-harness
@@ -98,163 +384,42 @@ func Ingest(ctx context.Context, r io.Reader, dopts trace.DecodeOptions, popts P
 	return nil, fmt.Errorf("stream: unsupported trace kind %v", kind)
 }
 
-// IngestConns streams a connection scanner through the pipeline,
-// deriving per-record observations (total bytes, duration, start-time
-// interarrival gap, arrival time).
+// IngestConns streams a connection scanner through a fresh session
+// and merges; see Ingest for the partial-result contract.
 func IngestConns(ctx context.Context, sc *trace.ConnScanner, popts PipelineOptions) (*Result, error) {
-	return runPipeline(ctx, ConnSketch, popts, func(emit func(Obs)) (trace.Header, trace.DecodeStats, error) {
-		var prev float64
-		first := true
-		for sc.Scan() {
-			c := sc.Conn()
-			o := Obs{Time: c.Start, Value: float64(c.Bytes()), Duration: c.Duration}
-			if !first {
-				o.Gap, o.HasGap = c.Start-prev, true
-			}
-			prev, first = c.Start, false
-			emit(o)
-		}
-		return sc.Header(), sc.Stats(), sc.Err()
-	})
-}
-
-// IngestPackets streams a packet scanner through the pipeline,
-// deriving per-record observations (payload size, interarrival gap,
-// arrival time).
-func IngestPackets(ctx context.Context, sc *trace.PacketScanner, popts PipelineOptions) (*Result, error) {
-	return runPipeline(ctx, PacketSketch, popts, func(emit func(Obs)) (trace.Header, trace.DecodeStats, error) {
-		var prev float64
-		first := true
-		for sc.Scan() {
-			p := sc.Packet()
-			o := Obs{Time: p.Time, Value: float64(p.Size)}
-			if !first {
-				o.Gap, o.HasGap = p.Time-prev, true
-			}
-			prev, first = p.Time, false
-			emit(o)
-		}
-		return sc.Header(), sc.Stats(), sc.Err()
-	})
-}
-
-// runPipeline is the shared fan-out engine. One reader goroutine pulls
-// records sequentially (interarrival gaps need the previous record, so
-// the derivation cannot itself be sharded), batches observations into
-// fixed-size chunks, and deals chunk i to shard i mod Shards. Every
-// shard is drained by its own goroutine (par.ForEach with one worker
-// per shard — fewer would deadlock against the bounded channels), each
-// folding chunks into its private sketch: no cross-goroutine float
-// reduction ever happens, per the repo determinism rule, and the
-// chunk→shard assignment is position-based, so each shard's
-// observation subsequence — and therefore its sketch — is independent
-// of scheduling. The shards are then folded canonically by
-// MergeSketches.
-func runPipeline(ctx context.Context, traceKind string, popts PipelineOptions,
-	read func(emit func(Obs)) (trace.Header, trace.DecodeStats, error)) (*Result, error) {
-	popts = popts.withDefaults()
-	ctx, span := obs.StartSpan(ctx, "stream.ingest")
-	defer span.End()
-	span.SetAttr("kind", traceKind)
-	span.SetAttrInt("shards", int64(popts.Shards))
-
-	shards := make([]*Sketch, popts.Shards)
-	for i := range shards {
-		s, err := NewSketch(traceKind, i, popts.Config)
-		if err != nil {
-			return nil, err
-		}
-		shards[i] = s
-	}
-	chans := make([]chan []Obs, popts.Shards)
-	for i := range chans {
-		chans[i] = make(chan []Obs, 2)
-	}
-
-	// Live instruments, resolved once outside the hot loops. All of
-	// them no-op on a nil registry (nil-receiver semantics), so the
-	// uninstrumented path pays only a few nil checks per chunk.
-	ingested := popts.Metrics.Counter("stream.records.ingested")
-	queueDepth := popts.Metrics.Gauge("stream.queue.depth")
-	inflight := popts.Metrics.Gauge("stream.shards.inflight")
-	mergeMS := popts.Metrics.Histogram("stream.merge_ms", nil)
-
-	var (
-		hdr     trace.Header
-		dstats  trace.DecodeStats
-		readErr error
-		chunks  int64
-	)
-	go func() {
-		defer func() {
-			for _, ch := range chans {
-				close(ch)
-			}
-		}()
-		buf := make([]Obs, 0, popts.ChunkSize)
-		next := 0
-		flush := func() {
-			if len(buf) == 0 {
-				return
-			}
-			chunk := make([]Obs, len(buf))
-			copy(chunk, buf)
-			chans[next%popts.Shards] <- chunk
-			next++
-			chunks++
-			buf = buf[:0]
-			ingested.Add(int64(len(chunk)))
-			depth := 0
-			for _, ch := range chans {
-				depth += len(ch)
-			}
-			queueDepth.Set(float64(depth))
-		}
-		hdr, dstats, readErr = read(func(o Obs) {
-			buf = append(buf, o)
-			if len(buf) == popts.ChunkSize {
-				flush()
-			}
-		})
-		flush()
-	}()
-
-	par.ForEach(popts.Shards, popts.Shards, func(s int) {
-		_, sp := obs.StartSpan(ctx, "stream.shard")
-		defer sp.End()
-		sp.SetAttrInt("shard", int64(s))
-		inflight.Add(1)
-		defer inflight.Add(-1)
-		var bytes float64
-		for chunk := range chans[s] {
-			for _, o := range chunk {
-				shards[s].Observe(o)
-				bytes += o.Value
-			}
-		}
-		sp.SetAttrInt("records", shards[s].Records())
-		if popts.Metrics != nil {
-			popts.Metrics.Counter(fmt.Sprintf("stream.shard%d.records", s)).Add(shards[s].Records())
-			popts.Metrics.Counter(fmt.Sprintf("stream.shard%d.bytes", s)).Add(int64(bytes))
-		}
-	})
-	queueDepth.Set(0)
-
-	_, msp := obs.StartSpan(ctx, "stream.merge")
-	mergeStart := time.Now()
-	merged, err := MergeSketches(shards)
-	mergeMS.Observe(float64(time.Since(mergeStart)) / float64(time.Millisecond))
-	msp.End()
+	sess, err := NewSession(ConnSketch, popts)
 	if err != nil {
 		return nil, err
 	}
-	span.SetAttrInt("records", merged.Records())
-	if popts.Metrics != nil {
-		popts.Metrics.Counter("stream.records").Add(merged.Records())
-		popts.Metrics.Counter("stream.chunks").Add(chunks)
-		popts.Metrics.Counter("stream.shards").Add(int64(popts.Shards))
+	hdr, dstats, readErr := sess.IngestConns(ctx, sc)
+	return sess.finish(ctx, hdr, dstats, readErr)
+}
+
+// IngestPackets streams a packet scanner through a fresh session and
+// merges; see Ingest for the partial-result contract.
+func IngestPackets(ctx context.Context, sc *trace.PacketScanner, popts PipelineOptions) (*Result, error) {
+	sess, err := NewSession(PacketSketch, popts)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Sketch: merged, Header: hdr, Stats: dstats, Shards: popts.Shards}
+	hdr, dstats, readErr := sess.IngestPackets(ctx, sc)
+	return sess.finish(ctx, hdr, dstats, readErr)
+}
+
+// finish merges the session's shards, publishes the run totals, and
+// assembles the Result — returned even when the read failed, so
+// partial ingests keep their coverage.
+func (s *Session) finish(ctx context.Context, hdr trace.Header, dstats trace.DecodeStats, readErr error) (*Result, error) {
+	merged, err := s.Merged(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if s.popts.Metrics != nil {
+		s.popts.Metrics.Counter("stream.records").Add(merged.Records())
+		s.popts.Metrics.Counter("stream.chunks").Add(s.chunks)
+		s.popts.Metrics.Counter("stream.shards").Add(int64(s.popts.Shards))
+	}
+	res := &Result{Sketch: merged, Header: hdr, Stats: dstats, Shards: s.popts.Shards}
 	if readErr != nil {
 		return res, readErr
 	}

@@ -62,6 +62,22 @@ func (r *Reservoir) Observe(x float64) {
 	}
 }
 
+// ObserveMany folds a batch in, consuming exactly the RNG draws an
+// Observe loop would, so the resulting sample is byte-identical.
+func (r *Reservoir) ObserveMany(xs []float64) {
+	i := 0
+	for ; i < len(xs) && len(r.sample) < r.k; i++ {
+		r.n++
+		r.sample = append(r.sample, xs[i])
+	}
+	for ; i < len(xs); i++ {
+		r.n++
+		if j := r.rng.Int63n(r.n); j < int64(r.k) {
+			r.sample[j] = xs[i]
+		}
+	}
+}
+
 // Merge combines another reservoir of the same capacity: each slot of
 // the merged sample is drawn from parent A with probability nA/(nA+nB)
 // (without replacement within each parent), preserving uniformity

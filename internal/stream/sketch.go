@@ -108,6 +108,15 @@ func (d *Dim) Observe(x float64) {
 	d.Sample.Observe(x)
 }
 
+// ObserveMany folds a batch into every accumulator via the batch
+// interface; the final state is byte-identical to an Observe loop.
+func (d *Dim) ObserveMany(xs []float64) {
+	d.Moments.ObserveMany(xs)
+	d.Quant.ObserveMany(xs)
+	d.Hist.ObserveMany(xs)
+	d.Sample.ObserveMany(xs)
+}
+
 // Merge folds another dimension sketch in.
 func (d *Dim) Merge(o *Dim) error {
 	if err := d.Moments.Merge(o.Moments); err != nil {
@@ -189,6 +198,15 @@ type Sketch struct {
 	dims      map[string]*Dim
 	arrivals  *WindowCounter
 	aggVar    *AggVar
+	// scratch holds ObserveBatch's columnar views of the current
+	// batch. Pure working memory: never serialized, never cloned.
+	scratch *batchScratch
+}
+
+// batchScratch is the columnar decomposition of one observation batch,
+// reused across batches so the hot path allocates nothing.
+type batchScratch struct {
+	vals, durs, gaps, times []float64
 }
 
 // NewSketch builds an empty sketch for the given trace kind
@@ -265,6 +283,47 @@ func (s *Sketch) Observe(o Obs) {
 	}
 	s.arrivals.Observe(o.Time)
 	s.aggVar.Observe(o.Time)
+}
+
+// ObserveBatch folds a batch of observation records in. It transposes
+// the batch into per-dimension columns and feeds each accumulator
+// through ObserveMany, which amortizes dispatch while preserving every
+// accumulator's observation subsequence — so the resulting state is
+// byte-identical to calling Observe on each record in order (each
+// accumulator's state depends only on its own input sequence, and the
+// columns keep those sequences intact).
+func (s *Sketch) ObserveBatch(obs []Obs) {
+	if len(obs) == 0 {
+		return
+	}
+	if s.scratch == nil {
+		s.scratch = &batchScratch{}
+	}
+	sc := s.scratch
+	vals, times := sc.vals[:0], sc.times[:0]
+	durs, gaps := sc.durs[:0], sc.gaps[:0]
+	durDim := s.dims["duration"]
+	for _, o := range obs {
+		vals = append(vals, o.Value)
+		times = append(times, o.Time)
+		if durDim != nil {
+			durs = append(durs, o.Duration)
+		}
+		if o.HasGap {
+			gaps = append(gaps, o.Gap)
+		}
+	}
+	sc.vals, sc.durs, sc.gaps, sc.times = vals, durs, gaps, times
+	s.records += int64(len(obs))
+	s.dims[s.valueDim()].ObserveMany(vals)
+	if durDim != nil {
+		durDim.ObserveMany(durs)
+	}
+	if len(gaps) > 0 {
+		s.dims["gap"].ObserveMany(gaps)
+	}
+	s.arrivals.ObserveMany(times)
+	s.aggVar.ObserveMany(times)
 }
 
 // Merge folds another sketch of the same trace kind in. Like every

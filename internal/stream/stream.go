@@ -53,6 +53,12 @@ type Accumulator interface {
 	Count() int64
 	// Observe folds one observation into the sketch.
 	Observe(x float64)
+	// ObserveMany folds a batch of observations in. The final state is
+	// byte-identical to calling Observe on each element in order — the
+	// batch form exists purely to amortize per-record dispatch on the
+	// ingest hot path (and, for GK, to insert the batch through one
+	// sorted merge pass).
+	ObserveMany(xs []float64)
 	// Merge folds another accumulator of the same kind into the
 	// receiver, which afterwards summarizes both observation streams.
 	// Merging an accumulator with itself is allowed (the receiver

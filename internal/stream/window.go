@@ -73,6 +73,14 @@ func (w *WindowCounter) Observe(x float64) {
 	w.counts[i]++
 }
 
+// ObserveMany folds a batch of event times in — exact integer binning,
+// identical to repeated Observe.
+func (w *WindowCounter) ObserveMany(xs []float64) {
+	for _, x := range xs {
+		w.Observe(x)
+	}
+}
+
 // Overflow returns the count of events beyond the MaxWindows cap.
 func (w *WindowCounter) Overflow() int64 { return w.late }
 

@@ -41,30 +41,71 @@ func ReadConnTrace(r io.Reader) (*ConnTrace, error) {
 	return t, err
 }
 
-// parseConnLine decodes one record line of a connection trace.
-func parseConnLine(f []string, line int) (Conn, error) {
+// parseConnLine decodes one record line of a connection trace. The
+// fields arrive as sub-slices of the scanner's line buffer; the
+// string(...) conversions below stay on the stack for short numeric
+// fields (strconv does not retain its argument on success), so the
+// hot path decodes without per-line heap allocation.
+func parseConnLine(f [][]byte, line int) (Conn, error) {
 	var c Conn
 	var err error
 	if len(f) != 6 {
 		return c, fmt.Errorf("trace: line %d: want 6 fields, got %d", line, len(f))
 	}
-	if c.Start, err = strconv.ParseFloat(f[0], 64); err != nil {
+	if c.Start, err = strconv.ParseFloat(string(f[0]), 64); err != nil {
 		return c, fmt.Errorf("trace: line %d: start: %w", line, err)
 	}
-	if c.Duration, err = strconv.ParseFloat(f[1], 64); err != nil {
+	if c.Duration, err = strconv.ParseFloat(string(f[1]), 64); err != nil {
 		return c, fmt.Errorf("trace: line %d: duration: %w", line, err)
 	}
-	c.Proto = ParseProtocol(f[2])
-	if c.BytesOrig, err = strconv.ParseInt(f[3], 10, 64); err != nil {
+	c.Proto = matchProtocol(f[2])
+	if c.BytesOrig, err = strconv.ParseInt(string(f[3]), 10, 64); err != nil {
 		return c, fmt.Errorf("trace: line %d: bytesOrig: %w", line, err)
 	}
-	if c.BytesResp, err = strconv.ParseInt(f[4], 10, 64); err != nil {
+	if c.BytesResp, err = strconv.ParseInt(string(f[4]), 10, 64); err != nil {
 		return c, fmt.Errorf("trace: line %d: bytesResp: %w", line, err)
 	}
-	if c.SessionID, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+	if c.SessionID, err = strconv.ParseInt(string(f[5]), 10, 64); err != nil {
 		return c, fmt.Errorf("trace: line %d: sessionID: %w", line, err)
 	}
 	return c, nil
+}
+
+// matchProtocol is ParseProtocol over a raw field: the exact
+// upper-case names map to their protocol, everything else to Other.
+// The string(b) comparisons compile to byte compares, so no
+// conversion is allocated.
+func matchProtocol(b []byte) Protocol {
+	switch len(b) {
+	case 3:
+		switch {
+		case string(b) == "FTP":
+			return FTP
+		case string(b) == "WWW":
+			return WWW
+		case string(b) == "X11":
+			return X11
+		}
+	case 4:
+		switch {
+		case string(b) == "SMTP":
+			return SMTP
+		case string(b) == "NNTP":
+			return NNTP
+		}
+	case 6:
+		switch {
+		case string(b) == "TELNET":
+			return Telnet
+		case string(b) == "RLOGIN":
+			return Rlogin
+		}
+	case 7:
+		if string(b) == "FTPDATA" {
+			return FTPData
+		}
+	}
+	return Other
 }
 
 // ReadConnTraceWith decodes a connection trace under the given
@@ -108,21 +149,22 @@ func ReadPacketTrace(r io.Reader) (*PacketTrace, error) {
 	return t, err
 }
 
-// parsePacketLine decodes one record line of a packet trace.
-func parsePacketLine(f []string, line int) (Packet, error) {
+// parsePacketLine decodes one record line of a packet trace; see
+// parseConnLine for the zero-allocation field handling.
+func parsePacketLine(f [][]byte, line int) (Packet, error) {
 	var p Packet
 	var err error
 	if len(f) != 4 {
 		return p, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(f))
 	}
-	if p.Time, err = strconv.ParseFloat(f[0], 64); err != nil {
+	if p.Time, err = strconv.ParseFloat(string(f[0]), 64); err != nil {
 		return p, fmt.Errorf("trace: line %d: time: %w", line, err)
 	}
-	if p.Size, err = strconv.Atoi(f[1]); err != nil {
+	if p.Size, err = strconv.Atoi(string(f[1])); err != nil {
 		return p, fmt.Errorf("trace: line %d: size: %w", line, err)
 	}
-	p.Proto = ParseProtocol(f[2])
-	if p.ConnID, err = strconv.ParseInt(f[3], 10, 64); err != nil {
+	p.Proto = matchProtocol(f[2])
+	if p.ConnID, err = strconv.ParseInt(string(f[3]), 10, 64); err != nil {
 		return p, fmt.Errorf("trace: line %d: connID: %w", line, err)
 	}
 	return p, nil

@@ -105,6 +105,12 @@ type scanner[T any] struct {
 
 	// pull reads the next record. ok=false with nil err is clean EOF.
 	pull func() (rec T, ok bool, err error)
+	// pullMany, when non-nil, decodes up to len(out) records in one
+	// call (the binary chunked fast path). done=true means the stream
+	// ended cleanly after the n decoded records; an error follows the
+	// same per-record semantics as pull, with the n records still
+	// valid. ScanBatch falls back to looping pull when absent.
+	pullMany func(out []T) (n int, done bool, err error)
 	// start reads the header and installs pull; run lazily once.
 	start func() error
 
@@ -162,6 +168,57 @@ func (s *scanner[T]) Scan() bool {
 	return true
 }
 
+// scanBatch decodes up to len(buf) records into buf, returning how
+// many are valid. It returns io.EOF at the clean end of the trace
+// (possibly alongside n > 0 final records) and the decode error
+// otherwise — in both cases buf[:n] holds good records, so a caller
+// can fold a partial batch before surfacing the failure. Errors are
+// sticky: every later call returns (0, err). A zero-length buf
+// returns (0, nil) without touching the stream. Scan and ScanBatch
+// may be mixed freely; both drain the same decode state.
+func (s *scanner[T]) scanBatch(buf []T) (int, error) {
+	s.init()
+	if s.done {
+		if s.err != nil {
+			return 0, s.err
+		}
+		return 0, io.EOF
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	n := 0
+	if s.pullMany != nil {
+		for n < len(buf) {
+			k, done, err := s.pullMany(buf[n:])
+			n += k
+			if err != nil {
+				s.fail(err)
+				return n, err
+			}
+			if done {
+				s.finish()
+				return n, io.EOF
+			}
+		}
+		return n, nil
+	}
+	for n < len(buf) {
+		rec, ok, err := s.pull()
+		if err != nil {
+			s.fail(err)
+			return n, err
+		}
+		if !ok {
+			s.finish()
+			return n, io.EOF
+		}
+		buf[n] = rec
+		n++
+	}
+	return n, nil
+}
+
 // Err returns the terminal error, if any. Clean EOF is not an error.
 func (s *scanner[T]) Err() error { return s.err }
 
@@ -190,6 +247,14 @@ type ConnScanner struct {
 // Conn returns the current record after a true Scan.
 func (s *ConnScanner) Conn() Conn { return s.cur }
 
+// ScanBatch decodes up to len(buf) records into the caller-provided
+// slice (typically pooled by the caller and reused across calls; only
+// buf[:n] is written, so stale contents never leak into results). It
+// returns io.EOF at the clean end of the trace — possibly with final
+// records, which remain valid — and the decode error otherwise, with
+// the n records decoded before the failure still valid.
+func (s *ConnScanner) ScanBatch(buf []Conn) (n int, err error) { return s.scanBatch(buf) }
+
 // PacketScanner yields one packet record at a time.
 type PacketScanner struct {
 	scanner[Packet]
@@ -197,6 +262,10 @@ type PacketScanner struct {
 
 // Packet returns the current record after a true Scan.
 func (s *PacketScanner) Packet() Packet { return s.cur }
+
+// ScanBatch decodes up to len(buf) records into the caller-provided
+// slice; see ConnScanner.ScanBatch for the contract.
+func (s *PacketScanner) ScanBatch(buf []Packet) (n int, err error) { return s.scanBatch(buf) }
 
 // NewConnScanner returns a streaming reader for a text connection
 // trace.
@@ -213,11 +282,54 @@ func NewPacketScanner(r io.Reader, opts DecodeOptions) *PacketScanner {
 	return s
 }
 
+// asciiSpace classifies the whitespace bytes the record splitter
+// recognizes — the ASCII set bufio and the text writers produce.
+// (strings.Fields additionally treats multi-byte Unicode spaces as
+// separators; record lines are machine-written ASCII, and keeping the
+// splitter byte-wise is what makes the hot loop allocation-free.)
+var asciiSpace = [256]bool{' ': true, '\t': true, '\n': true, '\v': true, '\f': true, '\r': true}
+
+// trimSpaceBytes trims leading and trailing ASCII whitespace without
+// allocating.
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && asciiSpace[b[0]] {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace[b[len(b)-1]] {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// splitFieldsInto appends b's whitespace-separated fields to dst
+// (sub-slices of b, no copies) and returns the extended slice; called
+// with dst[:0] of a reused backing array it does not allocate.
+func splitFieldsInto(dst [][]byte, b []byte) [][]byte {
+	i := 0
+	for i < len(b) {
+		for i < len(b) && asciiSpace[b[i]] {
+			i++
+		}
+		if i == len(b) {
+			break
+		}
+		start := i
+		for i < len(b) && !asciiSpace[b[i]] {
+			i++
+		}
+		dst = append(dst, b[start:i])
+	}
+	return dst
+}
+
 // initTextScanner wires the shared text pull loop: header line, then
 // one record per line with comments and blanks skipped, under the
-// options' resource limits and leniency.
+// options' resource limits and leniency. The loop parses fields
+// directly from the bufio.Scanner's byte token — no per-line string
+// or []string allocation — which is what lets ScanBatch feed the
+// streaming pipeline at hardware speed.
 func initTextScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
-	magic string, kind Kind, parse func(f []string, line int) (T, error)) {
+	magic string, kind Kind, parse func(f [][]byte, line int) (T, error)) {
 	opts = opts.withDefaults()
 	s.opts = opts
 	s.stats = DecodeStats{maxErrors: opts.MaxErrors}
@@ -247,18 +359,22 @@ func initTextScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon}
 		return nil
 	}
+	// fields is reused across records; parse consumes it before the
+	// next Scan invalidates the underlying token.
+	var fields [][]byte
 	s.pull = func() (rec T, ok bool, err error) {
 		for sc.Scan() {
 			line++
 			s.stats.LinesRead++
-			text := strings.TrimSpace(sc.Text())
-			if text == "" || strings.HasPrefix(text, "#") {
+			text := trimSpaceBytes(sc.Bytes())
+			if len(text) == 0 || text[0] == '#' {
 				continue
 			}
 			if s.stats.RecordsKept >= opts.MaxRecords {
 				return rec, false, fmt.Errorf("trace: line %d: record limit %d exceeded", line, opts.MaxRecords)
 			}
-			rec, perr := parse(strings.Fields(text), line)
+			fields = splitFieldsInto(fields[:0], text)
+			rec, perr := parse(fields, line)
 			if perr != nil {
 				if opts.Lenient {
 					s.stats.skip(perr)
@@ -323,26 +439,74 @@ func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Expected: c}
 		return nil
 	}
+	// shortfall accounts a stream that ends before the header's count
+	// is satisfied: in lenient mode every promised-but-undelivered
+	// record is skipped (per record, not per chunk) and the scan ends
+	// cleanly; in strict mode the error aborts.
+	shortfall := func(err error) (bool, error) {
+		err = fmt.Errorf("trace: record %d: %w", next, err)
+		if opts.Lenient {
+			s.stats.RecordsSkipped += int(count - next)
+			if len(s.stats.Errors) < opts.MaxErrors {
+				s.stats.Errors = append(s.stats.Errors, err.Error())
+			}
+			return true, nil
+		}
+		return false, err
+	}
 	rec := make([]byte, layout.size)
 	s.pull = func() (out T, ok bool, err error) {
 		if next >= count {
 			return out, false, nil
 		}
 		if _, err := io.ReadFull(br, rec); err != nil {
-			err = fmt.Errorf("trace: record %d: %w", next, err)
-			if opts.Lenient {
-				// Account every record the header promised but the
-				// stream did not deliver.
-				s.stats.RecordsSkipped += int(count - next)
-				if len(s.stats.Errors) < opts.MaxErrors {
-					s.stats.Errors = append(s.stats.Errors, err.Error())
-				}
-				return out, false, nil
-			}
+			_, err = shortfall(err)
 			return out, false, err
 		}
 		next++
 		s.stats.RecordsKept++
 		return layout.decode(rec), true, nil
+	}
+	// The chunked fast path behind ScanBatch: one ReadFull per batch
+	// instead of one per record. chunk is reused across calls.
+	var chunk []byte
+	s.pullMany = func(out []T) (int, bool, error) {
+		if next >= count {
+			return 0, true, nil
+		}
+		k := len(out)
+		if rem := count - next; uint64(k) > rem {
+			k = int(rem)
+		}
+		need := k * layout.size
+		if cap(chunk) < need {
+			chunk = make([]byte, need)
+		}
+		c := chunk[:need]
+		nread, rerr := io.ReadFull(br, c)
+		complete := nread / layout.size
+		for i := 0; i < complete; i++ {
+			out[i] = layout.decode(c[i*layout.size : (i+1)*layout.size])
+		}
+		next += uint64(complete)
+		s.stats.RecordsKept += complete
+		if rerr != nil {
+			// Re-derive the error the per-record loop would have hit at
+			// record `next`: ReadFull's aggregate classification calls a
+			// clean record boundary an unexpected EOF, so unwrap to the
+			// underlying error and reclassify against the partial
+			// record's byte count.
+			under := rerr
+			if under == io.ErrUnexpectedEOF {
+				under = io.EOF
+			}
+			perr := under
+			if nread%layout.size != 0 && under == io.EOF {
+				perr = io.ErrUnexpectedEOF
+			}
+			done, err := shortfall(perr)
+			return complete, done, err
+		}
+		return k, next >= count, nil
 	}
 }
