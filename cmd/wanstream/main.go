@@ -16,25 +16,42 @@
 //	wanstream -shards 8 -eps 0.002 big.conn
 //	wanstream -state sketch.json trace.conn   # persist the merged sketch
 //	wanstream -lenient damaged.conn           # skip malformed records
-//	wanstream -serve :8077 -progress big.conn # live monitor + ticker:
-//	                  # /metrics serves stream.records.ingested and the
-//	                  # per-shard counters while the ingest runs
+//	wanstream -serve :8077 -progress big.conn # live monitor + ticker
+//	wanstream shard0.conn shard1.conn ...     # multi-file canonical merge
+//	wanstream -coord http://host:8087 -worker-id w0 -shard 0 shard0.conn
+//
+// With several trace files, file i is ingested as global shard i and
+// the sketches are merged in canonical order — the single-process
+// reference for a `wancoord split` decomposition: the summary (and
+// state_sha256) matches what a wancoord fleet over the same shard
+// files produces, byte for byte.
+//
+// With -coord, wanstream runs as a distributed worker (internal/
+// coord): it ingests its one shard file and periodically POSTs its
+// serialized sketch state to the coordinator, checkpointing before
+// every upload so -resume can continue an interrupted ingest under a
+// new epoch without double-counting.
 //
 // The sketch state written by -state is the deterministic serialized
 // form: re-running with the same trace, seed and shard count yields a
-// byte-identical file. Exit codes follow the internal/cli contract:
-// 0 success, 1 hard failure, 2 usage error, 3 partial success
-// (-lenient skipped records; the summary still covers the rest).
+// byte-identical file; its SHA-256 is reported as state_sha256. Exit
+// codes follow the internal/cli contract: 0 success, 1 hard failure,
+// 2 usage error, 3 partial success (-lenient skipped records; the
+// summary still covers the rest).
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"wantraffic/internal/cli"
+	"wantraffic/internal/coord"
 	"wantraffic/internal/obs"
 	"wantraffic/internal/stream"
 	"wantraffic/internal/trace"
@@ -58,6 +75,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxRecords := fs.Int("max-records", trace.DefaultMaxRecords, "hard limit on decoded records")
 	jsonOut := fs.Bool("json", false, "emit the summary as JSON")
 	statePath := fs.String("state", "", "also write the merged sketch state (deterministic JSON) to this file")
+
+	// Distributed worker mode (-coord selects it; see internal/coord).
+	coordURL := fs.String("coord", "", "run as a distributed worker POSTing sketch state to this coordinator URL")
+	workerID := fs.String("worker-id", "", "with -coord: this worker's identity (default worker-<shard>)")
+	shard := fs.Int("shard", 0, "with -coord: this worker's global shard index")
+	uploadEvery := fs.Int64("upload-every", 0, "with -coord: checkpoint and upload every N records (0: final upload only)")
+	checkpoint := fs.String("checkpoint", "", "with -coord: write an atomic resume checkpoint before every upload")
+	resume := fs.Bool("resume", false, "with -coord: resume from -checkpoint, skipping already-folded records under a new epoch")
+	uploadRetries := fs.Int("upload-retries", 4, "with -coord: retries per upload on retryable failures")
+	uploadBackoff := fs.Duration("upload-backoff", 100*time.Millisecond, "with -coord: base retry backoff (capped exponential, seeded jitter)")
+	uploadTimeout := fs.Duration("upload-timeout", 5*time.Second, "with -coord: per-request upload timeout")
+	token := fs.String("token", "", "with -coord: shared secret for the coordinator's guarded endpoints")
+	ingestDelay := fs.Duration("ingest-delay", 0, "with -coord: pause between record batches (demo pacing for wanmon watch)")
+
 	obsFlags := cli.RegisterObs(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
@@ -71,54 +102,89 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cli.NonNegative("bin", *bin),
 		cli.Positive("max-line-bytes", float64(*maxLine)),
 		cli.Positive("max-records", float64(*maxRecords)),
+		cli.NonNegative("shard", float64(*shard)),
+		cli.NonNegative("upload-every", float64(*uploadEvery)),
 	); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return cli.Usagef("usage: wanstream [flags] <tracefile>")
+	if *coordURL == "" {
+		for flag, set := range map[string]bool{
+			"worker-id": *workerID != "", "checkpoint": *checkpoint != "",
+			"resume": *resume, "upload-every": *uploadEvery != 0,
+			"ingest-delay": *ingestDelay != 0,
+		} {
+			if set {
+				return cli.Usagef("-%s requires -coord", flag)
+			}
+		}
 	}
+	if fs.NArg() < 1 {
+		return cli.Usagef("usage: wanstream [flags] <tracefile> [tracefile ...]")
+	}
+
+	cfg := stream.Config{Epsilon: *eps, ReservoirSize: *reservoir, Seed: *seed,
+		WindowWidth: *window, AggBinWidth: *bin}
+	dopts := trace.DecodeOptions{Lenient: *lenient, MaxLineBytes: *maxLine, MaxRecords: *maxRecords}
+
 	sess, err := obsFlags.Start(stderr)
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
+	dopts.Metrics = sess.Metrics
 	ctx := obs.WithTracer(context.Background(), sess.Tracer)
-	res, err := stream.Ingest(ctx, f,
-		trace.DecodeOptions{Lenient: *lenient, MaxLineBytes: *maxLine,
-			MaxRecords: *maxRecords, Metrics: sess.Metrics},
-		stream.PipelineOptions{Shards: *shards, ChunkSize: *chunk, Metrics: sess.Metrics,
-			Config: stream.Config{Epsilon: *eps, ReservoirSize: *reservoir, Seed: *seed,
-				WindowWidth: *window, AggBinWidth: *bin}})
-	if err != nil {
-		return err
+
+	if *coordURL != "" {
+		return runWorker(ctx, fs.Args(), workerFlags{
+			coordURL: *coordURL, workerID: *workerID, shard: *shard,
+			uploadEvery: *uploadEvery, checkpoint: *checkpoint, resume: *resume,
+			retries: *uploadRetries, backoff: *uploadBackoff, timeout: *uploadTimeout,
+			token: *token, ingestDelay: *ingestDelay,
+			cfg: cfg, dopts: dopts, chunk: *chunk, seed: *seed, jsonOut: *jsonOut,
+		}, sess, stdout)
 	}
-	if *statePath != "" {
-		data, err := res.Sketch.State()
+
+	var res *stream.Result
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*statePath, data, 0o644); err != nil {
+		defer f.Close()
+		res, err = stream.Ingest(ctx, f, dopts,
+			stream.PipelineOptions{Shards: *shards, ChunkSize: *chunk, Metrics: sess.Metrics, Config: cfg})
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = mergeFiles(ctx, fs.Args(), dopts,
+			stream.PipelineOptions{ChunkSize: *chunk, Metrics: sess.Metrics, Config: cfg})
+		if err != nil {
+			return err
+		}
+	}
+	state, err := res.Sketch.State()
+	if err != nil {
+		return err
+	}
+	digest := coord.Digest(state)
+	if *statePath != "" {
+		if err := os.WriteFile(*statePath, state, 0o644); err != nil {
 			return err
 		}
 	}
 	sum := res.Sketch.Summarize()
 	if *jsonOut {
 		raw, err := json.MarshalIndent(streamReport{
-			File: fs.Arg(0), Name: res.Header.Name, HorizonS: res.Header.Horizon,
-			Shards: res.Shards, Decode: res.Stats, Summary: sum,
+			File: strings.Join(fs.Args(), ","), Name: res.Header.Name, HorizonS: res.Header.Horizon,
+			Shards: res.Shards, StateSHA256: digest, Decode: res.Stats, Summary: sum,
 		}, "", "  ")
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%s\n", raw)
 	} else {
-		printSummary(stdout, res, sum)
+		printSummary(stdout, res, sum, digest)
 	}
 	if err := sess.Close(); err != nil {
 		return err
@@ -129,17 +195,146 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// streamReport is the -json output schema.
-type streamReport struct {
-	File     string            `json:"file"`
-	Name     string            `json:"name"`
-	HorizonS float64           `json:"horizon_s"`
-	Shards   int               `json:"shards"`
-	Decode   trace.DecodeStats `json:"decode_stats"`
-	Summary  stream.Summary    `json:"summary"`
+// mergeFiles ingests file i as global shard i through a single-shard
+// session and folds the sketches in canonical order — the
+// single-process reference for a wancoord split decomposition: the
+// merged bytes match what a worker fleet over the same shard files
+// converges on.
+func mergeFiles(ctx context.Context, paths []string, dopts trace.DecodeOptions, popts stream.PipelineOptions) (*stream.Result, error) {
+	first, err := os.Open(paths[0])
+	if err != nil {
+		return nil, err
+	}
+	kind, _, err := trace.SniffHeader(bufio.NewReader(first))
+	first.Close()
+	if err != nil {
+		return nil, err
+	}
+	sketchKind := stream.ConnSketch
+	if kind == trace.KindPacket {
+		sketchKind = stream.PacketSketch
+	}
+
+	res := &stream.Result{Shards: len(paths)}
+	sketches := make([]*stream.Sketch, len(paths))
+	for i, path := range paths {
+		sopts := popts
+		sopts.Shards = 1
+		sopts.ShardOffset = i
+		sess, err := stream.NewSession(sketchKind, sopts)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		hdr, dstats, err := sess.IngestReader(ctx, f, dopts)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if i == 0 {
+			res.Header = hdr
+		}
+		res.Stats.RecordsKept += dstats.RecordsKept
+		res.Stats.RecordsSkipped += dstats.RecordsSkipped
+		res.Stats.LinesRead += dstats.LinesRead
+		res.Stats.BytesRead += dstats.BytesRead
+		res.Stats.Errors = append(res.Stats.Errors, dstats.Errors...)
+		if sketches[i], err = sess.Merged(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if res.Sketch, err = stream.MergeSketches(sketches); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
-func printSummary(w io.Writer, res *stream.Result, sum stream.Summary) {
+// workerFlags bundles the parsed -coord mode options.
+type workerFlags struct {
+	coordURL, workerID, checkpoint, token string
+	shard                                 int
+	uploadEvery                           int64
+	resume                                bool
+	retries                               int
+	backoff, timeout, ingestDelay         time.Duration
+	cfg                                   stream.Config
+	dopts                                 trace.DecodeOptions
+	chunk                                 int
+	seed                                  int64
+	jsonOut                               bool
+}
+
+// runWorker is -coord mode: ingest one shard file, stream state
+// uploads to the coordinator, report the final digest.
+func runWorker(ctx context.Context, args []string, wf workerFlags, sess *cli.ObsSession, stdout io.Writer) error {
+	if len(args) != 1 {
+		return cli.Usagef("worker mode takes exactly one shard trace file")
+	}
+	id := wf.workerID
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", wf.shard)
+	}
+	rep, err := coord.RunWorker(ctx, coord.WorkerOptions{
+		ID: id, Shard: wf.shard, TracePath: args[0],
+		Config: wf.cfg, Decode: wf.dopts, ChunkSize: wf.chunk,
+		UploadEvery: wf.uploadEvery, Checkpoint: wf.checkpoint, Resume: wf.resume,
+		IngestDelay: wf.ingestDelay,
+		Client: &coord.Client{
+			Base: normalizeBase(wf.coordURL), Token: wf.token,
+			Retries: wf.retries, Backoff: wf.backoff, Timeout: wf.timeout,
+			Seed:   uint64(wf.seed) + uint64(wf.shard),
+			Logger: sess.Logger, Metrics: sess.Metrics,
+		},
+		Logger: sess.Logger, Metrics: sess.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	if wf.jsonOut {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", raw)
+	} else {
+		fmt.Fprintf(stdout, "worker %s shard %d: %d records in %d upload(s), epoch %d\n",
+			rep.Worker, rep.Shard, rep.Records, rep.Uploads, rep.Epoch)
+		if rep.Resumed {
+			fmt.Fprintf(stdout, "resumed from checkpoint: %d record(s) skipped\n", rep.Skipped)
+		}
+		fmt.Fprintf(stdout, "state sha256: %s\n", rep.Digest)
+	}
+	return sess.Close()
+}
+
+// normalizeBase turns an address argument into a base URL (":8087" →
+// "http://127.0.0.1:8087"; full URLs pass through, trailing slash
+// trimmed) — the wanmon address convention.
+func normalizeBase(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// streamReport is the -json output schema.
+type streamReport struct {
+	File        string            `json:"file"`
+	Name        string            `json:"name"`
+	HorizonS    float64           `json:"horizon_s"`
+	Shards      int               `json:"shards"`
+	StateSHA256 string            `json:"state_sha256"`
+	Decode      trace.DecodeStats `json:"decode_stats"`
+	Summary     stream.Summary    `json:"summary"`
+}
+
+func printSummary(w io.Writer, res *stream.Result, sum stream.Summary, digest string) {
 	fmt.Fprintf(w, "%s trace %q: %d records over %.2f h (%d shards, one pass)\n\n",
 		sum.TraceKind, res.Header.Name, sum.Records, res.Header.Horizon/3600, res.Shards)
 	if res.Stats.RecordsSkipped > 0 {
@@ -156,4 +351,5 @@ func printSummary(w io.Writer, res *stream.Result, sum stream.Summary) {
 		fmt.Fprintf(w, "variance-time slope %.2f (Poisson: -1.00) -> H_vt = %.2f\n",
 			sum.VTSlope, sum.HurstVT)
 	}
+	fmt.Fprintf(w, "state sha256: %s\n", digest)
 }

@@ -1,17 +1,19 @@
 package main
 
 import (
-	"fmt"
-
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
-	"wantraffic/internal/trace"
 
 	"wantraffic/internal/cli"
+	"wantraffic/internal/coord"
+	"wantraffic/internal/stream"
+	"wantraffic/internal/trace"
 )
 
 // writeTrace drops a small connection trace (with optional malformed
@@ -50,8 +52,13 @@ func TestRunErrorPaths(t *testing.T) {
 		code int
 	}{
 		{"no args", nil, cli.ExitUsage},
-		{"two args", []string{"a", "b"}, cli.ExitUsage},
+		{"two missing files", []string{"a", "b"}, cli.ExitFailure},
 		{"unknown flag", []string{"-bogus"}, cli.ExitUsage},
+		{"worker-id without coord", []string{"-worker-id", "w0", "x"}, cli.ExitUsage},
+		{"resume without coord", []string{"-resume", "x"}, cli.ExitUsage},
+		{"upload-every without coord", []string{"-upload-every", "100", "x"}, cli.ExitUsage},
+		{"negative shard", []string{"-shard", "-1", "x"}, cli.ExitUsage},
+		{"worker mode two files", []string{"-coord", ":1", "a", "b"}, cli.ExitUsage},
 		{"zero shards", []string{"-shards", "0", "x"}, cli.ExitUsage},
 		{"zero eps", []string{"-eps", "0", "x"}, cli.ExitUsage},
 		{"negative bin", []string{"-bin", "-1", "x"}, cli.ExitUsage},
@@ -240,5 +247,117 @@ func TestBinaryTraceEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(binOut.String(), "500 records") {
 		t.Errorf("binary summary missing record count:\n%s", binOut.String())
+	}
+}
+
+// TestMultiFileMergeMatchesReference: feeding N shard files (a
+// wancoord split decomposition) merges them as global shards 0..N-1,
+// reproducing the canonical single-process fold byte for byte.
+func TestMultiFileMergeMatchesReference(t *testing.T) {
+	full := &trace.ConnTrace{Name: "multi", Horizon: 3600}
+	for i := 0; i < 900; i++ {
+		full.Conns = append(full.Conns, trace.Conn{
+			Start: float64(i) * 2.5, Duration: 1.5, Proto: trace.SMTP,
+			BytesOrig: int64(50 + i), BytesResp: int64(10 * i),
+		})
+	}
+	const n = 3
+	shards := make([]*trace.ConnTrace, n)
+	for i := range shards {
+		shards[i] = &trace.ConnTrace{Name: full.Name, Horizon: full.Horizon}
+	}
+	for i, c := range full.Conns {
+		s := shards[i%n]
+		s.Conns = append(s.Conns, c)
+	}
+	dir := t.TempDir()
+	var paths []string
+	var sketches []*stream.Sketch
+	for i, s := range shards {
+		var buf bytes.Buffer
+		if err := trace.WriteConnTrace(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("shard%d.conn", i))
+		if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+		sess, err := stream.NewSession(stream.ConnSketch, stream.PipelineOptions{
+			Shards: 1, ShardOffset: i, Config: stream.Config{Seed: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sess.IngestReader(context.Background(), bytes.NewReader(buf.Bytes()), trace.DecodeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		sk, err := sess.Merged(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketches = append(sketches, sk)
+	}
+	merged, err := stream.MergeSketches(sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refState, err := merged.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coord.Digest(refState)
+
+	var out, errw bytes.Buffer
+	if err := run(append([]string{"-json"}, paths...), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Shards  int    `json:"shards"`
+		SHA     string `json:"state_sha256"`
+		Summary struct {
+			Records int64 `json:"records"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Shards != n || rep.Summary.Records != int64(len(full.Conns)) {
+		t.Errorf("shards=%d records=%d, want %d/%d", rep.Shards, rep.Summary.Records, n, len(full.Conns))
+	}
+	if rep.SHA != want {
+		t.Errorf("multi-file state_sha256 %s, reference %s", rep.SHA, want)
+	}
+}
+
+// TestStateSHAInOutputs: both output formats surface the merged
+// state's digest, and it matches the -state file's actual hash.
+func TestStateSHAInOutputs(t *testing.T) {
+	p := goodTrace(t)
+	sp := filepath.Join(t.TempDir(), "s.json")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-state", sp, p}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coord.Digest(data)
+	if !strings.Contains(out.String(), "state sha256: "+want) {
+		t.Errorf("text summary missing digest %s:\n%s", want, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-json", p}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		SHA string `json:"state_sha256"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SHA != want {
+		t.Errorf("json state_sha256 %s, want %s", rep.SHA, want)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -35,6 +36,14 @@ type ObsFlags struct {
 	// (deterministic single-line JSON, internal/obs handler), "text"
 	// (slog text handler), or "" for no logging.
 	LogFormat string
+	// ServeToken, when non-empty, guards the monitor's mutating
+	// endpoints (POST /quitquitquit and any guarded extra handler)
+	// behind a shared secret; unauthenticated requests get 403.
+	ServeToken string
+	// ExtraHandlers mounts additional routes on the monitor server's
+	// mux. Tools set it between RegisterObs and Start (wancoord mounts
+	// the coordinator API this way).
+	ExtraHandlers map[string]http.Handler
 
 	tool string
 }
@@ -60,6 +69,8 @@ func RegisterObs(fs *flag.FlagSet) *ObsFlags {
 		"with -serve: keep serving this long after the work finishes (POST /quitquitquit ends the linger early)")
 	fs.StringVar(&o.LogFormat, "log", "",
 		"structured log format on stderr: json (deterministic one-line JSON) or text; empty disables logging")
+	fs.StringVar(&o.ServeToken, "serve-token", "",
+		"with -serve: shared secret required (Authorization: Bearer or X-Wantraffic-Token header) on mutating endpoints like POST /quitquitquit")
 	return o
 }
 
@@ -92,6 +103,9 @@ func (o *ObsFlags) Start(stderr io.Writer) (*ObsSession, error) {
 	if o.ServeLinger != 0 && o.Serve == "" {
 		return nil, Usagef("-serve-linger requires -serve")
 	}
+	if o.ServeToken != "" && o.Serve == "" {
+		return nil, Usagef("-serve-token requires -serve")
+	}
 	if o.ServeLinger < 0 {
 		return nil, Usagef("-serve-linger must be >= 0")
 	}
@@ -122,6 +136,8 @@ func (o *ObsFlags) Start(stderr io.Writer) (*ObsSession, error) {
 			Tool:     o.tool,
 			Registry: s.Metrics,
 			Bus:      s.Bus,
+			Token:    o.ServeToken,
+			Handlers: o.ExtraHandlers,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,234 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+// Client ships uploads to a coordinator with capped-exponential
+// retry. The division of labor with the protocol: the client is
+// allowed to be aggressively redundant — retry on any transport
+// doubt, including responses lost after the server already applied
+// the upload — because digest-keyed idempotence on the coordinator
+// makes redundant delivery free.
+//
+// Retryable: connection failures, per-attempt timeouts, 5xx,
+// truncated or undecodable response bodies. Not retryable: context
+// cancellation (the caller is shutting down) and 4xx (the protocol
+// rejected the upload deterministically; it will reject it again).
+// A 409 stale verdict is a protocol outcome, returned as a Reply
+// with no error.
+type Client struct {
+	// Base is the coordinator base URL, e.g. "http://127.0.0.1:9090".
+	Base string
+	// Token, when non-empty, authenticates mutating requests.
+	Token string
+	// HTTPClient overrides http.DefaultClient (tests inject fault
+	// transports here).
+	HTTPClient *http.Client
+	// Retries is the maximum number of re-attempts after the first
+	// (default 4; total attempts = Retries+1).
+	Retries int
+	// Backoff is the first retry delay (default 100ms); each retry
+	// doubles it up to MaxBackoff (default 2s). A seeded jitter in
+	// [0.5, 1.0) of the step is added.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Timeout bounds each individual attempt (default 5s).
+	Timeout time.Duration
+	// Seed feeds the deterministic jitter sequence.
+	Seed uint64
+	// Sleep overrides time.Sleep between retries (tests).
+	Sleep func(time.Duration)
+	// Logger receives per-retry warnings (nil: silent).
+	Logger *slog.Logger
+	// Metrics receives coord.client.* counters (nil: none).
+	Metrics *obs.Registry
+
+	jitterState uint64
+}
+
+func (cl *Client) retries() int {
+	if cl.Retries > 0 {
+		return cl.Retries
+	}
+	return 4
+}
+
+func (cl *Client) backoff() time.Duration {
+	if cl.Backoff > 0 {
+		return cl.Backoff
+	}
+	return 100 * time.Millisecond
+}
+
+func (cl *Client) maxBackoff() time.Duration {
+	if cl.MaxBackoff > 0 {
+		return cl.MaxBackoff
+	}
+	return 2 * time.Second
+}
+
+func (cl *Client) timeout() time.Duration {
+	if cl.Timeout > 0 {
+		return cl.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// jitter draws the next deterministic fraction in [0.5, 1.0) from a
+// splitmix64 stream seeded by cl.Seed. Not safe for concurrent use —
+// a Client belongs to one worker goroutine.
+func (cl *Client) jitter() float64 {
+	if cl.jitterState == 0 {
+		cl.jitterState = cl.Seed ^ 0x9e3779b97f4a7c15
+	}
+	cl.jitterState += 0x9e3779b97f4a7c15
+	z := cl.jitterState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return 0.5 + float64(z>>11)/float64(1<<53)/2
+}
+
+// delay computes the backoff before retry attempt n (0-based).
+func (cl *Client) delay(n int) time.Duration {
+	step := cl.backoff() << uint(n)
+	if max := cl.maxBackoff(); step > max || step <= 0 {
+		step = max
+	}
+	return time.Duration(float64(step) * cl.jitter())
+}
+
+// retryableError marks a failure worth re-attempting.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// Upload POSTs one upload, retrying transient failures. On success
+// the coordinator's verdict comes back as a Reply (including the
+// stale verdict); a non-nil error means the upload definitively did
+// not land (after retries) or was deterministically rejected.
+func (cl *Client) Upload(ctx context.Context, u Upload) (Reply, error) {
+	body, err := json.Marshal(u)
+	if err != nil {
+		return Reply{}, err
+	}
+	sleep := cl.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		rep, err := cl.attempt(ctx, body)
+		if err == nil {
+			if attempt > 0 {
+				cl.Metrics.Counter("coord.client.recovered").Inc()
+			}
+			return rep, nil
+		}
+		var re *retryableError
+		if !errors.As(err, &re) || ctx.Err() != nil {
+			return Reply{}, err
+		}
+		last = err
+		if attempt >= cl.retries() {
+			break
+		}
+		cl.Metrics.Counter("coord.client.retries").Inc()
+		d := cl.delay(attempt)
+		if cl.Logger != nil {
+			cl.Logger.Warn("upload attempt failed; retrying",
+				"worker", u.Worker, "seq", u.Seq, "attempt", attempt+1,
+				"backoff", d.String(), "error", err.Error())
+		}
+		sleep(d)
+		if ctx.Err() != nil {
+			return Reply{}, ctx.Err()
+		}
+	}
+	cl.Metrics.Counter("coord.client.exhausted").Inc()
+	return Reply{}, fmt.Errorf("upload failed after %d attempts: %w", cl.retries()+1, last)
+}
+
+// attempt performs one POST with its own timeout.
+func (cl *Client) attempt(ctx context.Context, body []byte) (Reply, error) {
+	actx, cancel := context.WithTimeout(ctx, cl.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost,
+		strings.TrimRight(cl.Base, "/")+"/v1/upload", bytes.NewReader(body))
+	if err != nil {
+		return Reply{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cl.Token != "" {
+		req.Header.Set("X-Wantraffic-Token", cl.Token)
+	}
+	resp, err := cl.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Reply{}, ctx.Err() // caller cancellation: not retryable
+		}
+		// Connection refused, reset, fault-injected drop, or attempt
+		// timeout: all retryable.
+		return Reply{}, &retryableError{err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Reply{}, &retryableError{fmt.Errorf("reading reply: %w", err)}
+	}
+	if resp.StatusCode >= 500 {
+		return Reply{}, &retryableError{fmt.Errorf("server %s: %s", resp.Status, firstLine(raw))}
+	}
+	var rep Reply
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		if resp.StatusCode == http.StatusOK {
+			// A 200 with a garbled body is a truncated transfer of the
+			// verdict; the upload may or may not have applied. Retrying is
+			// safe by idempotence.
+			return Reply{}, &retryableError{fmt.Errorf("undecodable reply: %w", err)}
+		}
+		return Reply{}, fmt.Errorf("coordinator %s: %s", resp.Status, firstLine(raw))
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return rep, nil
+	case http.StatusConflict:
+		return rep, nil // stale: a verdict, not a failure
+	default:
+		if rep.Error != "" {
+			return Reply{}, fmt.Errorf("coordinator %s: %s", resp.Status, rep.Error)
+		}
+		return Reply{}, fmt.Errorf("coordinator %s", resp.Status)
+	}
+}
+
+func firstLine(raw []byte) string {
+	s := strings.TrimSpace(string(raw))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"wantraffic/internal/obs"
+	"wantraffic/internal/stream"
+)
+
+// drainStates collects the (name, state) pairs currently buffered on
+// the subscription channel.
+func drainStates(ch <-chan obs.StreamEvent) [][2]string {
+	var out [][2]string
+	for {
+		select {
+		case ev := <-ch:
+			if ev.Kind == obs.EventJobState {
+				out = append(out, [2]string{ev.Name, ev.Attrs["state"]})
+			}
+		default:
+			return out
+		}
+	}
+}
+
+// TestCoordinatorPublishesWorkerStates pins the fleet-view event arc a
+// wanmon watch session sees: running on accept, stale once when the
+// liveness horizon passes, resumed once on the restarted worker's
+// re-assert, ok on finalize. Driven entirely by a fixed clock so the
+// sequence is deterministic.
+func TestCoordinatorPublishesWorkerStates(t *testing.T) {
+	now := time.Unix(1000, 0)
+	bus := obs.NewBus()
+	ch, cancel := bus.Subscribe(64)
+	defer cancel()
+	c, err := New(Options{
+		ExpectedWorkers: 1,
+		StaleAfter:      5 * time.Second,
+		Bus:             bus,
+		Clock:           func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := testTrace(100)
+	sk := shardSketch(t, tr, 0, stream.Config{Seed: 1})
+	state, err := sk.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := Upload{
+		Proto: Proto, Worker: "w0", Shard: 0, Epoch: 1, Seq: 1,
+		Records: sk.Records(), Digest: Digest(state), State: state,
+	}
+	if _, err := c.Apply(up); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := drainStates(ch), [][2]string{{"w0", "running"}}; len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("after accept: events %v, want %v", got, want)
+	}
+
+	// Quiet worker crosses the horizon: exactly one stale event, even
+	// across repeated refreshes.
+	now = now.Add(6 * time.Second)
+	c.RefreshGauges()
+	c.RefreshGauges()
+	if got, want := drainStates(ch), [][2]string{{"w0", "stale"}}; len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("after horizon: events %v, want %v", got, want)
+	}
+
+	// Restarted worker re-asserts its checkpointed state (same digest,
+	// new epoch): a duplicate that reads as recovery.
+	up.Epoch, up.Seq = 2, 1
+	rep, err := c.Apply(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusDuplicate {
+		t.Fatalf("re-assert status = %q, want duplicate", rep.Status)
+	}
+	if got, want := drainStates(ch), [][2]string{{"w0", "resumed"}}; len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("after re-assert: events %v, want %v", got, want)
+	}
+
+	// Finalize under the new epoch.
+	sk2 := shardSketch(t, testTrace(200), 0, stream.Config{Seed: 1})
+	state2, err := sk2.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(Upload{
+		Proto: Proto, Worker: "w0", Shard: 0, Epoch: 2, Seq: 2,
+		Records: sk2.Records(), Final: true, Digest: Digest(state2), State: state2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := drainStates(ch), [][2]string{{"w0", "ok"}}; len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("after finalize: events %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+// ErrRequestDropped is returned by the HTTP fault injector for
+// requests it swallows (either before they reach the server or after
+// the server processed them but before the response was delivered).
+// It models a lost packet / reset connection, the retryable class of
+// transport failure.
+var ErrRequestDropped = fmt.Errorf("fault: injected request drop")
+
+// HTTPPlan selects which faults an injected http.RoundTripper applies.
+// The zero value injects nothing. Like the stream wrappers, every
+// decision draws from one rand.Rand seeded from Seed, consumed in a
+// fixed order per request (latency, drop, drop-response, 5xx,
+// truncation) regardless of which faults are enabled — so the fault
+// schedule is a pure function of (Plan, request index) and two runs
+// with the same plan see identical faults at identical request
+// ordinals.
+type HTTPPlan struct {
+	// Seed keys every random decision in the plan.
+	Seed int64
+	// DropRate is the per-request probability the request is dropped
+	// before reaching the server (connection refused / packet loss).
+	DropRate float64
+	// DropResponseRate is the per-request probability the request is
+	// delivered — the server processes it — but the response is lost.
+	// This is the fault idempotent upload protocols exist for: the
+	// client must retry a request the server already applied.
+	DropResponseRate float64
+	// Rate5xx is the per-request probability of a synthetic 503 burst:
+	// the request never reaches the server, and the next Burst5xx-1
+	// requests are also answered 503 (an overloaded frontend).
+	Rate5xx float64
+	// Burst5xx is the burst length once Rate5xx triggers (default 1).
+	Burst5xx int
+	// TruncateRate is the per-request probability the response body is
+	// cut in half mid-flight (a torn transfer; Content-Length is left
+	// claiming the full size so readers see io.ErrUnexpectedEOF).
+	TruncateRate float64
+	// LatencyRate is the per-request probability of adding Latency
+	// before the request is forwarded (a congestion spike). Sleeps are
+	// cut short by request-context cancellation.
+	LatencyRate float64
+	Latency     time.Duration
+	// CutAfter, when > 0, permanently fails every request after the
+	// first CutAfter — a network partition or process kill. With
+	// CutDelivered the doomed requests still reach the server before
+	// their responses are lost (a crash between server apply and
+	// client ack); without it they fail client-side.
+	CutAfter     int
+	CutDelivered bool
+	// Metrics, when non-nil, counts injected faults by kind
+	// (fault.http.drops, fault.http.response_drops, fault.http.5xx,
+	// fault.http.truncations, fault.http.delays, fault.http.cuts).
+	Metrics *obs.Registry
+}
+
+// NewRoundTripper wraps rt (http.DefaultTransport when nil) with the
+// plan's faults. The returned RoundTripper is safe for concurrent use;
+// random decisions are serialized so the schedule stays a function of
+// request arrival order.
+func NewRoundTripper(rt http.RoundTripper, p HTTPPlan) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if p.Burst5xx < 1 {
+		p.Burst5xx = 1
+	}
+	return &faultRoundTripper{
+		rt:  rt,
+		p:   p,
+		rng: rand.New(rand.NewSource(p.Seed)),
+
+		drops:     p.Metrics.Counter("fault.http.drops"),
+		respDrops: p.Metrics.Counter("fault.http.response_drops"),
+		fiveXX:    p.Metrics.Counter("fault.http.5xx"),
+		truncs:    p.Metrics.Counter("fault.http.truncations"),
+		delays:    p.Metrics.Counter("fault.http.delays"),
+		cuts:      p.Metrics.Counter("fault.http.cuts"),
+	}
+}
+
+type faultRoundTripper struct {
+	rt http.RoundTripper
+	p  HTTPPlan
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	requests  int
+	burstLeft int
+
+	drops, respDrops, fiveXX, truncs, delays, cuts *obs.Counter
+}
+
+// decision is the set of faults drawn for one request.
+type decision struct {
+	delay    bool
+	drop     bool
+	dropResp bool
+	serve503 bool
+	truncate bool
+	cut      bool
+}
+
+// decide draws the request's fault set under the lock. Every rate is
+// sampled even when zero, so enabling one fault never shifts another
+// fault's schedule.
+func (f *faultRoundTripper) decide() decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.requests++
+	var d decision
+	d.delay = f.rng.Float64() < f.p.LatencyRate
+	d.drop = f.rng.Float64() < f.p.DropRate
+	d.dropResp = f.rng.Float64() < f.p.DropResponseRate
+	if f.burstLeft > 0 {
+		f.burstLeft--
+		d.serve503 = true
+	} else if f.rng.Float64() < f.p.Rate5xx {
+		f.burstLeft = f.p.Burst5xx - 1
+		d.serve503 = true
+	} else {
+		f.rng.Float64() // keep the draw count fixed per request
+	}
+	d.truncate = f.rng.Float64() < f.p.TruncateRate
+	if f.p.CutAfter > 0 && f.requests > f.p.CutAfter {
+		d.cut = true
+	}
+	return d
+}
+
+func (f *faultRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := f.decide()
+	if d.cut {
+		f.cuts.Inc()
+		if f.p.CutDelivered {
+			// The server applies the request; the client never learns.
+			if resp, err := f.rt.RoundTrip(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		} else if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrRequestDropped
+	}
+	if d.delay && f.p.Latency > 0 {
+		f.delays.Inc()
+		t := time.NewTimer(f.p.Latency)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+	}
+	if d.drop {
+		f.drops.Inc()
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrRequestDropped
+	}
+	if d.serve503 {
+		f.fiveXX.Inc()
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synthetic503(req), nil
+	}
+	resp, err := f.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.dropResp {
+		f.respDrops.Inc()
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrRequestDropped
+	}
+	if d.truncate {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(body) > 1 {
+			f.truncs.Inc()
+			resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+			// ContentLength still claims the full size, so careful
+			// readers see io.ErrUnexpectedEOF and sloppy ones a torn
+			// JSON document.
+			resp.ContentLength = int64(len(body))
+			return resp, nil
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return resp, nil
+}
+
+// synthetic503 builds the injected overload response.
+func synthetic503(req *http.Request) *http.Response {
+	body := "fault: injected 503\n"
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

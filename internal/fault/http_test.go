@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"wantraffic/internal/obs"
+)
+
+// faultSchedule drives n requests through a plan against a live
+// server and returns the per-request outcome string plus how many
+// requests the server actually saw.
+func faultSchedule(t *testing.T, p HTTPPlan, n int) (string, int64) {
+	t.Helper()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "payload-payload-payload")
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: NewRoundTripper(nil, p)}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(srv.URL)
+		switch {
+		case err != nil && errors.Is(err, ErrRequestDropped):
+			b.WriteByte('D')
+		case err != nil:
+			b.WriteByte('E')
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			b.WriteByte('5')
+		default:
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if len(body) < 23 {
+				b.WriteByte('T') // truncated
+			} else {
+				b.WriteByte('.')
+			}
+		}
+	}
+	return b.String(), served.Load()
+}
+
+func TestHTTPFaultsDeterministic(t *testing.T) {
+	plan := HTTPPlan{Seed: 42, DropRate: 0.2, DropResponseRate: 0.1,
+		Rate5xx: 0.15, Burst5xx: 2, TruncateRate: 0.2}
+	a, _ := faultSchedule(t, plan, 60)
+	b, _ := faultSchedule(t, plan, 60)
+	if a != b {
+		t.Fatalf("same plan, different schedules:\n%s\n%s", a, b)
+	}
+	for _, want := range []byte{'D', '5', 'T', '.'} {
+		if !strings.ContainsRune(a, rune(want)) {
+			t.Errorf("schedule %s never produced outcome %c", a, want)
+		}
+	}
+	c, _ := faultSchedule(t, HTTPPlan{Seed: 43, DropRate: 0.2, DropResponseRate: 0.1,
+		Rate5xx: 0.15, Burst5xx: 2, TruncateRate: 0.2}, 60)
+	if a == c {
+		t.Fatalf("different seeds produced identical schedules: %s", a)
+	}
+}
+
+// Enabling one fault must not shift another fault's schedule: the
+// draw count per request is fixed.
+func TestHTTPFaultScheduleIndependence(t *testing.T) {
+	dropsOnly, _ := faultSchedule(t, HTTPPlan{Seed: 7, DropRate: 0.3}, 40)
+	dropsPlus, _ := faultSchedule(t, HTTPPlan{Seed: 7, DropRate: 0.3, TruncateRate: 0.25}, 40)
+	for i := range dropsOnly {
+		if dropsOnly[i] == 'D' && dropsPlus[i] != 'D' {
+			t.Fatalf("drop schedule shifted when truncation was enabled:\n%s\n%s", dropsOnly, dropsPlus)
+		}
+	}
+}
+
+func TestHTTPBurst5xx(t *testing.T) {
+	out, served := faultSchedule(t, HTTPPlan{Seed: 1, Rate5xx: 0.1, Burst5xx: 3}, 80)
+	if !strings.Contains(out, "555") {
+		t.Fatalf("no 3-burst in schedule %s", out)
+	}
+	clean := int64(strings.Count(out, ".") + strings.Count(out, "T"))
+	if served != clean {
+		t.Fatalf("server saw %d requests, schedule shows %d delivered (503s must be synthetic): %s",
+			served, clean, out)
+	}
+}
+
+// CutAfter with CutDelivered models the idempotence-critical fault:
+// the server applies requests the client records as failed.
+func TestHTTPCutDelivered(t *testing.T) {
+	reg := obs.NewRegistry()
+	out, served := faultSchedule(t, HTTPPlan{Seed: 3, CutAfter: 4, CutDelivered: true, Metrics: reg}, 10)
+	if want := "....DDDDDD"; out != want {
+		t.Fatalf("cut schedule = %s, want %s", out, want)
+	}
+	if served != 10 {
+		t.Fatalf("delivered cut: server saw %d of 10 requests", served)
+	}
+	if got := reg.Counter("fault.http.cuts").Value(); got != 6 {
+		t.Fatalf("fault.http.cuts = %d, want 6", got)
+	}
+	// Without CutDelivered the server must not see the doomed requests.
+	_, served = faultSchedule(t, HTTPPlan{Seed: 3, CutAfter: 4}, 10)
+	if served != 4 {
+		t.Fatalf("client-side cut: server saw %d of 10 requests, want 4", served)
+	}
+}
+
+func TestHTTPFaultMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	out, _ := faultSchedule(t, HTTPPlan{Seed: 11, DropRate: 0.3, Rate5xx: 0.2, Metrics: reg}, 50)
+	if got := reg.Counter("fault.http.drops").Value(); got != int64(strings.Count(out, "D")) {
+		t.Fatalf("fault.http.drops = %d, schedule %s", got, out)
+	}
+	if got := reg.Counter("fault.http.5xx").Value(); got != int64(strings.Count(out, "5")) {
+		t.Fatalf("fault.http.5xx = %d, schedule %s", got, out)
+	}
+}

@@ -49,6 +49,18 @@ type Options struct {
 	EventBuffer int
 	// Heartbeat is the SSE keep-alive comment interval (default 15s).
 	Heartbeat time.Duration
+	// Token, when non-empty, guards the mutating endpoints: POST
+	// /quitquitquit (and any handler the host wraps with
+	// Server.Guard) requires the shared secret in an
+	// "Authorization: Bearer <token>" or "X-Wantraffic-Token" header.
+	// Unauthenticated requests get 403 and monitor.auth.denied
+	// increments. Read-only endpoints stay open.
+	Token string
+	// Handlers mounts extra routes on the server's mux (path →
+	// handler) — the hook the distribution coordinator uses to serve
+	// its upload/results API on the same listener as /metrics.
+	// Reserved monitor paths cannot be overridden.
+	Handlers map[string]http.Handler
 }
 
 // Server is a live telemetry endpoint bound to one listener. Start it
@@ -87,6 +99,9 @@ func Start(addr string, opts Options) (*Server, error) {
 		closed: make(chan struct{}),
 	}
 	mux := http.NewServeMux()
+	for path, h := range opts.Handlers {
+		mux.Handle(path, h)
+	}
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
@@ -156,8 +171,49 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if !s.Authorize(w, r) {
+		return
+	}
 	s.quitOnce.Do(func() { close(s.quit) })
 	fmt.Fprintln(w, "quitting")
+}
+
+// CheckToken reports whether the request carries the shared secret
+// (in an "Authorization: Bearer <token>" or "X-Wantraffic-Token"
+// header). An empty token means no guard: every request passes.
+func CheckToken(r *http.Request, token string) bool {
+	if token == "" {
+		return true
+	}
+	if r.Header.Get("X-Wantraffic-Token") == token {
+		return true
+	}
+	return r.Header.Get("Authorization") == "Bearer "+token
+}
+
+// Authorize enforces the server's token on a mutating request: when
+// the check fails it writes 403, increments monitor.auth.denied, and
+// returns false.
+func (s *Server) Authorize(w http.ResponseWriter, r *http.Request) bool {
+	if CheckToken(r, s.opts.Token) {
+		return true
+	}
+	s.opts.Registry.Counter("monitor.auth.denied").Inc()
+	if s.opts.Logger != nil {
+		s.opts.Logger.Warn("unauthorized mutating request", "path", r.URL.Path, "remote", r.RemoteAddr)
+	}
+	http.Error(w, "forbidden: missing or wrong -serve-token", http.StatusForbidden)
+	return false
+}
+
+// Guard wraps a mutating handler with the server's token check.
+func (s *Server) Guard(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.Authorize(w, r) {
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // handleEvents streams bus events as Server-Sent Events:

@@ -1,8 +1,8 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/json"
-	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -59,24 +59,79 @@ func (c *checkpointer) record(rep *Report, i int, res Result) error {
 	return nil
 }
 
+// CheckpointLoad is the outcome of reading a checkpoint file.
+type CheckpointLoad struct {
+	// Restored indexes the restorable results by job ID.
+	Restored map[string]Result
+	// CorruptTail is true when the file failed strict parsing — a torn
+	// or truncated write — and the unreadable trailing bytes were
+	// discarded. The Restored map then holds only the results salvaged
+	// from the valid prefix.
+	CorruptTail bool
+	// Salvaged counts the result entries recovered from a corrupt
+	// file's valid prefix (0 for a cleanly parsed checkpoint).
+	Salvaged int
+}
+
 // LoadCheckpoint reads a checkpoint file and indexes its completed
 // results by job ID. Only results that finished with an output digest
 // are restorable; failed, timed-out and canceled slots are dropped so
 // a resumed run re-executes them.
-func LoadCheckpoint(path string) (map[string]Result, error) {
+//
+// A truncated or torn file does not fail the load: the reader
+// degrades to scanning the results array and keeping every entry that
+// still parses, dropping the corrupt tail. Callers should surface
+// CheckpointLoad.CorruptTail as a warning — the salvaged prefix is
+// trustworthy (each entry is digest-pinned) but the run will
+// re-execute everything past the tear.
+func LoadCheckpoint(path string) (CheckpointLoad, error) {
+	var load CheckpointLoad
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return load, err
 	}
 	var rep Report
 	if err := json.Unmarshal(raw, &rep); err != nil {
-		return nil, fmt.Errorf("runner: corrupt checkpoint %s: %w", path, err)
+		rep.Results, load.Salvaged = salvageResults(raw)
+		load.CorruptTail = true
 	}
-	restored := make(map[string]Result, len(rep.Results))
+	load.Restored = make(map[string]Result, len(rep.Results))
 	for _, res := range rep.Results {
 		if res.ID != "" && res.OK() && res.OutputSHA256 != "" {
-			restored[res.ID] = res
+			load.Restored[res.ID] = res
 		}
 	}
-	return restored, nil
+	return load, nil
+}
+
+// salvageResults recovers the leading valid entries of the "results"
+// array from a corrupt checkpoint: it decodes result objects one at a
+// time and stops at the first one the tear made unreadable. Entries
+// are counted as salvaged whether or not they are restorable (a
+// salvaged ERROR slot still parses; it is dropped later like in a
+// clean load).
+func salvageResults(raw []byte) ([]Result, int) {
+	marker := []byte(`"results"`)
+	i := bytes.Index(raw, marker)
+	if i < 0 {
+		return nil, 0
+	}
+	rest := raw[i+len(marker):]
+	j := bytes.IndexByte(rest, '[')
+	if j < 0 {
+		return nil, 0
+	}
+	dec := json.NewDecoder(bytes.NewReader(rest[j:]))
+	if _, err := dec.Token(); err != nil { // consume '['
+		return nil, 0
+	}
+	var out []Result
+	for dec.More() {
+		var res Result
+		if err := dec.Decode(&res); err != nil {
+			break // the tear: keep the valid prefix
+		}
+		out = append(out, res)
+	}
+	return out, len(out)
 }

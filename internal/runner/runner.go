@@ -225,10 +225,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 	// execute the remainder.
 	pending := make([]int, 0, len(jobs))
 	if opts.Resume && opts.Checkpoint != "" {
-		restored, err := LoadCheckpoint(opts.Checkpoint)
+		load, err := LoadCheckpoint(opts.Checkpoint)
 		if err == nil {
+			if load.CorruptTail {
+				// A torn checkpoint degrades, never aborts: the salvaged
+				// prefix resumes, the tail re-executes.
+				runSpan.Event("checkpoint-corrupt-tail")
+				if opts.Logger != nil {
+					opts.Logger.Warn("checkpoint has a corrupt tail; resuming from the salvaged prefix",
+						"path", opts.Checkpoint, "salvaged", load.Salvaged)
+				}
+			}
 			for i, job := range jobs {
-				if res, ok := restored[job.ID]; ok {
+				if res, ok := load.Restored[job.ID]; ok {
 					res.Resumed = true
 					res.Output = "" // checkpoints pin by digest only
 					rep.Results[i] = res

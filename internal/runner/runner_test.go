@@ -1,9 +1,11 @@
 package runner
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -253,12 +255,13 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	}
 
 	// The checkpoint survives the "crash" and restores jobs 0-2.
-	restored, err := LoadCheckpoint(ckpt)
+	load, err := LoadCheckpoint(ckpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(restored) != 3 {
-		t.Fatalf("checkpoint restored %d jobs, want 3: %v", len(restored), restored)
+	if len(load.Restored) != 3 || load.CorruptTail {
+		t.Fatalf("checkpoint restored %d jobs (corrupt=%v), want 3 clean: %v",
+			len(load.Restored), load.CorruptTail, load.Restored)
 	}
 
 	var reran atomic.Int32
@@ -288,9 +291,9 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 		}
 	}
 	// The resumed run's final checkpoint now holds all six digests.
-	restored, err = LoadCheckpoint(ckpt)
-	if err != nil || len(restored) != 6 {
-		t.Fatalf("final checkpoint holds %d jobs (%v), want 6", len(restored), err)
+	load, err = LoadCheckpoint(ckpt)
+	if err != nil || len(load.Restored) != 6 {
+		t.Fatalf("final checkpoint holds %d jobs (%v), want 6", len(load.Restored), err)
 	}
 }
 
@@ -309,8 +312,74 @@ func TestLoadCheckpointCorrupt(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(path); err == nil {
-		t.Fatal("corrupt checkpoint accepted")
+	// Hopeless corruption degrades to an empty restore, not a failure:
+	// the resumed run simply re-executes everything.
+	load, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint must degrade, got error: %v", err)
+	}
+	if !load.CorruptTail || len(load.Restored) != 0 || load.Salvaged != 0 {
+		t.Fatalf("hopeless corruption: %+v", load)
+	}
+}
+
+// A torn checkpoint (crash mid-write before the atomic rename
+// discipline existed, disk truncation, partial copy) must salvage the
+// valid leading results and resume from them.
+func TestLoadCheckpointTruncatedSalvagesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	rep := Run(context.Background(), fakeJobs(5), Options{Workers: 1, Checkpoint: ckpt})
+	if len(rep.Failed()) != 0 {
+		t.Fatalf("seed run failed: %v", rep.Failed())
+	}
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file inside the last result object.
+	last := bytes.LastIndexByte(raw, '{')
+	if err := os.WriteFile(ckpt, raw[:last+12], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("torn checkpoint must degrade, got error: %v", err)
+	}
+	if !load.CorruptTail {
+		t.Fatal("torn checkpoint not flagged as corrupt")
+	}
+	if load.Salvaged != 4 || len(load.Restored) != 4 {
+		t.Fatalf("salvaged %d entries, restored %d, want 4/4", load.Salvaged, len(load.Restored))
+	}
+	for id, res := range load.Restored {
+		if res.OutputSHA256 == "" {
+			t.Errorf("salvaged result %s lacks its digest", id)
+		}
+	}
+
+	// The resumed run re-executes only the torn tail, and a warning
+	// with the salvage count reaches the log.
+	var reran atomic.Int32
+	jobs := fakeJobs(5)
+	for i := range jobs {
+		run := jobs[i].Run
+		jobs[i].Run = func(jc context.Context) string { reran.Add(1); return run(jc) }
+	}
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	resumed := Run(context.Background(), jobs,
+		Options{Workers: 1, Checkpoint: ckpt, Resume: true, Logger: logger})
+	if got := reran.Load(); got != 1 {
+		t.Errorf("resumed run executed %d jobs, want 1", got)
+	}
+	if resumed.Resumed != 4 {
+		t.Errorf("report counts %d resumed, want 4", resumed.Resumed)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "corrupt tail") || !strings.Contains(logs, "salvaged=4") {
+		t.Errorf("salvage warning missing from logs:\n%s", logs)
 	}
 }
 

@@ -175,12 +175,18 @@ func (g *GK) compress() {
 
 // Quantile returns a value whose rank is within ε·n (2ε·n after
 // merges) of ⌈p·n⌉. It panics outside [0,1] and returns NaN when
-// empty.
+// empty. Like State, it never mutates the summary: buffered
+// observations are folded into a throwaway clone, so querying a
+// sketch mid-stream cannot shift its flush boundaries (which would
+// make the final bytes depend on when a monitor happened to look).
 func (g *GK) Quantile(p float64) float64 {
 	if !(p >= 0 && p <= 1) {
 		panic("stream: quantile probability outside [0,1]")
 	}
-	g.flush()
+	if len(g.buf) > 0 {
+		g = g.clone()
+		g.flush()
+	}
 	if g.n == 0 || len(g.tuples) == 0 {
 		return math.NaN()
 	}
@@ -217,12 +223,14 @@ func (g *GK) Merge(other Accumulator) error {
 	if o == g {
 		o = g.clone()
 	}
-	g.flush()
 	o2 := o.clone()
 	o2.flush()
 	if o2.n == 0 {
+		// Folding an empty summary must leave the receiver's bytes
+		// untouched — including its unflushed buffer.
 		return nil
 	}
+	g.flush()
 	if g.n == 0 {
 		*g = *o2
 		return nil
@@ -260,18 +268,30 @@ func (g *GK) clone() *GK {
 	return &c
 }
 
-// gkState is the serialized form; the insertion buffer is flushed
-// first so equal summaries serialize identically.
+// gkState is the serialized form. The insertion buffer is serialized
+// as-is, NOT flushed: State must be an exact, non-mutating capture so
+// that (a) serializing mid-stream — a worker's periodic upload, a
+// checkpoint — cannot perturb the summary's later flush boundaries,
+// and (b) a restored summary continues byte-identically to the
+// uninterrupted original. Buf is empty for merged sketches (Merge
+// flushes), so merged states keep their historical byte layout.
 type gkState struct {
 	Eps    float64   `json:"eps"`
 	N      int64     `json:"n"`
 	Tuples []gkTuple `json:"tuples"`
+	Buf    []jsonF64 `json:"buf,omitempty"`
 }
 
-// State implements Accumulator.
+// State implements Accumulator. It does not modify the summary.
 func (g *GK) State() ([]byte, error) {
-	g.flush()
-	return marshalState(gkKind, gkState{Eps: g.eps, N: g.n, Tuples: g.tuples})
+	st := gkState{Eps: g.eps, N: g.n, Tuples: g.tuples}
+	if len(g.buf) > 0 {
+		st.Buf = make([]jsonF64, len(g.buf))
+		for i, v := range g.buf {
+			st.Buf[i] = jsonF64(v)
+		}
+	}
+	return marshalState(gkKind, st)
 }
 
 // Restore implements Accumulator.
@@ -296,6 +316,12 @@ func (g *GK) Restore(data []byte) error {
 	fresh := NewGK(st.Eps)
 	fresh.n = st.N
 	fresh.tuples = st.Tuples
+	if len(st.Buf) > 0 {
+		fresh.buf = make([]float64, len(st.Buf))
+		for i, v := range st.Buf {
+			fresh.buf[i] = float64(v)
+		}
+	}
 	*g = *fresh
 	return nil
 }

@@ -35,6 +35,15 @@ type PipelineOptions struct {
 	// ChunkSize is the observations-per-chunk fan-out granularity
 	// (DefaultChunkSize when < 1).
 	ChunkSize int
+	// ShardOffset offsets the sketches' shard indices: shard i is
+	// created as NewSketch(kind, ShardOffset+i, ...). A distributed
+	// worker uses it to stamp its single-shard session with its global
+	// shard position, so the coordinator's canonical (ascending-index)
+	// merge reproduces the fold a single process over the same shard
+	// decomposition would compute. It also feeds the per-(shard,
+	// dimension) reservoir sub-seeds, keeping distributed samples
+	// byte-identical to the single-process reference.
+	ShardOffset int
 	// Config parameterizes the per-shard sketches.
 	Config Config
 	// Metrics, when non-nil, accumulates stream.* instruments: run
@@ -110,7 +119,7 @@ func NewSession(traceKind string, popts PipelineOptions) (*Session, error) {
 	popts = popts.withDefaults()
 	shards := make([]*Sketch, popts.Shards)
 	for i := range shards {
-		s, err := NewSketch(traceKind, i, popts.Config)
+		s, err := NewSketch(traceKind, popts.ShardOffset+i, popts.Config)
 		if err != nil {
 			return nil, err
 		}

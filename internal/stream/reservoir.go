@@ -140,11 +140,16 @@ func mergeSeed(seedA, nA, seedB, nB int64) int64 {
 	return int64(h & (1<<62 - 1))
 }
 
-// reservoirState is the serialized form. The RNG cannot be resumed
-// exactly (math/rand exposes no state), so Restore reseeds from
-// (seed, n); the restored trajectory is still deterministic, just not
-// the unserialized continuation. The pipeline only serializes final
-// states, where the distinction is invisible.
+// reservoirState is the serialized form. math/rand exposes no RNG
+// state, but the draw sequence of an unmerged reservoir is fully
+// determined by (seed, n): Algorithm R consumes exactly one
+// Int63n(m) per observation m = k+1..n. Restore replays that
+// sequence against a fresh seed-keyed source, reconstructing the
+// exact RNG position — so a sketch checkpointed mid-stream and
+// restored continues byte-identically to the uninterrupted original
+// (the crash-recovery invariant the distributed workers rely on).
+// Post-merge reservoirs follow a merge-seeded trajectory instead;
+// they are only ever serialized as final results, never resumed into.
 type reservoirState struct {
 	K    int   `json:"k"`
 	Seed int64 `json:"seed"`
@@ -176,7 +181,22 @@ func (r *Reservoir) Restore(data []byte) error {
 	for i, v := range st.Sample {
 		sample[i] = float64(v)
 	}
-	*r = Reservoir{k: st.K, seed: st.Seed, n: st.N, sample: sample,
-		rng: rand.New(rand.NewSource(mergeSeed(st.Seed, st.N, st.Seed, st.N)))}
+	rng := rand.New(rand.NewSource(st.Seed))
+	if draws := st.N - int64(st.K); draws <= maxReplayDraws {
+		for m := int64(st.K) + 1; m <= st.N; m++ {
+			rng.Int63n(m)
+		}
+	} else {
+		// A forged or astronomically large state would make the replay
+		// unbounded; fall back to a deterministic reseed. Real shard
+		// streams sit far below the cap.
+		rng = rand.New(rand.NewSource(mergeSeed(st.Seed, st.N, st.Seed, st.N)))
+	}
+	*r = Reservoir{k: st.K, seed: st.Seed, n: st.N, sample: sample, rng: rng}
 	return nil
 }
+
+// maxReplayDraws bounds Restore's RNG replay (~1s of draws); states
+// past it — none produced by real ingest — lose continuation
+// exactness but stay deterministic.
+const maxReplayDraws = 1 << 27
