@@ -31,6 +31,8 @@ func TestUsageErrors(t *testing.T) {
 		{"check"},
 		{"bench-diff", "only-one.json"},
 		{"bench-diff", "-gate", "1.5", "a.json", "b.json"},
+		{"watch", "-reconnect", "-1", ":1"},
+		{"watch", "-reconnect-wait", "0s", ":1"},
 	}
 	for _, args := range cases {
 		if code, _, _ := runTool(t, args...); code != 2 {
@@ -93,6 +95,131 @@ func TestWatchRendersLiveRun(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// waitSubs blocks until the bus has at least one subscriber (the
+// watch's /events attachment) or the deadline passes.
+func waitSubs(bus *obs.Bus) {
+	for i := 0; i < 400 && bus.Subscribers() == 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func verdictAttrs(window string) map[string]string {
+	return map[string]string{
+		"window": window, "t_end": "35", "rate": "8.02", "dispersion": "0.97",
+		"lag1": "0.02", "hurst": "0.51", "tail_alpha": "1.8", "p95": "2917",
+	}
+}
+
+// TestWatchReconnectAcrossServerRestart is the resilience satellite:
+// the monitor server is killed mid-watch and restarted on the same
+// address, and a -reconnect watch must ride the gap out, render
+// events from both incarnations, and summarize the whole.
+func TestWatchReconnectAcrossServerRestart(t *testing.T) {
+	bus1 := obs.NewBusClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+	srv1, err := monitor.Start("127.0.0.1:0", monitor.Options{Tool: "wanstream", Bus: bus1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+
+	srv2ch := make(chan *monitor.Server, 1)
+	go func() {
+		// Phase 1: two verdicts, then kill the server under the watch.
+		waitSubs(bus1)
+		bus1.Publish(obs.EventVerdict, "poisson", verdictAttrs("6"))
+		bus1.Publish(obs.EventVerdict, "poisson", verdictAttrs("7"))
+		time.Sleep(150 * time.Millisecond) // let the SSE writer flush
+		srv1.Close()
+
+		// Phase 2: restart on the same address; the port may linger
+		// briefly in TIME_WAIT, so retry the bind.
+		bus2 := obs.NewBusClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+		var srv2 *monitor.Server
+		for i := 0; i < 200; i++ {
+			if srv2, err = monitor.Start(addr, monitor.Options{Tool: "wanstream", Bus: bus2}); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		srv2ch <- srv2
+		if srv2 == nil {
+			return
+		}
+		waitSubs(bus2)
+		bus2.Publish(obs.EventChangePoint, "rate-step", map[string]string{
+			"signal": "rate", "direction": "up", "value": "24.4", "baseline": "8.05", "score": "3.2",
+		})
+		bus2.Publish(obs.EventVerdict, "bursty", verdictAttrs("61"))
+	}()
+
+	code, out, stderr := runTool(t, "watch", "-max", "4",
+		"-reconnect", "50", "-reconnect-wait", "10ms", addr)
+	if srv2 := <-srv2ch; srv2 != nil {
+		defer srv2.Close()
+	} else {
+		t.Fatal("could not restart the monitor on the watched address")
+	}
+	if code != 0 {
+		t.Fatalf("watch exit %d, stderr: %s\nout: %s", code, stderr, out)
+	}
+	for _, want := range []string{
+		"verdict poisson",
+		"rate=8.02/s",
+		"reattaching in",
+		"CHANGE rate-step: rate up (24.4 from 8.05, score 3.2)",
+		"verdict bursty",
+		"stream ended: 4 event(s), verdicts: 1 bursty, 2 poisson, 1 changepoint(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWatchReconnectGivesUp bounds the resilience: when the monitor
+// dies for good, the watch must stop after -reconnect consecutive
+// fruitless attempts and exit 1.
+func TestWatchReconnectGivesUp(t *testing.T) {
+	bus := obs.NewBusClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+	srv, err := monitor.Start("127.0.0.1:0", monitor.Options{Tool: "wanstream", Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		waitSubs(bus)
+		bus.Publish(obs.EventVerdict, "poisson", verdictAttrs("6"))
+		time.Sleep(150 * time.Millisecond)
+		srv.Close() // and never come back
+	}()
+	code, out, _ := runTool(t, "watch", "-reconnect", "2", "-reconnect-wait", "5ms", srv.Addr())
+	if code != 1 {
+		t.Fatalf("watch against a dead monitor: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "reattaching in") {
+		t.Errorf("watch never announced a reattach:\n%s", out)
+	}
+	if !strings.Contains(out, "stream ended:") {
+		t.Errorf("watch gave up without a summary:\n%s", out)
+	}
+}
+
+func TestBackoffWait(t *testing.T) {
+	base := 100 * time.Millisecond
+	for _, tc := range []struct {
+		failures int
+		want     time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{10, 10 * time.Second}, // capped
+	} {
+		if got := backoffWait(base, tc.failures); got != tc.want {
+			t.Errorf("backoffWait(%v, %d) = %v, want %v", base, tc.failures, got, tc.want)
 		}
 	}
 }
@@ -192,7 +319,7 @@ func TestBenchDiffJSON(t *testing.T) {
 // TestBenchDiffCommittedTrajectory is the CI smoke contract: the
 // repo's committed BENCH files self-diff to exit 0.
 func TestBenchDiffCommittedTrajectory(t *testing.T) {
-	for _, name := range []string{"BENCH_obs.json", "BENCH_stream.json", "BENCH_mon.json"} {
+	for _, name := range []string{"BENCH_obs.json", "BENCH_stream.json", "BENCH_mon.json", "BENCH_observe.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); os.IsNotExist(err) {
 			t.Logf("skipping %s (not committed yet)", name)

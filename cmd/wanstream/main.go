@@ -19,6 +19,20 @@
 //	wanstream -serve :8077 -progress big.conn # live monitor + ticker
 //	wanstream shard0.conn shard1.conn ...     # multi-file canonical merge
 //	wanstream -coord http://host:8087 -worker-id w0 -shard 0 shard0.conn
+//	wanstream -follow trace.conn              # live observatory verdicts
+//	wanstream -follow -dilate 60 -serve :8077 day.conn
+//
+// With -follow, wanstream switches from the one-shot pipeline to the
+// always-on observatory (internal/observe): the trace is replayed —
+// at full speed, or time-dilated with -dilate so a day of trace plays
+// back in minutes — and every estimator window closes with a verdict
+// line ("poisson" / "bursty") plus classified change-point alarms
+// when the traffic's regime shifts. Under -serve the same events
+// stream on /events (watch them with `wanmon watch`) and the
+// observe.* gauges appear on /metrics. Pacing never changes what is
+// computed: the emitted event sequence is byte-identical at every
+// dilation factor, and -state writes the observatory's deterministic
+// serialized state instead of the pipeline sketch.
 //
 // With several trace files, file i is ingested as global shard i and
 // the sketches are merged in canonical order — the single-process
@@ -53,6 +67,7 @@ import (
 	"wantraffic/internal/cli"
 	"wantraffic/internal/coord"
 	"wantraffic/internal/obs"
+	"wantraffic/internal/observe"
 	"wantraffic/internal/stream"
 	"wantraffic/internal/trace"
 )
@@ -75,6 +90,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxRecords := fs.Int("max-records", trace.DefaultMaxRecords, "hard limit on decoded records")
 	jsonOut := fs.Bool("json", false, "emit the summary as JSON")
 	statePath := fs.String("state", "", "also write the merged sketch state (deterministic JSON) to this file")
+
+	// Live observatory mode (-follow selects it; see internal/observe).
+	follow := fs.Bool("follow", false, "replay the trace through the live observatory, one verdict line per estimator window")
+	dilate := fs.Float64("dilate", 0, "with -follow: replay speed (1: real time, 60: a trace minute per wall second; 0: full speed)")
+	obsWindow := fs.Float64("obs-window", 0, "with -follow: estimator window in seconds (0 selects 5)")
+	obsKeep := fs.Int("obs-keep", 0, "with -follow: rolling estimator horizon in windows (0 selects 60)")
+	obsHalfLife := fs.Float64("obs-halflife", 0, "with -follow: size-decay half-life in seconds (0 selects 10 windows)")
+	obsWarmup := fs.Int("obs-warmup", 0, "with -follow: windows closed before verdicts leave warming (0 selects 8)")
 
 	// Distributed worker mode (-coord selects it; see internal/coord).
 	coordURL := fs.String("coord", "", "run as a distributed worker POSTing sketch state to this coordinator URL")
@@ -104,8 +127,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cli.Positive("max-records", float64(*maxRecords)),
 		cli.NonNegative("shard", float64(*shard)),
 		cli.NonNegative("upload-every", float64(*uploadEvery)),
+		cli.NonNegative("dilate", *dilate),
+		cli.NonNegative("obs-window", *obsWindow),
+		cli.NonNegative("obs-keep", float64(*obsKeep)),
+		cli.NonNegative("obs-halflife", *obsHalfLife),
+		cli.NonNegative("obs-warmup", float64(*obsWarmup)),
 	); err != nil {
 		return err
+	}
+	if !*follow {
+		for flag, set := range map[string]bool{
+			"dilate": *dilate != 0, "obs-window": *obsWindow != 0,
+			"obs-keep": *obsKeep != 0, "obs-halflife": *obsHalfLife != 0,
+			"obs-warmup": *obsWarmup != 0,
+		} {
+			if set {
+				return cli.Usagef("-%s requires -follow", flag)
+			}
+		}
+	} else if *coordURL != "" {
+		return cli.Usagef("-follow and -coord are mutually exclusive")
 	}
 	if *coordURL == "" {
 		for flag, set := range map[string]bool{
@@ -133,6 +174,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer sess.Close()
 	dopts.Metrics = sess.Metrics
 	ctx := obs.WithTracer(context.Background(), sess.Tracer)
+
+	if *follow {
+		if fs.NArg() != 1 {
+			return cli.Usagef("-follow takes exactly one trace file")
+		}
+		return runFollow(ctx, fs.Arg(0), followFlags{
+			dilate: *dilate, window: *obsWindow, keep: *obsKeep,
+			halfLife: *obsHalfLife, warmup: *obsWarmup,
+			statePath: *statePath, jsonOut: *jsonOut,
+		}, sess, dopts, stdout)
+	}
 
 	if *coordURL != "" {
 		return runWorker(ctx, fs.Args(), workerFlags{
@@ -308,6 +360,110 @@ func runWorker(ctx context.Context, args []string, wf workerFlags, sess *cli.Obs
 		fmt.Fprintf(stdout, "state sha256: %s\n", rep.Digest)
 	}
 	return sess.Close()
+}
+
+// followFlags bundles the parsed -follow mode options.
+type followFlags struct {
+	dilate, window, halfLife float64
+	keep, warmup             int
+	statePath                string
+	jsonOut                  bool
+}
+
+// runFollow is -follow mode: replay one trace through the live
+// observatory, rendering every verdict and change-point as it is
+// emitted. All event values are pure functions of the record
+// sequence, so the output is byte-identical at any -dilate factor.
+func runFollow(ctx context.Context, path string, ff followFlags, sess *cli.ObsSession, dopts trace.DecodeOptions, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ctx, span := obs.StartSpan(ctx, "follow")
+	o := observe.New(observe.Options{
+		Window: ff.window, KeepWindows: ff.keep,
+		HalfLife: ff.halfLife, Warmup: ff.warmup,
+		Bus: sess.Bus, Metrics: sess.Metrics, Logger: sess.Logger, Context: ctx,
+		OnEvent: func(ev observe.Event) { printFollowEvent(stdout, ev, ff.jsonOut) },
+	})
+	st, err := observe.Replay(f, o, observe.ReplayOptions{
+		Dilate: ff.dilate, Decode: dopts, Flush: true,
+	})
+	span.End()
+	if err != nil {
+		return err
+	}
+	state, err := o.State()
+	if err != nil {
+		return err
+	}
+	if ff.statePath != "" {
+		if err := os.WriteFile(ff.statePath, state, 0o644); err != nil {
+			return err
+		}
+	}
+	verdict := o.Last().Verdict
+	if verdict == "" {
+		verdict = "none"
+	}
+	if ff.jsonOut {
+		raw, err := json.Marshal(followSummary{
+			Kind: "summary", Records: st.Records, Windows: o.Windows(),
+			ChangePoints: o.ChangePoints(), LastVerdict: verdict,
+			StateSHA256: coord.Digest(state), Decode: st.Decode,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", raw)
+	} else {
+		fmt.Fprintf(stdout, "followed %d records over %d window(s): %d change-point(s), last verdict %s\n",
+			st.Records, o.Windows(), o.ChangePoints(), verdict)
+		fmt.Fprintf(stdout, "state sha256: %s\n", coord.Digest(state))
+	}
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	if st.Decode.RecordsSkipped > 0 {
+		return cli.Partialf("follow complete, but %d malformed record(s) were skipped", st.Decode.RecordsSkipped)
+	}
+	return nil
+}
+
+// followSummary is the final line of -follow -json output.
+type followSummary struct {
+	Kind         string            `json:"kind"`
+	Records      int64             `json:"records"`
+	Windows      int64             `json:"windows"`
+	ChangePoints int64             `json:"changepoints"`
+	LastVerdict  string            `json:"last_verdict"`
+	StateSHA256  string            `json:"state_sha256"`
+	Decode       trace.DecodeStats `json:"decode_stats"`
+}
+
+// printFollowEvent renders one observatory event: a JSON line under
+// -json, otherwise a fixed-layout text line keyed by event time.
+func printFollowEvent(w io.Writer, ev observe.Event, jsonOut bool) {
+	if jsonOut {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "%s\n", raw)
+		return
+	}
+	if ev.Kind == obs.EventChangePoint {
+		fmt.Fprintf(w, "t=%-10.6g w=%-5d CHANGE %s: %s %s (%.4g from %.4g, score %.2f)\n",
+			ev.TEnd, ev.Window, ev.Name, ev.Signal, ev.Direction, ev.Value, ev.Baseline, ev.Score)
+		return
+	}
+	est := ev.Estimate
+	if est == nil {
+		return
+	}
+	fmt.Fprintf(w, "t=%-10.6g w=%-5d %-8s rate=%.4g/s disp=%.3g lag1=%+.2f hurst=%.3g alpha=%.3g p95=%.4g\n",
+		ev.TEnd, ev.Window, est.Verdict, est.Rate, est.Dispersion, est.Lag1, est.Hurst, est.TailAlpha, est.P95)
 }
 
 // normalizeBase turns an address argument into a base URL (":8087" →

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"wantraffic/internal/cli"
 	"wantraffic/internal/coord"
+	"wantraffic/internal/observe"
 	"wantraffic/internal/stream"
 	"wantraffic/internal/trace"
 )
@@ -327,6 +329,169 @@ func TestMultiFileMergeMatchesReference(t *testing.T) {
 	}
 	if rep.SHA != want {
 		t.Errorf("multi-file state_sha256 %s, reference %s", rep.SHA, want)
+	}
+}
+
+// poissonTrace writes a ~200 s Poisson connection trace: steady rate,
+// exponential sizes — traffic the observatory should call "poisson".
+func poissonTrace(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tr := &trace.ConnTrace{Name: "steady", Horizon: 200}
+	tm := 0.0
+	for tm < 200 {
+		tm += rng.ExpFloat64() / 8
+		if tm >= 200 {
+			break
+		}
+		tr.Conns = append(tr.Conns, trace.Conn{
+			Start: tm, Duration: rng.ExpFloat64() * 5, Proto: trace.Telnet,
+			BytesOrig: 1 + int64(rng.ExpFloat64()*200), BytesResp: 1 + int64(rng.ExpFloat64()*800),
+		})
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteConnTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "steady.conn")
+	if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFollowUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"dilate without follow", []string{"-dilate", "60", "x"}},
+		{"obs-window without follow", []string{"-obs-window", "5", "x"}},
+		{"obs-warmup without follow", []string{"-obs-warmup", "4", "x"}},
+		{"follow with coord", []string{"-follow", "-coord", ":1", "x"}},
+		{"follow two files", []string{"-follow", "a", "b"}},
+		{"negative dilate", []string{"-follow", "-dilate", "-1", "x"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if got := cli.ExitCode(run(tc.args, &out, &errw)); got != cli.ExitUsage {
+				t.Errorf("run(%v) exit %d, want %d", tc.args, got, cli.ExitUsage)
+			}
+		})
+	}
+}
+
+// TestFollowVerdictLines runs the observatory over a Poisson trace:
+// one verdict line per window, warming through warmup and then
+// reading poisson, with a deterministic trailer. Two runs must be
+// byte-identical.
+func TestFollowVerdictLines(t *testing.T) {
+	p := poissonTrace(t)
+	args := []string{"-follow", "-obs-window", "5", "-obs-keep", "24", "-obs-warmup", "4", p}
+	var first string
+	for i := 0; i < 2; i++ {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err != nil {
+			t.Fatalf("follow: %v", err)
+		}
+		if i == 0 {
+			first = out.String()
+			continue
+		}
+		if out.String() != first {
+			t.Fatalf("identical -follow runs diverge:\n--- 1\n%s--- 2\n%s", first, out.String())
+		}
+	}
+	for _, want := range []string{"warming", "poisson", "rate=", "disp=", "last verdict poisson", "state sha256: "} {
+		if !strings.Contains(first, want) {
+			t.Errorf("follow output missing %q:\n%s", want, first)
+		}
+	}
+	if strings.Contains(first, "CHANGE") {
+		t.Errorf("steady Poisson trace produced a change-point:\n%s", first)
+	}
+}
+
+// TestFollowDilationInvariance is the tentpole determinism claim at
+// the CLI layer: a time-dilated replay emits byte-identical output to
+// a full-speed one (1e5x dilation keeps the wall cost microscopic).
+func TestFollowDilationInvariance(t *testing.T) {
+	p := poissonTrace(t)
+	outputs := make([]string, 2)
+	for i, dilate := range []string{"0", "100000"} {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-follow", "-dilate", dilate, "-obs-warmup", "4", p}, &out, &errw); err != nil {
+			t.Fatalf("dilate %s: %v", dilate, err)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("dilated output diverges from full speed:\n--- full\n%s--- dilated\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestFollowJSONAndState: -json emits one JSON object per event plus
+// a summary object whose digest matches the -state file.
+func TestFollowJSONAndState(t *testing.T) {
+	p := poissonTrace(t)
+	sp := filepath.Join(t.TempDir(), "obs.json")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-follow", "-json", "-state", sp, p}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want event lines plus a summary, got %d line(s)", len(lines))
+	}
+	for _, line := range lines[:len(lines)-1] {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line is not JSON: %v\n%s", err, line)
+		}
+		if ev.Kind != "verdict" && ev.Kind != "changepoint" {
+			t.Fatalf("unexpected event kind %q", ev.Kind)
+		}
+	}
+	var sum struct {
+		Kind    string `json:"kind"`
+		Records int64  `json:"records"`
+		Windows int64  `json:"windows"`
+		SHA     string `json:"state_sha256"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatalf("summary line is not JSON: %v", err)
+	}
+	if sum.Kind != "summary" || sum.Records == 0 || sum.Windows == 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	state, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Digest(state); got != sum.SHA {
+		t.Errorf("-state digest %s, summary says %s", got, sum.SHA)
+	}
+	// The state restores into a default-options observatory (the CLI
+	// defaults are the library defaults).
+	restored := observe.New(observe.Options{})
+	if err := restored.Restore(state); err != nil {
+		t.Errorf("state does not restore: %v", err)
+	}
+}
+
+// TestFollowLenientDamagedTrace: decode accounting flows through to
+// the partial exit like the pipeline path.
+func TestFollowLenientDamagedTrace(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-follow", "-lenient", damagedTrace(t)}, &out, &errw)
+	if got := cli.ExitCode(err); got != cli.ExitPartial {
+		t.Fatalf("lenient damaged follow: exit %d, want %d (err: %v)", got, cli.ExitPartial, err)
+	}
+	if !strings.Contains(out.String(), "followed 2 records") {
+		t.Errorf("trailer should cover the kept records:\n%s", out.String())
 	}
 }
 

@@ -80,6 +80,7 @@ func All() []Experiment {
 		{"responder", "Future work: the TELNET responder model", Responder},
 		{"ablation", "Robustness: burst cutoff, EXP mean, interval length", Ablation},
 		{"streamcal", "Streaming sketches: one-pass pipeline vs batch statistics", StreamCal},
+		{"observatory", "Observatory: regime-swap replay, rolling verdicts, change-points", Observatory},
 	}
 }
 

@@ -27,6 +27,12 @@ const (
 	EventSpanStart = "span_start"
 	EventSpanEnd   = "span_end"
 	EventJobState  = "job_state"
+
+	// Observatory events (internal/observe, DESIGN.md §14): a verdict
+	// is emitted at every estimator window close, a changepoint when
+	// the online detector flags a regime shift.
+	EventVerdict     = "verdict"
+	EventChangePoint = "changepoint"
 )
 
 // Bus is a small fan-out event bus: publishers never block, slow

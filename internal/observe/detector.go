@@ -1,0 +1,167 @@
+// Package observe is the always-on traffic observatory: rolling
+// estimators over windowed sketches (internal/stream) plus an online
+// change-point detector, turning the one-pass pipeline into a live
+// answer to "is this traffic Poisson right now?" (ROADMAP item 5,
+// DESIGN.md §14).
+//
+// Everything here is deterministic: estimator updates happen at
+// event-time window boundaries, the detector is pure arithmetic over
+// the estimator series, and no wall-clock reading ever influences an
+// emitted value — a time-dilated replay of the same trace produces a
+// byte-identical event sequence at any dilation factor.
+package observe
+
+import (
+	"fmt"
+	"math"
+)
+
+// PageHinkley is a two-sided Page–Hinkley change-point detector over
+// a scalar signal sampled once per estimator window.
+//
+// The classic test tracks the cumulative deviation of the signal from
+// its own running mean, m_T = Σ(x_i − x̄_i − δ), and alarms when m_T
+// rises more than λ above its running minimum (an upward mean shift);
+// the mirrored statistic catches downward shifts. δ (drift) absorbs
+// slow wander — a diurnal ramp — while λ sets how large a sustained
+// step must be to alarm.
+//
+// Both are expressed as *fractions of the signal's own scale*,
+// calibrated from the running mean magnitude at the end of warmup, so
+// one configuration works for signals living on different ranges
+// (rates of 10/s or 10k/s, tail indices near 1). After an alarm the
+// detector resets and re-warms on the post-shift signal, with an
+// extra cooldown of quiet samples so one regime change cannot fire a
+// burst of alarms.
+type PageHinkley struct {
+	delta    float64 // drift tolerance, fraction of calibrated scale
+	lambda   float64 // alarm threshold, fraction of calibrated scale
+	warmup   int64   // samples used to calibrate the scale
+	cooldown int64   // extra quiet samples after an alarm
+	tau      int64   // mean adaptation time constant, in samples
+
+	st PHState
+}
+
+// PHState is the detector's serializable state. All fields stay
+// finite, so the JSON encoding is exact (encoding/json round-trips
+// float64 via shortest form).
+type PHState struct {
+	N     int64   `json:"n"`     // samples since last reset
+	Mean  float64 `json:"mean"`  // running mean since last reset
+	Scale float64 `json:"scale"` // calibrated signal scale (0 until warm)
+	MT    float64 `json:"mt"`    // Σ(x − mean − δ): upward statistic
+	Min   float64 `json:"min"`   // running min of MT
+	UT    float64 `json:"ut"`    // Σ(x − mean + δ): downward statistic
+	Max   float64 `json:"max"`   // running max of UT
+	Cool  int64   `json:"cool"`  // remaining cooldown samples
+}
+
+// Shift describes one detected change.
+type Shift struct {
+	Direction string  `json:"direction"` // "up" or "down"
+	Value     float64 `json:"value"`     // signal value at the alarm
+	Baseline  float64 `json:"baseline"`  // running mean the signal shifted from
+	Score     float64 `json:"score"`     // alarm statistic in units of λ (≥ 1)
+}
+
+// NewPageHinkley returns a detector with the given drift and
+// threshold fractions (δ ≤ 0 selects 0.05, λ ≤ 0 selects 1.0),
+// warmup sample count (< 2 selects 8) and post-alarm cooldown
+// (< 0 selects 0).
+func NewPageHinkley(delta, lambda float64, warmup, cooldown int) *PageHinkley {
+	if !(delta > 0) {
+		delta = 0.05
+	}
+	if !(lambda > 0) {
+		lambda = 1.0
+	}
+	if warmup < 2 {
+		warmup = 8
+	}
+	if cooldown < 0 {
+		cooldown = 0
+	}
+	return &PageHinkley{
+		delta: delta, lambda: lambda,
+		warmup: int64(warmup), cooldown: int64(cooldown),
+		// The reference mean adapts over ~2 warmups rather than the
+		// whole history: against a full running mean, any persistent
+		// slow ramp (an estimator's convergence transient, a diurnal
+		// trend) opens an ever-growing deviation that must eventually
+		// alarm; a bounded time constant keeps the deviation at
+		// ramp-rate·τ, which δ absorbs, while a genuine step still
+		// opens a gap of step-size·τ ≫ λ before the mean catches up.
+		tau: int64(2 * warmup),
+	}
+}
+
+// Update folds one sample and reports whether it triggered an alarm.
+// Non-finite samples are ignored (no state change, no alarm).
+func (p *PageHinkley) Update(x float64) (Shift, bool) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return Shift{}, false
+	}
+	s := &p.st
+	if s.Cool > 0 {
+		s.Cool--
+		return Shift{}, false
+	}
+	s.N++
+	n := s.N
+	if n > p.tau {
+		n = p.tau
+	}
+	s.Mean += (x - s.Mean) / float64(n)
+	if s.N == p.warmup {
+		// The scale is the signal's own magnitude; the floor keeps
+		// δ/λ meaningful for signals hovering near zero (lag-1 of a
+		// Poisson stream).
+		s.Scale = math.Abs(s.Mean)
+		if s.Scale < 1e-9 {
+			s.Scale = 1
+		}
+	}
+	if s.N <= p.warmup {
+		return Shift{}, false
+	}
+	d := p.delta * s.Scale
+	l := p.lambda * s.Scale
+	s.MT += x - s.Mean - d
+	if s.MT < s.Min {
+		s.Min = s.MT
+	}
+	s.UT += x - s.Mean + d
+	if s.UT > s.Max {
+		s.Max = s.UT
+	}
+	up := s.MT - s.Min
+	down := s.Max - s.UT
+	if up <= l && down <= l {
+		return Shift{}, false
+	}
+	sh := Shift{Value: x, Baseline: s.Mean, Direction: "up", Score: up / l}
+	if down > up {
+		sh.Direction, sh.Score = "down", down/l
+	}
+	// Reset and re-warm on the post-shift regime.
+	p.st = PHState{Cool: p.cooldown}
+	return sh, true
+}
+
+// State returns the detector's serializable state.
+func (p *PageHinkley) State() PHState { return p.st }
+
+// Restore replaces the detector's state.
+func (p *PageHinkley) Restore(st PHState) error {
+	if st.N < 0 || st.Cool < 0 {
+		return fmt.Errorf("observe: detector state has negative counters")
+	}
+	for _, v := range []float64{st.Mean, st.Scale, st.MT, st.Min, st.UT, st.Max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("observe: detector state has non-finite statistic")
+		}
+	}
+	p.st = st
+	return nil
+}

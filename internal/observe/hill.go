@@ -1,0 +1,69 @@
+package observe
+
+import (
+	"math"
+
+	"wantraffic/internal/stream"
+)
+
+// HillBinned estimates the tail index α of a heavy-tailed sample from
+// the decayed log₂ histogram the observatory maintains, using the
+// Hill estimator evaluated on bucket midpoints.
+//
+// The Hill estimator over the k largest order statistics is
+//
+//	α̂⁻¹ = (1/k) Σ ln(x_i / x_min)
+//
+// With only log₂ buckets available, every observation in bucket e is
+// placed at its geometric midpoint 2^(e+1/2), so an observation in
+// bucket e contributes ln(2^(e+1/2) / 2^(e_min)) = ((e−e_min)+½)·ln 2
+// against the smallest included bucket's lower edge. The tail is the
+// smallest suffix of buckets (descending exponent) whose decayed
+// weight reaches tailFrac of the total.
+//
+// The paper's burstiness connects to α through the heavy-tailed
+// (Pareto-like, α ≲ 2) distributions it fits to FTP burst sizes
+// (§6.3): a drop of α̂ below 2 means the recent traffic regained an
+// infinite-variance tail. The estimate is deterministic — pure
+// arithmetic over bucket weights in fixed descending-exponent order.
+//
+// It returns α̂ and the tail weight actually used; both are 0 when
+// the histogram carries too little mass or spread to say anything
+// (fewer than two occupied buckets, or tail weight below minTailW).
+func HillBinned(bs []stream.DecayedBucket, tailFrac float64) (alpha, tailW float64) {
+	if !(tailFrac > 0) || tailFrac > 1 {
+		tailFrac = 0.1
+	}
+	var total float64
+	for _, b := range bs {
+		total += float64(b.Weight)
+	}
+	const minTailW = 4 // decayed observations; below this α̂ is noise
+	if total < minTailW || len(bs) < 2 {
+		return 0, 0
+	}
+	target := tailFrac * total
+	// Buckets arrive ascending; walk from the top down.
+	var sumLog float64
+	cut := len(bs)
+	for i := len(bs) - 1; i >= 0; i-- {
+		w := float64(bs[i].Weight)
+		tailW += w
+		cut = i
+		if tailW >= target {
+			break
+		}
+	}
+	if tailW < minTailW || cut == len(bs)-1 {
+		// Everything sits in one bucket: no spread, no tail estimate.
+		return 0, 0
+	}
+	eMin := bs[cut].Exp
+	for i := cut; i < len(bs); i++ {
+		sumLog += float64(bs[i].Weight) * (float64(bs[i].Exp-eMin) + 0.5) * math.Ln2
+	}
+	if !(sumLog > 0) {
+		return 0, 0
+	}
+	return tailW / sumLog, tailW
+}

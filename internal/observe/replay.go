@@ -1,0 +1,128 @@
+package observe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"wantraffic/internal/trace"
+)
+
+// Replay feeds a recorded trace (text or binary, connection or
+// packet) into an Observatory at a controlled rate — the live source
+// the observatory runs against until the wanload synthesis daemon
+// exists (ROADMAP item 2).
+//
+// Pacing is pure presentation: it delays *when* a record is folded,
+// never *what* is folded, so the emitted event sequence is identical
+// at every dilation factor (including 0, full speed). That property
+// is what lets CI soak the observatory in ten wall seconds while a
+// production deployment follows a trace in real time.
+
+// ReplayOptions controls pacing and decoding.
+type ReplayOptions struct {
+	// Dilate is the replay speed multiplier: 1 replays at the
+	// trace's own rate, 60 replays a minute of trace per wall
+	// second, 0 (or negative) replays as fast as possible.
+	Dilate float64
+	// Sleep and Now are injectable for tests; nil selects time.Sleep
+	// and time.Now.
+	Sleep func(time.Duration)
+	Now   func() time.Time
+	// Decode configures the trace scanners (leniency, limits).
+	Decode trace.DecodeOptions
+	// Flush, when true (the default via ReplayFlush), closes the
+	// final partial window at EOF so short traces still emit a last
+	// verdict.
+	Flush bool
+}
+
+// ReplayStats reports one replay's outcome.
+type ReplayStats struct {
+	Records int64             // records folded into the observatory
+	Kind    trace.Kind        // what the header declared
+	Decode  trace.DecodeStats // scanner accounting (skips under leniency)
+}
+
+// Replay streams the trace in r into o. It returns the decode error
+// (nil at clean EOF) alongside the stats; records decoded before a
+// mid-stream failure are already folded.
+func Replay(r io.Reader, o *Observatory, opts ReplayOptions) (ReplayStats, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	kind, binary, err := trace.SniffHeader(br)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	st := ReplayStats{Kind: kind}
+	pace := newPacer(opts)
+	switch kind {
+	case trace.KindConn:
+		var sc *trace.ConnScanner
+		if binary {
+			sc = trace.NewConnBinaryScanner(br, opts.Decode)
+		} else {
+			sc = trace.NewConnScanner(br, opts.Decode)
+		}
+		for sc.Scan() {
+			c := sc.Conn()
+			pace(c.Start)
+			o.ObserveConn(c)
+			st.Records++
+		}
+		st.Decode, err = sc.Stats(), sc.Err()
+	case trace.KindPacket:
+		var sc *trace.PacketScanner
+		if binary {
+			sc = trace.NewPacketBinaryScanner(br, opts.Decode)
+		} else {
+			sc = trace.NewPacketScanner(br, opts.Decode)
+		}
+		for sc.Scan() {
+			p := sc.Packet()
+			pace(p.Time)
+			o.ObservePacket(p)
+			st.Records++
+		}
+		st.Decode, err = sc.Stats(), sc.Err()
+	default:
+		return st, fmt.Errorf("observe: cannot replay trace kind %v", kind)
+	}
+	if err == nil && opts.Flush {
+		o.Flush()
+	}
+	return st, err
+}
+
+// newPacer returns the per-record delay function: it sleeps until the
+// record's dilated event time has elapsed on the wall clock, anchored
+// at the first record.
+func newPacer(opts ReplayOptions) func(t float64) {
+	if !(opts.Dilate > 0) {
+		return func(float64) {}
+	}
+	sleep, now := opts.Sleep, opts.Now
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if now == nil {
+		now = time.Now
+	}
+	var epoch time.Time
+	var t0 float64
+	started := false
+	return func(t float64) {
+		if !started {
+			epoch, t0, started = now(), t, true
+			return
+		}
+		elapsed := (t - t0) / opts.Dilate
+		if elapsed <= 0 {
+			return
+		}
+		target := epoch.Add(time.Duration(elapsed * float64(time.Second)))
+		if d := target.Sub(now()); d > 0 {
+			sleep(d)
+		}
+	}
+}

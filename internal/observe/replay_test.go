@@ -1,0 +1,149 @@
+package observe
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wantraffic/internal/fault"
+	"wantraffic/internal/trace"
+)
+
+func swapTrace(t *testing.T, binary bool) []byte {
+	t.Helper()
+	conns := regimeSwapConns(47, 100, 250)
+	tr := &trace.ConnTrace{Name: "swap", Horizon: 250, Conns: conns}
+	var b bytes.Buffer
+	var err error
+	if binary {
+		err = trace.WriteConnTraceBinary(&b, tr)
+	} else {
+		err = trace.WriteConnTrace(&b, tr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestReplayMatchesDirectIngest pins the replayer's core promise:
+// pacing (any dilation, any encoding) never changes what the
+// observatory computes.
+func TestReplayMatchesDirectIngest(t *testing.T) {
+	conns := regimeSwapConns(47, 100, 250)
+	var wantEvs []Event
+	direct := New(testOptions(&wantEvs))
+	for _, c := range conns {
+		direct.ObserveConn(c)
+	}
+	direct.Flush()
+	want, err := direct.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		binary bool
+		dilate float64
+	}{
+		{"text-fullspeed", false, 0},
+		{"binary-fullspeed", true, 0},
+		{"text-dilated", false, 50000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// A fake clock that jumps on sleep keeps dilated replays
+			// instant while exercising the pacing arithmetic.
+			clock := time.Unix(0, 0)
+			var slept time.Duration
+			var evs []Event
+			o := New(testOptions(&evs))
+			st, err := Replay(bytes.NewReader(swapTrace(t, tc.binary)), o, ReplayOptions{
+				Dilate: tc.dilate,
+				Flush:  true,
+				Now:    func() time.Time { return clock },
+				Sleep: func(d time.Duration) {
+					slept += d
+					clock = clock.Add(d)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Records != int64(len(conns)) {
+				t.Fatalf("replayed %d records, want %d", st.Records, len(conns))
+			}
+			got, err := o.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("replayed state diverges from direct ingest")
+			}
+			if !bytes.Equal(eventJSON(t, evs), eventJSON(t, wantEvs)) {
+				t.Fatal("replayed event sequence diverges from direct ingest")
+			}
+			if tc.dilate > 0 && slept == 0 {
+				t.Fatal("dilated replay never slept")
+			}
+			if tc.dilate == 0 && slept != 0 {
+				t.Fatal("full-speed replay slept")
+			}
+		})
+	}
+}
+
+// TestReplayChaosReader drags the -follow ingest path through the
+// fault injector: bit flips, dropped lines and truncation must never
+// panic or wedge the observatory — under lenient decoding the replay
+// completes on whatever survives, and the observatory's state still
+// round-trips.
+func TestReplayChaosReader(t *testing.T) {
+	raw := swapTrace(t, false)
+	for seed := int64(1); seed <= 8; seed++ {
+		var evs []Event
+		o := New(testOptions(&evs))
+		r := fault.NewReader(bytes.NewReader(raw), fault.Plan{
+			Seed:          seed,
+			BitFlipRate:   0.0005,
+			DropLineRate:  0.01,
+			KeepFirstLine: true,
+			TruncateAfter: int64(len(raw)) * (seed + 2) / 10,
+		})
+		st, err := Replay(r, o, ReplayOptions{
+			Flush:  true,
+			Decode: trace.DecodeOptions{Lenient: true},
+		})
+		// Bit flips can corrupt the header itself or trip a resource
+		// limit; any outcome is acceptable except a panic or a wedge.
+		if err != nil {
+			continue
+		}
+		if st.Records != o.Records() {
+			t.Fatalf("seed %d: replay says %d records, observatory says %d", seed, st.Records, o.Records())
+		}
+		mid, err := o.State()
+		if err != nil {
+			t.Fatalf("seed %d: state after chaos: %v", seed, err)
+		}
+		restored := New(testOptions(&evs))
+		if err := restored.Restore(mid); err != nil {
+			t.Fatalf("seed %d: restore after chaos: %v", seed, err)
+		}
+		got, err := restored.State()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(mid, got) {
+			t.Fatalf("seed %d: chaos-fed state does not round-trip", seed)
+		}
+	}
+}
+
+func TestReplayRejectsUnknownHeader(t *testing.T) {
+	var evs []Event
+	o := New(testOptions(&evs))
+	if _, err := Replay(bytes.NewReader([]byte("not a trace\n")), o, ReplayOptions{}); err == nil {
+		t.Fatal("unknown header accepted")
+	}
+}
