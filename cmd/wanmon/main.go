@@ -276,6 +276,21 @@ func renderEvent(st *watchState, ev obs.StreamEvent, w io.Writer, quiet bool) {
 		a := ev.Attrs
 		fmt.Fprintf(w, "%s  CHANGE %s: %s %s (%s from %s, score %s)\n",
 			ts, ev.Name, a["signal"], a["direction"], a["value"], a["baseline"], a["score"])
+	case obs.EventLoadReshape:
+		a := ev.Attrs
+		detail := ""
+		if s := a["scale"]; s != "" {
+			detail += " scale=" + s
+		}
+		if p := a["pattern"]; p != "" {
+			detail += " pattern=" + p
+		}
+		src := a["source"]
+		if src == "" {
+			src = "all sources"
+		}
+		fmt.Fprintf(w, "%s  RESHAPE %s: %s (%s) at t=%s%s\n",
+			ts, ev.Name, src, a["origin"], a["t"], detail)
 	default:
 		fmt.Fprintf(w, "%s  %s %s %v\n", ts, ev.Kind, ev.Name, ev.Attrs)
 	}

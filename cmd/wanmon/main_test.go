@@ -99,6 +99,38 @@ func TestWatchRendersLiveRun(t *testing.T) {
 	}
 }
 
+// TestWatchRendersLoadReshape: wanload's runtime reshape events get a
+// dedicated RESHAPE line instead of the generic fallback.
+func TestWatchRendersLoadReshape(t *testing.T) {
+	bus := obs.NewBusClock(obs.StepClock(obs.TestEpoch, time.Millisecond))
+	srv, err := monitor.Start("127.0.0.1:0", monitor.Options{Tool: "wanload", Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		waitSubs(bus)
+		bus.Publish(obs.EventLoadReshape, "two-regime", map[string]string{
+			"t": "900", "origin": "control", "source": "tel", "scale": "4",
+		})
+		bus.Publish(obs.EventLoadReshape, "two-regime", map[string]string{
+			"t": "1200", "origin": "phase", "pattern": "bursty",
+		})
+	}()
+	code, out, stderr := runTool(t, "watch", "-max", "2", srv.Addr())
+	if code != 0 {
+		t.Fatalf("watch exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"RESHAPE two-regime: tel (control) at t=900 scale=4",
+		"RESHAPE two-regime: all sources (phase) at t=1200 pattern=bursty",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // waitSubs blocks until the bus has at least one subscriber (the
 // watch's /events attachment) or the deadline passes.
 func waitSubs(bus *obs.Bus) {

@@ -21,6 +21,8 @@
 //	wanstream -coord http://host:8087 -worker-id w0 -shard 0 shard0.conn
 //	wanstream -follow trace.conn              # live observatory verdicts
 //	wanstream -follow -dilate 60 -serve :8077 day.conn
+//	wanload -dilate 60 two-regime.json | wanstream -follow -    # live synthesis
+//	cat trace.conn | wanstream -              # "-" reads stdin (single input)
 //
 // With -follow, wanstream switches from the one-shot pipeline to the
 // always-on observatory (internal/observe): the trace is replayed —
@@ -58,6 +60,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -148,6 +151,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else if *coordURL != "" {
 		return cli.Usagef("-follow and -coord are mutually exclusive")
 	}
+	if *follow {
+		// 0 means "use the default" for the obs knobs, so an explicit
+		// -obs-window 0 would otherwise be silently rewritten to 5 s —
+		// reject it instead (the same applies to the other obs knobs).
+		var explicitZero string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "obs-window", "obs-keep", "obs-halflife", "obs-warmup":
+				if f.Value.String() == "0" {
+					explicitZero = f.Name
+				}
+			}
+		})
+		if explicitZero != "" {
+			return cli.Usagef("-%s must be positive with -follow (omit it for the default)", explicitZero)
+		}
+	}
 	if *coordURL == "" {
 		for flag, set := range map[string]bool{
 			"worker-id": *workerID != "", "checkpoint": *checkpoint != "",
@@ -160,7 +180,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if fs.NArg() < 1 {
-		return cli.Usagef("usage: wanstream [flags] <tracefile> [tracefile ...]")
+		return cli.Usagef("usage: wanstream [flags] <tracefile | -> [tracefile ...]")
+	}
+	if hasStdin(fs.Args()) {
+		// "-" streams stdin through the single-input modes; the
+		// multi-file merge and -coord worker re-read per shard, which
+		// a pipe cannot satisfy.
+		if fs.NArg() > 1 {
+			return cli.Usagef("stdin (-) is only valid as the single input")
+		}
+		if *coordURL != "" {
+			return cli.Usagef("-coord needs a seekable shard file, not stdin (-)")
+		}
 	}
 
 	cfg := stream.Config{Epsilon: *eps, ReservoirSize: *reservoir, Seed: *seed,
@@ -198,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var res *stream.Result
 	if fs.NArg() == 1 {
-		f, err := os.Open(fs.Arg(0))
+		f, err := openInput(fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -375,7 +406,7 @@ type followFlags struct {
 // emitted. All event values are pure functions of the record
 // sequence, so the output is byte-identical at any -dilate factor.
 func runFollow(ctx context.Context, path string, ff followFlags, sess *cli.ObsSession, dopts trace.DecodeOptions, stdout io.Writer) error {
-	f, err := os.Open(path)
+	f, err := openInput(path)
 	if err != nil {
 		return err
 	}
@@ -464,6 +495,26 @@ func printFollowEvent(w io.Writer, ev observe.Event, jsonOut bool) {
 	}
 	fmt.Fprintf(w, "t=%-10.6g w=%-5d %-8s rate=%.4g/s disp=%.3g lag1=%+.2f hurst=%.3g alpha=%.3g p95=%.4g\n",
 		ev.TEnd, ev.Window, est.Verdict, est.Rate, est.Dispersion, est.Lag1, est.Hurst, est.TailAlpha, est.P95)
+}
+
+// hasStdin reports whether any argument is the stdin marker "-".
+func hasStdin(args []string) bool {
+	for _, a := range args {
+		if a == "-" {
+			return true
+		}
+	}
+	return false
+}
+
+// openInput opens a trace argument: "-" is stdin (wrapped so the
+// caller's Close does not close the process's stdin), anything else a
+// file.
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
 }
 
 // normalizeBase turns an address argument into a base URL (":8087" →

@@ -371,6 +371,13 @@ func TestFollowUsageErrors(t *testing.T) {
 		{"follow with coord", []string{"-follow", "-coord", ":1", "x"}},
 		{"follow two files", []string{"-follow", "a", "b"}},
 		{"negative dilate", []string{"-follow", "-dilate", "-1", "x"}},
+		{"explicit zero obs-window", []string{"-follow", "-obs-window", "0", "x"}},
+		{"explicit zero obs-keep", []string{"-follow", "-obs-keep", "0", "x"}},
+		{"explicit zero obs-halflife", []string{"-follow", "-obs-halflife", "0", "x"}},
+		{"explicit zero obs-warmup", []string{"-follow", "-obs-warmup", "0", "x"}},
+		{"negative obs-window", []string{"-follow", "-obs-window", "-5", "x"}},
+		{"stdin among multiple files", []string{"a", "-"}},
+		{"stdin with coord", []string{"-coord", ":1", "-"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -379,6 +386,46 @@ func TestFollowUsageErrors(t *testing.T) {
 				t.Errorf("run(%v) exit %d, want %d", tc.args, got, cli.ExitUsage)
 			}
 		})
+	}
+}
+
+// TestStdinInput: "-" streams stdin through the single-input modes —
+// both the one-shot pipeline and -follow — with output identical to
+// reading the same trace from a file.
+func TestStdinInput(t *testing.T) {
+	p := goodTrace(t)
+	withStdin := func(fn func()) {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		saved := os.Stdin
+		os.Stdin = f
+		defer func() { os.Stdin = saved }()
+		fn()
+	}
+	var fileOut, stdinOut, errw bytes.Buffer
+	if err := run([]string{p}, &fileOut, &errw); err != nil {
+		t.Fatal(err)
+	}
+	withStdin(func() {
+		if err := run([]string{"-"}, &stdinOut, &errw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if fileOut.String() != stdinOut.String() {
+		t.Errorf("stdin summary differs from file summary:\n--- file\n%s--- stdin\n%s",
+			fileOut.String(), stdinOut.String())
+	}
+	var followOut bytes.Buffer
+	withStdin(func() {
+		if err := run([]string{"-follow", "-"}, &followOut, &errw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(followOut.String(), "followed 3 records") {
+		t.Errorf("-follow - output:\n%s", followOut.String())
 	}
 }
 

@@ -99,6 +99,19 @@ func BuildConn(spec ConnSpec) *trace.ConnTrace {
 	return tr
 }
 
+// ConnSpecFor looks up a Table I spec by name; ok is false for
+// unknown names. Live tools (wanload -preset) use this to map a
+// dataset name onto per-protocol rates without panicking on user
+// input.
+func ConnSpecFor(name string) (ConnSpec, bool) {
+	for _, spec := range TableI() {
+		if spec.Name == name {
+			return spec, true
+		}
+	}
+	return ConnSpec{}, false
+}
+
 // Conn builds one Table I dataset by name; it panics on unknown names.
 func Conn(name string) *trace.ConnTrace {
 	for _, spec := range TableI() {

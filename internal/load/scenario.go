@@ -1,0 +1,343 @@
+// Package load is the live traffic-synthesis subsystem behind
+// cmd/wanload (ROADMAP item 2): it instantiates thousands to millions
+// of concurrent simulated users from a scenario spec, merges their
+// per-user event streams through a deterministic event-time heap, and
+// emits connection or packet records through the streaming trace
+// encoders at wall-clock or time-dilated rate.
+//
+// Determinism is the load subsystem's core contract, inherited from
+// observe.Replay's pacing argument: pacing delays *when* a record is
+// written, never *what* is written. Every user owns a splittable RNG
+// stream seeded from (scenario seed, source index, user index), so
+// the byte stream is a pure function of (scenario, seed) — identical
+// at any dilation factor and any user fan-out order.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"wantraffic/internal/datasets"
+	"wantraffic/internal/model"
+	"wantraffic/internal/trace"
+)
+
+// Arrival patterns a source can use. The four simple patterns follow
+// the motel-synth exemplar (uniform spacing, sinusoid-free hourly
+// diurnal shaping, Poisson, and periodic bursts); tcplib, pareto,
+// fulltel and ftpburst lift the repo's paper models into live form.
+const (
+	PatternUniform  = "uniform"  // evenly spaced arrivals, random phase
+	PatternPoisson  = "poisson"  // homogeneous Poisson arrivals
+	PatternDiurnal  = "diurnal"  // hourly-Poisson with a diurnal profile
+	PatternBursty   = "bursty"   // Poisson with periodic rate bursts
+	PatternPareto   = "pareto"   // Pareto-renewal (pseudo-self-similar counts)
+	PatternTcplib   = "tcplib"   // Tcplib TELNET interarrivals (packet kind)
+	PatternFullTel  = "fulltel"  // FULL-TEL connections→packets (packet kind)
+	PatternFTPBurst = "ftpburst" // FTP session→burst→conn hierarchy (conn kind)
+)
+
+// Kinds of record a scenario emits.
+const (
+	KindConn   = "conn"
+	KindPacket = "packet"
+)
+
+// Scenario is the JSON load spec: what to synthesize and for how
+// long. All sources of one scenario feed a single merged output trace
+// of the given kind.
+type Scenario struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`    // "conn" or "packet"
+	Horizon float64 `json:"horizon"` // trace seconds to generate
+
+	Sources []SourceSpec `json:"sources"`
+
+	// Phases are scheduled reshapes, applied deterministically at
+	// their event times (they participate in the byte-identity
+	// guarantee, unlike live control-endpoint reshapes, which land at
+	// whatever trace time the daemon has reached).
+	Phases []PhaseSpec `json:"phases,omitempty"`
+}
+
+// SourceSpec describes one population of simulated users sharing a
+// protocol and arrival pattern.
+type SourceSpec struct {
+	Name    string  `json:"name"`
+	Proto   string  `json:"proto"`   // TELNET, RLOGIN, FTP, FTPDATA, SMTP, NNTP, WWW, X11, OTHER
+	Pattern string  `json:"pattern"` // one of the Pattern* constants
+	Users   int     `json:"users"`   // concurrent simulated users
+	Rate    float64 `json:"rate"`    // aggregate arrivals/second across all users
+
+	// Pattern parameters (zero selects the documented default).
+	Profile     string  `json:"profile,omitempty"`      // diurnal: telnet|ftp|nntp|smtp-west|smtp-east|www|flat
+	BurstFactor float64 `json:"burst_factor,omitempty"` // bursty: rate multiplier inside a burst (default 5)
+	BurstEvery  float64 `json:"burst_every,omitempty"`  // bursty: seconds between burst starts (default 300)
+	BurstLen    float64 `json:"burst_len,omitempty"`    // bursty: burst length in seconds (default 30)
+	ParetoShape float64 `json:"pareto_shape,omitempty"` // pareto: tail index β in (1, 2] (default 1.2)
+}
+
+// PhaseSpec is one scheduled reshape.
+type PhaseSpec struct {
+	At      float64 `json:"at"`                // trace time (seconds)
+	Source  string  `json:"source,omitempty"`  // source name; empty reshapes every source
+	Scale   float64 `json:"scale,omitempty"`   // multiply the current rate (0 keeps it)
+	Pattern string  `json:"pattern,omitempty"` // swap the arrival pattern (empty keeps it)
+}
+
+// connPatterns and packetPatterns list pattern validity per kind.
+var connPatterns = map[string]bool{
+	PatternUniform: true, PatternPoisson: true, PatternDiurnal: true,
+	PatternBursty: true, PatternPareto: true, PatternFTPBurst: true,
+}
+
+var packetPatterns = map[string]bool{
+	PatternUniform: true, PatternPoisson: true, PatternDiurnal: true,
+	PatternBursty: true, PatternPareto: true, PatternTcplib: true,
+	PatternFullTel: true,
+}
+
+// swappable lists the patterns a reshape may swap between: the simple
+// renewal patterns, whose state is fully summarized by (time, rate).
+// The structured hierarchies (fulltel, ftpburst) own in-flight
+// session state that a swap would strand.
+var swappable = map[string]bool{
+	PatternUniform: true, PatternPoisson: true, PatternDiurnal: true,
+	PatternBursty: true, PatternPareto: true, PatternTcplib: true,
+}
+
+// ParseScenario reads and validates a JSON scenario.
+func ParseScenario(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("load: parsing scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadScenario reads a scenario from a file path ("-" for stdin).
+func LoadScenario(path string) (*Scenario, error) {
+	if path == "-" {
+		return ParseScenario(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseScenario(f)
+}
+
+// Validate checks the scenario and fills defaults in place.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		sc.Name = "wanload"
+	}
+	if sc.Kind == "" {
+		sc.Kind = KindConn
+	}
+	if sc.Kind != KindConn && sc.Kind != KindPacket {
+		return fmt.Errorf("load: kind %q: want %q or %q", sc.Kind, KindConn, KindPacket)
+	}
+	if sc.Horizon < 0 {
+		return fmt.Errorf("load: horizon must be non-negative, got %g", sc.Horizon)
+	}
+	if len(sc.Sources) == 0 {
+		return fmt.Errorf("load: scenario has no sources")
+	}
+	valid := connPatterns
+	if sc.Kind == KindPacket {
+		valid = packetPatterns
+	}
+	seen := map[string]bool{}
+	for i := range sc.Sources {
+		s := &sc.Sources[i]
+		if s.Name == "" {
+			s.Name = fmt.Sprintf("src%d", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("load: duplicate source name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := parseProto(s.Proto); err != nil {
+			return fmt.Errorf("load: source %q: %w", s.Name, err)
+		}
+		if !valid[s.Pattern] {
+			return fmt.Errorf("load: source %q: pattern %q not valid for kind %q", s.Name, s.Pattern, sc.Kind)
+		}
+		if s.Users < 1 {
+			return fmt.Errorf("load: source %q: users must be >= 1, got %d", s.Name, s.Users)
+		}
+		if !(s.Rate > 0) {
+			return fmt.Errorf("load: source %q: rate must be positive, got %g", s.Name, s.Rate)
+		}
+		// Pattern parameters are defaulted and checked for every
+		// source, not just those whose initial pattern uses them: a
+		// scheduled or live reshape may swap any source onto any simple
+		// pattern, and the swapped-in process reads these fields.
+		if s.Profile == "" {
+			s.Profile = "flat"
+		}
+		if _, err := profileFor(s.Profile); err != nil {
+			return fmt.Errorf("load: source %q: %w", s.Name, err)
+		}
+		if s.BurstFactor == 0 {
+			s.BurstFactor = 5
+		}
+		if s.BurstEvery == 0 {
+			s.BurstEvery = 300
+		}
+		if s.BurstLen == 0 {
+			s.BurstLen = 30
+		}
+		if s.BurstFactor <= 0 || s.BurstEvery <= 0 || s.BurstLen <= 0 || s.BurstLen >= s.BurstEvery {
+			return fmt.Errorf("load: source %q: need burst_factor>0, 0<burst_len<burst_every", s.Name)
+		}
+		if s.ParetoShape == 0 {
+			s.ParetoShape = 1.2
+		}
+		if s.ParetoShape <= 1 || s.ParetoShape > 2 {
+			return fmt.Errorf("load: source %q: pareto_shape must be in (1, 2], got %g", s.Name, s.ParetoShape)
+		}
+	}
+	at := 0.0
+	for i, p := range sc.Phases {
+		if p.At < 0 {
+			return fmt.Errorf("load: phase %d: at must be non-negative", i)
+		}
+		if p.At < at {
+			return fmt.Errorf("load: phase %d: phases must be in increasing time order", i)
+		}
+		at = p.At
+		if p.Source != "" && !seen[p.Source] {
+			return fmt.Errorf("load: phase %d: unknown source %q", i, p.Source)
+		}
+		if p.Scale == 0 && p.Pattern == "" {
+			return fmt.Errorf("load: phase %d: needs a scale or a pattern", i)
+		}
+		if p.Scale < 0 {
+			return fmt.Errorf("load: phase %d: scale must be positive", i)
+		}
+		if err := sc.checkSwap(p.Source, p.Pattern, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSwap validates a pattern swap against the targeted sources.
+func (sc *Scenario) checkSwap(source, pattern string, phase int) error {
+	if pattern == "" {
+		return nil
+	}
+	if !swappable[pattern] {
+		return fmt.Errorf("load: phase %d: cannot swap to structured pattern %q", phase, pattern)
+	}
+	valid := connPatterns
+	if sc.Kind == KindPacket {
+		valid = packetPatterns
+	}
+	if !valid[pattern] {
+		return fmt.Errorf("load: phase %d: pattern %q not valid for kind %q", phase, pattern, sc.Kind)
+	}
+	for _, s := range sc.Sources {
+		if source != "" && s.Name != source {
+			continue
+		}
+		if !swappable[s.Pattern] {
+			return fmt.Errorf("load: phase %d: source %q runs structured pattern %q, which cannot be swapped", phase, s.Name, s.Pattern)
+		}
+	}
+	return nil
+}
+
+// parseProto maps a spec protocol name onto the trace enum, rejecting
+// unknown names (unlike trace.ParseProtocol, which folds them into
+// Other — a typo in a scenario should fail loudly).
+func parseProto(name string) (trace.Protocol, error) {
+	switch strings.ToUpper(name) {
+	case "OTHER":
+		return trace.Other, nil
+	case "":
+		return 0, fmt.Errorf("load: source needs a proto")
+	}
+	p := trace.ParseProtocol(strings.ToUpper(name))
+	if p == trace.Other {
+		return 0, fmt.Errorf("load: unknown proto %q", name)
+	}
+	return p, nil
+}
+
+// profileFor maps a profile name onto the model's diurnal profiles.
+func profileFor(name string) (model.DiurnalProfile, error) {
+	switch strings.ToLower(name) {
+	case "flat", "":
+		return model.Flat(), nil
+	case "telnet":
+		return model.TelnetProfile(), nil
+	case "ftp":
+		return model.FTPProfile(), nil
+	case "nntp":
+		return model.NNTPProfile(), nil
+	case "smtp-west":
+		return model.SMTPProfileWest(), nil
+	case "smtp-east":
+		return model.SMTPProfileEast(), nil
+	case "www":
+		return model.WWWProfile(), nil
+	}
+	return model.DiurnalProfile{}, fmt.Errorf("load: unknown diurnal profile %q", name)
+}
+
+// Preset builds a connection scenario from a synthetic Table I
+// dataset spec: one diurnal source per nonzero protocol rate, with
+// the paper's profiles, scaled from per-day to per-second rates. The
+// horizon defaults to the spec's day count.
+func Preset(name string, usersPerSource int) (*Scenario, error) {
+	spec, ok := datasets.ConnSpecFor(name)
+	if !ok {
+		names := make([]string, 0, 16)
+		for _, s := range datasets.TableI() {
+			names = append(names, s.Name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("load: unknown preset %q (have %s)", name, strings.Join(names, ", "))
+	}
+	if usersPerSource < 1 {
+		usersPerSource = 16
+	}
+	sc := &Scenario{
+		Name:    "preset-" + name,
+		Kind:    KindConn,
+		Horizon: float64(spec.Days) * 86400,
+	}
+	add := func(src, proto, profile string, perDay float64) {
+		if perDay <= 0 {
+			return
+		}
+		sc.Sources = append(sc.Sources, SourceSpec{
+			Name: src, Proto: proto, Pattern: PatternDiurnal,
+			Users: usersPerSource, Rate: perDay / 86400, Profile: profile,
+		})
+	}
+	smtp := "smtp-west"
+	if spec.EastCoast {
+		smtp = "smtp-east"
+	}
+	add("telnet", "TELNET", "telnet", spec.TelnetPerDay)
+	add("rlogin", "RLOGIN", "telnet", spec.RloginPerDay)
+	add("ftp", "FTP", "ftp", spec.FTPPerDay)
+	add("smtp", "SMTP", smtp, spec.SMTPPerDay)
+	add("nntp", "NNTP", "nntp", spec.NNTPPerDay)
+	add("www", "WWW", "www", spec.WWWPerDay)
+	return sc, sc.Validate()
+}

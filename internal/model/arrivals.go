@@ -1,6 +1,7 @@
 package model
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -51,6 +52,54 @@ func HourlyPoissonArrivals(rng *rand.Rand, profile DiurnalProfile, perDay float6
 		}
 	}
 	return out
+}
+
+// HourlyPoissonSampler draws the arrivals of HourlyPoissonArrivals
+// incrementally: one call, one arrival time, unbounded horizon. The
+// live load daemon (internal/load) keeps one per simulated user, so a
+// month-long diurnal scenario needs no materialized arrival slice.
+// The process is the same piecewise-constant-rate Poisson process —
+// within each hour the rate follows the diurnal profile, and draws
+// that cross an hour boundary restart at the boundary under the new
+// rate, which is exact by memorylessness.
+type HourlyPoissonSampler struct {
+	rng    *rand.Rand
+	norm   DiurnalProfile
+	perDay float64
+	t      float64
+}
+
+// NewHourlyPoissonSampler starts a sampler at time start (seconds;
+// hour-of-day is start/3600 mod 24) with perDay expected arrivals per
+// day shaped by the profile.
+func NewHourlyPoissonSampler(rng *rand.Rand, profile DiurnalProfile, perDay float64, start float64) *HourlyPoissonSampler {
+	if perDay <= 0 {
+		panic("model: perDay must be positive")
+	}
+	if start < 0 {
+		start = 0
+	}
+	return &HourlyPoissonSampler{rng: rng, norm: profile.Normalize(), perDay: perDay, t: start}
+}
+
+// Next returns the next arrival time, strictly after the previous one.
+func (s *HourlyPoissonSampler) Next() float64 {
+	for {
+		hour := int(s.t/3600) % 24
+		rate := s.perDay * s.norm[hour] / 3600 // events per second this hour
+		boundary := (math.Floor(s.t/3600) + 1) * 3600
+		if rate <= 0 {
+			s.t = boundary
+			continue
+		}
+		t := s.t + s.rng.ExpFloat64()/rate
+		if t >= boundary {
+			s.t = boundary
+			continue
+		}
+		s.t = t
+		return t
+	}
 }
 
 // MergeSorted merges multiple sorted arrival-time slices into one

@@ -95,6 +95,16 @@ func GenerateFTP(rng *rand.Rand, cfg FTPConfig) []trace.Conn {
 	return out
 }
 
+// SessionConns emits one FTP session starting at the given time: its
+// control connection first, then the FTPDATA connections of each
+// burst in increasing start order. It exposes the per-session
+// generator incrementally for live sources (internal/load), which
+// draw sessions one at a time instead of materializing a whole
+// GenerateFTP trace.
+func SessionConns(rng *rand.Rand, cfg FTPConfig, start float64, sessionID int64) []trace.Conn {
+	return generateSession(rng, cfg, start, sessionID)
+}
+
 // generateSession emits one FTP session: its control connection plus
 // the FTPDATA connections of each burst.
 func generateSession(rng *rand.Rand, cfg FTPConfig, start float64, sessionID int64) []trace.Conn {

@@ -33,6 +33,11 @@ const (
 	// the online detector flags a regime shift.
 	EventVerdict     = "verdict"
 	EventChangePoint = "changepoint"
+
+	// EventLoadReshape marks a runtime reshape of the wanload traffic
+	// daemon (rate scale or pattern swap), whether from a scheduled
+	// scenario phase or a POST to the control endpoint.
+	EventLoadReshape = "load_reshape"
 )
 
 // Bus is a small fan-out event bus: publishers never block, slow

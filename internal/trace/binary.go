@@ -24,6 +24,12 @@ var (
 	packetMagic = [4]byte{'W', 'P', 'T', '1'}
 )
 
+// StreamedCount in a binary header's count field marks a streamed
+// trace: the writer did not know the record count up front (wanload
+// emits records as simulated users produce them), so readers decode
+// until a clean EOF at a record boundary instead of counting down.
+const StreamedCount = ^uint64(0)
+
 // WriteConnTraceBinary encodes a connection trace in the binary format.
 func WriteConnTraceBinary(w io.Writer, t *ConnTrace) error {
 	bw := bufio.NewWriter(w)
@@ -32,17 +38,23 @@ func WriteConnTraceBinary(w io.Writer, t *ConnTrace) error {
 	}
 	for _, c := range t.Conns {
 		var rec [41]byte
-		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(c.Start))
-		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(c.Duration))
-		rec[16] = byte(c.Proto)
-		binary.LittleEndian.PutUint64(rec[17:], uint64(c.BytesOrig))
-		binary.LittleEndian.PutUint64(rec[25:], uint64(c.BytesResp))
-		binary.LittleEndian.PutUint64(rec[33:], uint64(c.SessionID))
+		putConnRecord(rec[:], c)
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// putConnRecord encodes one Conn into the 41-byte fixed layout; shared
+// by the batch writer and the streaming ConnEncoder.
+func putConnRecord(rec []byte, c Conn) {
+	binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(c.Start))
+	binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(c.Duration))
+	rec[16] = byte(c.Proto)
+	binary.LittleEndian.PutUint64(rec[17:], uint64(c.BytesOrig))
+	binary.LittleEndian.PutUint64(rec[25:], uint64(c.BytesResp))
+	binary.LittleEndian.PutUint64(rec[33:], uint64(c.SessionID))
 }
 
 // ReadConnTraceBinary decodes a binary connection trace in strict
@@ -105,15 +117,21 @@ func WritePacketTraceBinary(w io.Writer, t *PacketTrace) error {
 	}
 	for _, p := range t.Packets {
 		var rec [21]byte
-		binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(p.Time))
-		binary.LittleEndian.PutUint32(rec[8:], uint32(p.Size))
-		rec[12] = byte(p.Proto)
-		binary.LittleEndian.PutUint64(rec[13:], uint64(p.ConnID))
+		putPacketRecord(rec[:], p)
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// putPacketRecord encodes one Packet into the 21-byte fixed layout;
+// shared by the batch writer and the streaming PacketEncoder.
+func putPacketRecord(rec []byte, p Packet) {
+	binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(p.Time))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(p.Size))
+	rec[12] = byte(p.Proto)
+	binary.LittleEndian.PutUint64(rec[13:], uint64(p.ConnID))
 }
 
 // ReadPacketTraceBinary decodes a binary packet trace in strict mode:
@@ -201,7 +219,7 @@ func readHeaderWith(r io.Reader, magic [4]byte, opts DecodeOptions) (name string
 		return "", 0, 0, err
 	}
 	count = binary.LittleEndian.Uint64(buf[:])
-	if count > uint64(opts.MaxRecords) {
+	if count != StreamedCount && count > uint64(opts.MaxRecords) {
 		return "", 0, 0, fmt.Errorf("trace: implausible record count %d (limit %d)", count, opts.MaxRecords)
 	}
 	return string(nameBytes), horizon, count, nil

@@ -60,8 +60,12 @@ type Header struct {
 	Horizon float64
 	Binary  bool
 	// Expected is the record count a binary header promises (0 for
-	// text traces, which carry no count).
+	// text traces, which carry no count, and for streamed binary
+	// traces, whose writers did not know it).
 	Expected uint64
+	// Streamed reports a binary header carrying the StreamedCount
+	// sentinel: records run until a clean EOF at a record boundary.
+	Streamed bool
 }
 
 // Sniff peeks at the buffered reader and classifies the trace without
@@ -421,7 +425,12 @@ type binaryRecord[T any] struct {
 // initBinaryScanner wires the shared binary pull loop: header with an
 // up-front record-count limit check, then fixed-width records. In
 // lenient mode a stream that ends before the header's count is
-// satisfied ends the scan cleanly with the shortfall accounted.
+// satisfied ends the scan cleanly with the shortfall accounted. A
+// StreamedCount header flips the scanner into streamed mode: records
+// run until a clean EOF at a record boundary (a partial final record
+// is an error in strict mode, a single skip in lenient mode), with
+// MaxRecords enforced by probing for trailing data once the budget is
+// spent.
 func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 	magic [4]byte, kind Kind, layout binaryRecord[T]) {
 	opts = opts.withDefaults()
@@ -430,23 +439,48 @@ func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 	s.cr = &countReader{r: r}
 	br := bufio.NewReader(s.cr)
 	var count, next uint64
+	streamed := false
 	s.start = func() error {
 		name, horizon, c, err := readHeaderWith(br, magic, opts)
 		if err != nil {
 			return err
 		}
+		if c == StreamedCount {
+			streamed = true
+			// The record budget becomes the resource limit rather than a
+			// promise; EOF anywhere under it is a clean end.
+			count = uint64(opts.MaxRecords)
+			s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Streamed: true}
+			return nil
+		}
 		count = c
 		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Expected: c}
 		return nil
 	}
+	// atLimit distinguishes a clean EOF from overflow once a streamed
+	// scan has spent its MaxRecords budget: any trailing byte means the
+	// stream kept going past the limit.
+	atLimit := func() error {
+		if _, err := br.ReadByte(); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+		return fmt.Errorf("trace: record limit %d exceeded", opts.MaxRecords)
+	}
 	// shortfall accounts a stream that ends before the header's count
 	// is satisfied: in lenient mode every promised-but-undelivered
 	// record is skipped (per record, not per chunk) and the scan ends
-	// cleanly; in strict mode the error aborts.
+	// cleanly; in strict mode the error aborts. A streamed trace
+	// promises nothing, so only the one partial record is skipped.
 	shortfall := func(err error) (bool, error) {
 		err = fmt.Errorf("trace: record %d: %w", next, err)
 		if opts.Lenient {
-			s.stats.RecordsSkipped += int(count - next)
+			skipped := int(count - next)
+			if streamed {
+				skipped = 1
+			}
+			s.stats.RecordsSkipped += skipped
 			if len(s.stats.Errors) < opts.MaxErrors {
 				s.stats.Errors = append(s.stats.Errors, err.Error())
 			}
@@ -457,9 +491,15 @@ func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 	rec := make([]byte, layout.size)
 	s.pull = func() (out T, ok bool, err error) {
 		if next >= count {
+			if streamed {
+				return out, false, atLimit()
+			}
 			return out, false, nil
 		}
 		if _, err := io.ReadFull(br, rec); err != nil {
+			if streamed && err == io.EOF {
+				return out, false, nil
+			}
 			_, err = shortfall(err)
 			return out, false, err
 		}
@@ -472,6 +512,9 @@ func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 	var chunk []byte
 	s.pullMany = func(out []T) (int, bool, error) {
 		if next >= count {
+			if streamed {
+				return 0, true, atLimit()
+			}
 			return 0, true, nil
 		}
 		k := len(out)
@@ -504,9 +547,14 @@ func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 			if nread%layout.size != 0 && under == io.EOF {
 				perr = io.ErrUnexpectedEOF
 			}
+			if streamed && perr == io.EOF {
+				return complete, true, nil
+			}
 			done, err := shortfall(perr)
 			return complete, done, err
 		}
-		return k, next >= count, nil
+		// In streamed mode a full batch says nothing about the end of
+		// the stream; the next call discovers EOF (or the limit probe).
+		return k, !streamed && next >= count, nil
 	}
 }
