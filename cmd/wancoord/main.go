@@ -119,18 +119,30 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	}
 
 	bus := obs.NewBus()
+	// The coordinator owns its monitor, so it wires watermarks and the
+	// metrics history itself (the shared -serve path does this in
+	// cli.ObsFlags.Start). Fold watermarks arrive with worker uploads.
+	marks := obs.NewWatermarks(metrics, nil)
+	hist := monitor.NewHistory(monitor.HistoryOptions{
+		Registry: metrics,
+		Cap:      obsFlags.HistoryCap,
+		Refresh:  marks.Refresh,
+		Bus:      bus,
+	}).Start(obsFlags.HistoryInterval)
+	defer hist.Close()
 	c, err := coord.New(coord.Options{
 		ExpectedWorkers: *workers,
 		StaleAfter:      *staleAfter,
 		Snapshot:        *snapshot,
 		Metrics:         metrics,
+		Marks:           marks,
 		Bus:             bus,
 		Logger:          sess.Logger,
 	})
 	if err != nil {
 		return err
 	}
-	mopts := monitor.Options{Tool: "wancoord", Registry: metrics, Bus: bus, Token: *token}
+	mopts := monitor.Options{Tool: "wancoord", Registry: metrics, Bus: bus, Token: *token, History: hist}
 	c.Mount(&mopts)
 	srv, err := monitor.Start(*listen, mopts)
 	if err != nil {

@@ -33,9 +33,18 @@
 // {"source": "telnet", "scale": 4} or {"pattern": "bursty"} to
 // /load/reshape (guarded by -serve-token) and the daemon reshapes the
 // running population at the trace position it has reached, publishing
-// a load_reshape event on /events. Exit codes follow the internal/cli
-// contract: 0 success (including a clean interrupt), 1 hard failure,
-// 2 usage error.
+// a load_reshape event on /events. When the scenario came from a real
+// file, SIGHUP re-reads it and applies rate and pattern changes as
+// live reshapes (origin "sighup"); structural changes are rejected
+// with a log line and the run continues unchanged.
+//
+// -pipeline-id stamps an identity into the trace framing (text: a
+// "#pipeline <id>" comment; binary: a sentinel block) that downstream
+// stages adopt, so wancoord and wanstream can report per-pipeline
+// end-to-end freshness. "auto" derives a stable ID from the seed and
+// scenario name. Exit codes follow the internal/cli contract: 0
+// success (including a clean interrupt), 1 hard failure, 2 usage
+// error.
 package main
 
 import (
@@ -49,9 +58,11 @@ import (
 	"os"
 	"os/signal"
 	"sync/atomic"
+	"syscall"
 
 	"wantraffic/internal/cli"
 	"wantraffic/internal/load"
+	"wantraffic/internal/obs"
 )
 
 func main() {
@@ -67,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Float64("scale", 0, "multiply every source's configured rate (0: keep scenario rates)")
 	preset := fs.String("preset", "", "build the scenario from this Table I dataset name instead of a file")
 	presetUsers := fs.Int("preset-users", 32, "with -preset: users per protocol source")
+	pipelineID := fs.String("pipeline-id", "", `stamp this pipeline ID into the trace framing for end-to-end freshness ("auto": derive from seed and scenario name)`)
 	out := fs.String("o", "", "write the trace to this file (default stdout)")
 	listen := fs.String("listen", "", "listen on this TCP address and stream the trace to the first client")
 	binaryOut := fs.Bool("binary", false, "emit the compact binary trace framing (streamed count)")
@@ -122,9 +134,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer sess.Close()
 
+	pid := *pipelineID
+	if pid == "auto" {
+		pid = obs.DerivePipelineID(*seed, sc.Name)
+	}
 	d, err := load.New(sc, load.Options{
 		Seed: *seed, Dilate: *dilate, Duration: duration.Seconds(),
 		UserScale: *users, Scale: *scale, Binary: *binaryOut,
+		PipelineID: pid, Marks: sess.Marks,
 		Metrics: sess.Metrics, Bus: sess.Bus, Logger: sess.Logger,
 	})
 	if err != nil {
@@ -136,6 +153,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// SIGHUP hot-reload: only meaningful when the scenario came from a
+	// re-readable file (not a preset and not stdin). The handler
+	// re-parses the file and hands it to Reload, which validates the
+	// diff atomically — a bad spec is rejected with a log line and the
+	// running population is untouched.
+	if *preset == "" && fs.NArg() == 1 && fs.Arg(0) != "-" {
+		path := fs.Arg(0)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-hup:
+					next, err := load.LoadScenario(path)
+					if err == nil {
+						err = d.Reload(next)
+					}
+					if err != nil {
+						sess.Logger.Warn("load reload rejected", "path", path, "err", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	w, closeOut, err := openOutput(ctx, *out, *listen, stdout, stderr)
 	if err != nil {

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wantraffic/internal/cli"
+	"wantraffic/internal/monitor"
+	"wantraffic/internal/obs"
+)
+
+func TestDashSnapshotUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"dash"},
+		{"dash", "-interval", "0s", ":1"},
+		{"dash", "-watch", "-1s", ":1"},
+		{"dash", "-slo-lag", "-1s", ":1"},
+		{"snapshot"},
+		{"snapshot", "a", "b"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runTool(t, args...); code != 2 {
+			t.Errorf("wanmon %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestDashNoMonitor(t *testing.T) {
+	if code, _, _ := runTool(t, "dash", "-watch", "100ms", "127.0.0.1:1"); code != 1 {
+		t.Errorf("dash against dead port: exit %d, want 1", code)
+	}
+}
+
+// dashFixture builds a monitor whose history holds scrapes pre-played
+// on a step clock: advance(t) moves the ingest watermark before the
+// next scrape, so tests script exactly the freshness trajectory they
+// want the dash to see.
+func dashFixture(t *testing.T) (srv *monitor.Server, advance func(float64), scrape func()) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clock := obs.StepClock(obs.TestEpoch, time.Second)
+	marks := obs.NewWatermarks(reg, clock)
+	wm := marks.Stage(obs.StageIngest)
+	marks.SetPipeline("p1")
+	hist := monitor.NewHistory(monitor.HistoryOptions{Registry: reg, Clock: clock, Refresh: marks.Refresh})
+	srv, err := monitor.Start("127.0.0.1:0", monitor.Options{Tool: "wanstream", Registry: reg, History: hist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	t.Cleanup(hist.Close)
+	return srv, func(mark float64) { wm.Stamp(mark) }, hist.Scrape
+}
+
+// TestDashHealthyRun: an advancing watermark renders stage and
+// pipeline rows and passes a freshness SLO with exit 0.
+func TestDashHealthyRun(t *testing.T) {
+	srv, advance, scrape := dashFixture(t)
+	for i := 1; i <= 6; i++ {
+		advance(float64(i * 10))
+		scrape()
+	}
+	code, out, stderr := runTool(t, "dash", "-interval", "20ms", "-watch", "100ms", "-slo-lag", "1h", srv.Addr())
+	if code != 0 {
+		t.Fatalf("dash exit %d, want 0\nstderr: %s\nout: %s", code, stderr, out)
+	}
+	for _, want := range []string{
+		"dash http://" + srv.Addr() + " (wanstream)",
+		"ingest",
+		"mark      60.00s",
+		"pipeline p1 mark 60.00s",
+		"slo: ok (limit 3600s)",
+		"dash ended (watch elapsed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dash output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDashSLOBreach is the CI gate contract: a watermark that sits
+// still across the scrape history longer than -slo-lag exits 3.
+func TestDashSLOBreach(t *testing.T) {
+	srv, advance, scrape := dashFixture(t)
+	advance(10)
+	for i := 0; i < 10; i++ {
+		scrape() // clock marches on, the watermark does not
+	}
+	code, out, _ := runTool(t, "dash", "-interval", "20ms", "-watch", "80ms", "-slo-lag", "2s", srv.Addr())
+	if code != 3 {
+		t.Fatalf("stalled dash exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "slo: BREACHED") {
+		t.Errorf("dash never flagged the breach:\n%s", out)
+	}
+}
+
+// TestDashSLOUnverifiable: gating on freshness when the monitored
+// tool exposes no watermarks at all must fail the gate, not pass it.
+func TestDashSLOUnverifiable(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("some.counter").Add(1)
+	hist := monitor.NewHistory(monitor.HistoryOptions{Registry: reg, Clock: obs.StepClock(obs.TestEpoch, time.Second)})
+	hist.Scrape()
+	srv, err := monitor.Start("127.0.0.1:0", monitor.Options{Tool: "t", Registry: reg, History: hist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, out, _ := runTool(t, "dash", "-interval", "20ms", "-watch", "60ms", "-slo-lag", "5s", srv.Addr())
+	if code != 3 {
+		t.Fatalf("watermark-free gate exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "(no watermark series yet)") {
+		t.Errorf("dash output missing the empty-frame marker:\n%s", out)
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples [][2]float64
+		want    float64
+	}{
+		{"empty", nil, 0},
+		{"single", [][2]float64{{1, 5}}, 0},
+		{"advancing", [][2]float64{{1, 5}, {2, 6}, {3, 7}}, 0},
+		{"stalled", [][2]float64{{1, 5}, {2, 7}, {3, 7}, {5, 7}}, 3},
+		{"flat", [][2]float64{{1, 0}, {2, 0}, {9, 0}}, 8},
+	}
+	for _, tc := range cases {
+		if got := staleness(tc.samples); got != tc.want {
+			t.Errorf("%s: staleness = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([][2]float64{{1, 0}, {2, 1}, {3, 2}, {4, 3}}, 24); got != "▁▃▅█" {
+		t.Errorf("rising sparkline = %q", got)
+	}
+	if got := sparkline([][2]float64{{1, 5}, {2, 5}}, 24); got != "▁▁" {
+		t.Errorf("flat sparkline = %q", got)
+	}
+	// Wider than the budget: only the trailing window renders.
+	long := make([][2]float64, 30)
+	for i := range long {
+		long[i] = [2]float64{float64(i), float64(i)}
+	}
+	if got := sparkline(long, 4); len([]rune(got)) != 4 || !strings.HasSuffix(got, "█") {
+		t.Errorf("windowed sparkline = %q", got)
+	}
+}
+
+// TestSnapshotBundle: one snapshot file carries health, the metrics
+// exposition and the history export, self-contained.
+func TestSnapshotBundle(t *testing.T) {
+	srv, advance, scrape := dashFixture(t)
+	advance(42)
+	scrape()
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	code, _, stderr := runTool(t, "snapshot", "-o", out, srv.Addr())
+	if code != 0 {
+		t.Fatalf("snapshot exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "snapshot: wrote") {
+		t.Errorf("no confirmation line on stderr: %q", stderr)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep snapshotReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if rep.Kind != "wantraffic-snapshot/v1" {
+		t.Errorf("kind = %q", rep.Kind)
+	}
+	var hz struct {
+		Tool string `json:"tool"`
+	}
+	if json.Unmarshal(rep.Health, &hz); hz.Tool != "wanstream" {
+		t.Errorf("health tool = %q, want wanstream", hz.Tool)
+	}
+	if !strings.Contains(rep.Metrics, "ingest_watermark_seconds") {
+		t.Errorf("metrics exposition missing the watermark family:\n%s", rep.Metrics)
+	}
+	var h historyDump
+	if err := json.Unmarshal(rep.History, &h); err != nil || len(h.Series) == 0 {
+		t.Errorf("history empty or invalid (%v): %s", err, rep.History)
+	}
+}
+
+// TestWatchReconnectAfterLingerExpiry is the -serve-linger satellite:
+// a watch with a reconnect budget attached to a lingering monitor
+// must, once the linger expires and the server goes away for good,
+// exhaust its budget cleanly and exit 1 — not hang waiting for a
+// monitor that will never return.
+func TestWatchReconnectAfterLingerExpiry(t *testing.T) {
+	o := &cli.ObsFlags{Serve: "127.0.0.1:0", ServeLinger: 300 * time.Millisecond}
+	sess, err := o.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.Server.Addr()
+
+	closed := make(chan error, 1)
+	go func() {
+		// The tool's work is done; Close holds the monitor open for the
+		// linger window, then shuts it down permanently.
+		closed <- sess.Close()
+	}()
+
+	done := make(chan struct{})
+	var code int
+	var out string
+	go func() {
+		defer close(done)
+		code, out, _ = runTool(t, "watch", "-reconnect", "2", "-reconnect-wait", "10ms", addr)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("watch hung after the linger expired")
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("session close: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("watch exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"reattaching in", "stream ended:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}

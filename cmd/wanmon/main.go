@@ -10,6 +10,10 @@
 //	wanmon watch -max 50 127.0.0.1:8077 detach after 50 events
 //	wanmon watch -reconnect 5 :8077     survive monitor restarts:
 //	                                    reattach under capped backoff
+//	wanmon dash :8077                   live pipeline dashboard: per-stage
+//	                                    watermarks, lag sparklines, SLO burn
+//	wanmon dash -watch 30s -slo-lag 5s :8077     CI freshness gate
+//	wanmon snapshot -o report.json :8077         offline diagnosis bundle
 //	wanmon check metrics.txt            validate an OpenMetrics file
 //	wanmon check http://127.0.0.1:8077/metrics   ...or a live endpoint
 //	wanmon bench-diff old.json new.json compare two normalized
@@ -28,9 +32,26 @@
 // schema (internal/bench): a record must move more than the noise
 // gate (default 10%) in its worse direction to count as a regression.
 //
+// dash polls GET /metrics/history every -interval and renders one
+// appended frame per poll: each pipeline stage's event-time watermark,
+// its lag behind the wall clock with a sparkline of the recent
+// history, the watermark skew across stages, per-pipeline end-to-end
+// freshness, and a running tally of verdicts, change-points and
+// reshapes from the /events stream. With -slo-lag the dash is a
+// freshness gate: a watermark that stops advancing for longer than
+// the SLO anywhere inside the -watch window is a breach, and the dash
+// exits 3 — the same partial-success code bench-diff uses, so CI can
+// gate on pipeline liveness exactly like it gates on benchmarks.
+//
+// snapshot bundles /healthz, the /metrics exposition and the full
+// /metrics/history export (samples plus recent events) into one
+// self-contained JSON report for offline diagnosis of a run that has
+// since ended.
+//
 // Exit codes follow the internal/cli contract: 0 success, 1 hard
 // failure (endpoint unreachable, invalid exposition), 2 usage error,
-// 3 partial success (bench-diff found regressions — the CI gate).
+// 3 partial success (bench-diff found regressions, dash found an SLO
+// breach — the CI gates).
 package main
 
 import (
@@ -56,17 +77,21 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) == 0 {
-		return cli.Usagef("usage: wanmon <watch|check|bench-diff> [flags] ...")
+		return cli.Usagef("usage: wanmon <watch|dash|snapshot|check|bench-diff> [flags] ...")
 	}
 	switch args[0] {
 	case "watch":
 		return runWatch(args[1:], stdout, stderr)
+	case "dash":
+		return runDash(args[1:], stdout, stderr)
+	case "snapshot":
+		return runSnapshot(args[1:], stdout, stderr)
 	case "check":
 		return runCheck(args[1:], stdout, stderr)
 	case "bench-diff":
 		return runBenchDiff(args[1:], stdout, stderr)
 	default:
-		return cli.Usagef("unknown subcommand %q (want watch, check or bench-diff)", args[0])
+		return cli.Usagef("unknown subcommand %q (want watch, dash, snapshot, check or bench-diff)", args[0])
 	}
 }
 

@@ -235,13 +235,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		defer f.Close()
 		res, err = stream.Ingest(ctx, f, dopts,
-			stream.PipelineOptions{Shards: *shards, ChunkSize: *chunk, Metrics: sess.Metrics, Config: cfg})
+			stream.PipelineOptions{Shards: *shards, ChunkSize: *chunk, Metrics: sess.Metrics, Marks: sess.Marks, Config: cfg})
 		if err != nil {
 			return err
 		}
 	} else {
 		res, err = mergeFiles(ctx, fs.Args(), dopts,
-			stream.PipelineOptions{ChunkSize: *chunk, Metrics: sess.Metrics, Config: cfg})
+			stream.PipelineOptions{ChunkSize: *chunk, Metrics: sess.Metrics, Marks: sess.Marks, Config: cfg})
 		if err != nil {
 			return err
 		}
@@ -371,7 +371,7 @@ func runWorker(ctx context.Context, args []string, wf workerFlags, sess *cli.Obs
 			Seed:   uint64(wf.seed) + uint64(wf.shard),
 			Logger: sess.Logger, Metrics: sess.Metrics,
 		},
-		Logger: sess.Logger, Metrics: sess.Metrics,
+		Logger: sess.Logger, Metrics: sess.Metrics, Marks: sess.Marks,
 	})
 	if err != nil {
 		return err
@@ -415,7 +415,7 @@ func runFollow(ctx context.Context, path string, ff followFlags, sess *cli.ObsSe
 	o := observe.New(observe.Options{
 		Window: ff.window, KeepWindows: ff.keep,
 		HalfLife: ff.halfLife, Warmup: ff.warmup,
-		Bus: sess.Bus, Metrics: sess.Metrics, Logger: sess.Logger, Context: ctx,
+		Bus: sess.Bus, Metrics: sess.Metrics, Marks: sess.Marks, Logger: sess.Logger, Context: ctx,
 		OnEvent: func(ev observe.Event) { printFollowEvent(stdout, ev, ff.jsonOut) },
 	})
 	st, err := observe.Replay(f, o, observe.ReplayOptions{

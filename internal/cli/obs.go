@@ -44,6 +44,12 @@ type ObsFlags struct {
 	// mux. Tools set it between RegisterObs and Start (wancoord mounts
 	// the coordinator API this way).
 	ExtraHandlers map[string]http.Handler
+	// HistoryInterval is the self-scrape period of the in-process
+	// metrics history served at /metrics/history under -serve
+	// (0 disables the scrape ticker; the endpoint stays mounted).
+	HistoryInterval time.Duration
+	// HistoryCap is the per-series ring capacity of that history.
+	HistoryCap int
 
 	tool string
 }
@@ -71,6 +77,10 @@ func RegisterObs(fs *flag.FlagSet) *ObsFlags {
 		"structured log format on stderr: json (deterministic one-line JSON) or text; empty disables logging")
 	fs.StringVar(&o.ServeToken, "serve-token", "",
 		"with -serve: shared secret required (Authorization: Bearer or X-Wantraffic-Token header) on mutating endpoints like POST /quitquitquit")
+	fs.DurationVar(&o.HistoryInterval, "history-interval", time.Second,
+		"with -serve: self-scrape the registry into /metrics/history this often (0 disables the ticker)")
+	fs.IntVar(&o.HistoryCap, "history-cap", 0,
+		"with -serve: per-series sample capacity of /metrics/history (0 = default 512)")
 	return o
 }
 
@@ -87,6 +97,15 @@ type ObsSession struct {
 	Bus     *obs.Bus
 	Logger  *slog.Logger
 	Server  *monitor.Server
+	// Marks are the pipeline watermarks backed by Metrics (nil when
+	// Metrics is nil; every method no-ops then). Stages a tool never
+	// stamps never appear in the exposition.
+	Marks *obs.Watermarks
+	// History is the self-scraped /metrics/history ring; non-nil only
+	// under -serve. Its scrape tick drives Marks.Refresh, so lag gauges
+	// move only when the history records — never from a free-running
+	// timer that would break /metrics byte-identity between reads.
+	History *monitor.History
 
 	flags        *ObsFlags
 	stderr       io.Writer
@@ -109,6 +128,12 @@ func (o *ObsFlags) Start(stderr io.Writer) (*ObsSession, error) {
 	if o.ServeLinger < 0 {
 		return nil, Usagef("-serve-linger must be >= 0")
 	}
+	if o.HistoryInterval < 0 {
+		return nil, Usagef("-history-interval must be >= 0")
+	}
+	if o.HistoryCap < 0 {
+		return nil, Usagef("-history-cap must be >= 0")
+	}
 	switch o.LogFormat {
 	case "", "json", "text":
 	default:
@@ -129,17 +154,26 @@ func (o *ObsFlags) Start(stderr io.Writer) (*ObsSession, error) {
 	default:
 		s.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
 	}
+	s.Marks = obs.NewWatermarks(s.Metrics, nil)
 	if o.Serve != "" {
 		s.Bus = obs.NewBus()
 		s.Tracer.PublishTo(s.Bus)
+		s.History = monitor.NewHistory(monitor.HistoryOptions{
+			Registry: s.Metrics,
+			Cap:      o.HistoryCap,
+			Refresh:  s.Marks.Refresh,
+			Bus:      s.Bus,
+		}).Start(o.HistoryInterval)
 		srv, err := monitor.Start(o.Serve, monitor.Options{
 			Tool:     o.tool,
 			Registry: s.Metrics,
 			Bus:      s.Bus,
 			Token:    o.ServeToken,
 			Handlers: o.ExtraHandlers,
+			History:  s.History,
 		})
 		if err != nil {
+			s.History.Close()
 			return nil, err
 		}
 		s.Server = srv
@@ -229,5 +263,8 @@ func (s *ObsSession) Close() error {
 		}
 		keep(s.Server.Close())
 	}
+	// After the linger window so /metrics/history stays live (and its
+	// scrape tick keeps lag gauges honest) while clients look around.
+	s.History.Close()
 	return first
 }

@@ -75,15 +75,21 @@ const (
 // Upload is one worker→coordinator state transfer: the worker's full
 // serialized sketch plus the ordering and integrity stamps.
 type Upload struct {
-	Proto   string          `json:"proto"`
-	Worker  string          `json:"worker"`
-	Shard   int             `json:"shard"`
-	Epoch   int64           `json:"epoch"`
-	Seq     int64           `json:"seq"`
-	Records int64           `json:"records"`
-	Final   bool            `json:"final"`
-	Digest  string          `json:"digest"`
-	State   json.RawMessage `json:"state"`
+	Proto   string `json:"proto"`
+	Worker  string `json:"worker"`
+	Shard   int    `json:"shard"`
+	Epoch   int64  `json:"epoch"`
+	Seq     int64  `json:"seq"`
+	Records int64  `json:"records"`
+	Final   bool   `json:"final"`
+	// WatermarkS is the worker's event-time high-water mark in trace
+	// seconds, and Pipeline the trace framing's pipeline ID. Both are
+	// freshness metadata: the digest covers State alone, so old workers
+	// that omit them stay protocol-compatible.
+	WatermarkS float64         `json:"watermark_s,omitempty"`
+	Pipeline   string          `json:"pipeline,omitempty"`
+	Digest     string          `json:"digest"`
+	State      json.RawMessage `json:"state"`
 }
 
 // Digest computes the SHA-256 hex digest of a state blob.
@@ -135,8 +141,13 @@ type Options struct {
 	Bus *obs.Bus
 	// Logger receives structured lifecycle lines (nil: silent).
 	Logger *slog.Logger
-	// Clock overrides time.Now for liveness bookkeeping (tests).
+	// Clock overrides time.Now for liveness and merge-timing
+	// bookkeeping (tests).
 	Clock func() time.Time
+	// Marks, when non-nil, stamps the coord_fold watermark with each
+	// accepted upload's event-time mark, and adopts the first
+	// non-empty pipeline ID the fleet reports.
+	Marks *obs.Watermarks
 }
 
 // workerEntry is the latest accepted state of one worker plus its
@@ -341,6 +352,10 @@ func (c *Coordinator) accept(ent *workerEntry, u Upload, now time.Time) Reply {
 	ent.lastSeen = now
 	ent.accepted++
 	c.accepted.Inc()
+	if u.WatermarkS > 0 {
+		c.opts.Marks.Stage(obs.StageCoordFold).Stamp(u.WatermarkS)
+	}
+	c.opts.Marks.SetPipeline(u.Pipeline)
 	state := "running"
 	if ent.staleNotified {
 		state = "resumed"
@@ -404,6 +419,9 @@ type WorkerStatus struct {
 	Digest  string  `json:"digest"`
 	AgeS    float64 `json:"age_s"` // seconds since last accepted/duplicate upload
 	Stale   bool    `json:"stale"` // AgeS > StaleAfter and not final
+	// WatermarkS is the worker's reported event-time high water (0 for
+	// workers that predate watermark stamping).
+	WatermarkS float64 `json:"watermark_s,omitempty"`
 
 	Uploads    int64 `json:"uploads"`
 	Duplicates int64 `json:"duplicates,omitempty"`
@@ -453,9 +471,9 @@ func (c *Coordinator) Merged() ([]byte, string, error) {
 	// MergeSketches clones; the entries' sketches are never mutated, so
 	// releasing the lock during the merge is safe (entries are replaced
 	// wholesale, not updated in place).
-	start := time.Now()
+	start := c.opts.Clock()
 	merged, err := stream.MergeSketches(sketches)
-	c.mergeMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	c.mergeMS.Observe(float64(c.opts.Clock().Sub(start)) / float64(time.Millisecond))
 	if err != nil {
 		return nil, "", err
 	}
@@ -484,8 +502,9 @@ func (c *Coordinator) Results() (*Results, error) {
 			Epoch: ent.last.Epoch, Seq: ent.last.Seq,
 			Records: ent.last.Records, Final: ent.last.Final,
 			Digest: ent.last.Digest, AgeS: age,
-			Stale:   !ent.last.Final && age > c.opts.StaleAfter.Seconds(),
-			Uploads: ent.accepted, Duplicates: ent.duplicates, StaleRej: ent.stale,
+			Stale:      !ent.last.Final && age > c.opts.StaleAfter.Seconds(),
+			WatermarkS: ent.last.WatermarkS,
+			Uploads:    ent.accepted, Duplicates: ent.duplicates, StaleRej: ent.stale,
 		}
 		res.Workers = append(res.Workers, ws)
 		res.Records += ent.last.Records
@@ -506,9 +525,9 @@ func (c *Coordinator) Results() (*Results, error) {
 	default:
 		res.Status = ResultPartial
 	}
-	start := time.Now()
+	start := c.opts.Clock()
 	merged, err := stream.MergeSketches(sketches)
-	c.mergeMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	c.mergeMS.Observe(float64(c.opts.Clock().Sub(start)) / float64(time.Millisecond))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,72 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"wantraffic/internal/obs"
+	"wantraffic/internal/stream"
+)
+
+// An accepted upload's watermark stamps coord_fold and its pipeline ID
+// names the coordinator's end-to-end freshness gauges.
+func TestCoordFoldWatermark(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := obs.StepClock(obs.TestEpoch, time.Second)
+	m := obs.NewWatermarks(reg, clock)
+	c, err := New(Options{Clock: clock, Marks: m, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sk := shardSketch(t, testTrace(64), 0, stream.Config{Seed: 1})
+	u := uploadFor(t, sk, "w0", 0, 1, 1, false)
+	u.WatermarkS = 123.5
+	u.Pipeline = "p7"
+	if rep, err := c.Apply(u); err != nil || rep.Status != StatusAccepted {
+		t.Fatalf("apply: %+v, %v", rep, err)
+	}
+
+	if got := reg.Gauge(obs.StageCoordFold + ".watermark_seconds").Value(); got != 123.5 {
+		t.Fatalf("coord_fold watermark = %g, want 123.5", got)
+	}
+	if m.Pipeline() != "p7" {
+		t.Fatalf("pipeline = %q, want p7", m.Pipeline())
+	}
+
+	res, err := c.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workers) != 1 || res.Workers[0].WatermarkS != 123.5 {
+		t.Fatalf("results watermark = %+v, want 123.5", res.Workers)
+	}
+}
+
+// Merged and Results time their merges on the injectable clock, so a
+// fixed-clock run records deterministic merge_ms observations.
+func TestMergeTimingUsesInjectedClock(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := obs.StepClock(obs.TestEpoch, 250*time.Millisecond)
+	c, err := New(Options{Clock: clock, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := shardSketch(t, testTrace(64), 0, stream.Config{Seed: 1})
+	if _, err := c.Apply(uploadFor(t, sk, "w0", 0, 1, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := c.Merged(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Results(); err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("coord.merge_ms", nil)
+	// Each merge reads the step clock twice: every observation must be
+	// exactly one 250ms tick, never wall time.
+	if h.Count() != 2 || h.Sum() != 500 {
+		t.Fatalf("merge_ms count=%d sum=%g, want 2 observations of 250 each", h.Count(), h.Sum())
+	}
+}

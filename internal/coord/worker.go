@@ -65,6 +65,9 @@ type WorkerOptions struct {
 	Logger *slog.Logger
 	// Metrics receives coord.worker ingest instruments (nil: none).
 	Metrics *obs.Registry
+	// Marks, when non-nil, stamps the ingest watermark per folded batch
+	// and adopts the trace's pipeline ID; both also ride every upload.
+	Marks *obs.Watermarks
 }
 
 // WorkerReport summarizes a completed worker run.
@@ -96,6 +99,10 @@ type worker struct {
 	sinceUpload int64
 	prev        float64
 	first       bool
+
+	high     float64 // event-time high water across folded batches
+	pipeline string  // trace framing's pipeline ID, once discovered
+	ingWM    *obs.Watermark
 }
 
 // RunWorker ingests the shard trace and streams state to the
@@ -110,7 +117,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerReport, error) {
 	if opts.ChunkSize < 1 {
 		opts.ChunkSize = stream.DefaultChunkSize
 	}
-	w := &worker{opts: opts, epoch: 1, first: true}
+	w := &worker{opts: opts, epoch: 1, first: true, ingWM: opts.Marks.Stage(obs.StageIngest)}
 
 	f, err := os.Open(opts.TracePath)
 	if err != nil {
@@ -212,6 +219,7 @@ func (w *worker) restore(traceKind string) error {
 	w.seq = 0
 	w.skip = u.Records
 	w.resumed = true
+	w.high, w.pipeline = u.WatermarkS, u.Pipeline
 	w.opts.Metrics.Counter("coord.worker.resumes").Inc()
 	if w.opts.Logger != nil {
 		w.opts.Logger.Info("checkpoint restored", "path", w.opts.Checkpoint,
@@ -244,7 +252,8 @@ func (w *worker) publish(ctx context.Context, final bool) error {
 	u := Upload{
 		Proto: Proto, Worker: w.opts.ID, Shard: w.opts.Shard,
 		Epoch: w.epoch, Seq: w.seq, Records: w.sketch.Records(),
-		Final: final, Digest: Digest(state), State: state,
+		Final: final, WatermarkS: w.high, Pipeline: w.pipeline,
+		Digest: Digest(state), State: state,
 	}
 	if w.opts.Checkpoint != "" {
 		if err := writeCheckpoint(w.opts.Checkpoint, u); err != nil {
@@ -289,6 +298,10 @@ func (w *worker) step(ctx context.Context, batch []stream.Obs) error {
 	w.sketch.ObserveBatch(batch)
 	w.sinceUpload += int64(len(batch))
 	w.opts.Metrics.Counter("coord.worker.records").Add(int64(len(batch)))
+	if t := batch[len(batch)-1].Time; t > w.high {
+		w.high = t
+	}
+	w.ingWM.Stamp(w.high)
 	if w.opts.IngestDelay > 0 {
 		select {
 		case <-time.After(w.opts.IngestDelay):
@@ -311,6 +324,9 @@ func (w *worker) scanConns(ctx context.Context, sc *trace.ConnScanner) error {
 	for {
 		n, err := sc.ScanBatch(recs)
 		if n > 0 {
+			if w.pipeline == "" {
+				w.adoptPipeline(sc.Header().PipelineID)
+			}
 			batch = batch[:0]
 			for _, c := range recs[:n] {
 				o := stream.Obs{Time: c.Start, Value: float64(c.Bytes()), Duration: c.Duration}
@@ -340,6 +356,9 @@ func (w *worker) scanPackets(ctx context.Context, sc *trace.PacketScanner) error
 	for {
 		n, err := sc.ScanBatch(recs)
 		if n > 0 {
+			if w.pipeline == "" {
+				w.adoptPipeline(sc.Header().PipelineID)
+			}
 			batch = batch[:0]
 			for _, p := range recs[:n] {
 				o := stream.Obs{Time: p.Time, Value: float64(p.Size)}
@@ -360,6 +379,16 @@ func (w *worker) scanPackets(ctx context.Context, sc *trace.PacketScanner) error
 			return err
 		}
 	}
+}
+
+// adoptPipeline records the trace framing's pipeline ID the first
+// time the scanner surfaces one.
+func (w *worker) adoptPipeline(id string) {
+	if id == "" {
+		return
+	}
+	w.pipeline = id
+	w.opts.Marks.SetPipeline(id)
 }
 
 // writeCheckpoint persists an upload atomically (temp + rename).

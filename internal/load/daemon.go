@@ -39,6 +39,10 @@ type Options struct {
 	// Binary selects the binary trace framing (with the streamed
 	// count sentinel) over text.
 	Binary bool
+	// PipelineID, when non-empty, is stamped into the trace framing
+	// (a "#pipeline" comment in text, a header block in binary) so
+	// downstream consumers attribute their watermarks to this run.
+	PipelineID string
 
 	// Sleep and Now are injectable for tests; nil selects real time
 	// (with context-interruptible sleeps).
@@ -48,13 +52,20 @@ type Options struct {
 	Metrics *obs.Registry
 	Bus     *obs.Bus
 	Logger  *slog.Logger
+	// Marks, when non-nil, stamps the load_emit watermark with the
+	// latest emitted record time at every metrics publish.
+	Marks *obs.Watermarks
 }
 
 // Reshape is a runtime adjustment to one source (or all of them):
-// multiply the current rate by Scale and/or swap the arrival pattern.
+// multiply the current rate by Scale — or pin it to the absolute Rate
+// (arrivals/second, what a SIGHUP reload uses to converge on the new
+// file's value regardless of earlier scaling) — and/or swap the
+// arrival pattern. Scale and Rate are mutually exclusive.
 type Reshape struct {
 	Source  string  `json:"source,omitempty"`
 	Scale   float64 `json:"scale,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
 	Pattern string  `json:"pattern,omitempty"`
 }
 
@@ -115,11 +126,12 @@ type Daemon struct {
 	// all FULL-TEL users (immutable, so sharing is safe).
 	fulltelIAT *dist.Empirical
 
-	// Live reshape queue: the control endpoint appends under mu, the
-	// run loop drains when flag is set. Queued entries are already
-	// validated against the immutable scenario.
+	// Live reshape queue: the control endpoint and SIGHUP reloads
+	// append under mu, the run loop drains when flag is set. Queued
+	// entries are already validated against the immutable scenario and
+	// carry the origin the applied event reports.
 	mu     sync.Mutex
-	queued []Reshape
+	queued []queuedReshape
 	flag   atomic.Bool
 
 	// Metrics handles, nil without a registry.
@@ -134,6 +146,16 @@ type Daemon struct {
 	records  int64
 	reshapes int64
 	perProto map[trace.Protocol]int64
+
+	scale  float64        // effective initial rate multiplier
+	emitWM *obs.Watermark // load_emit stamp, resolved once in New
+}
+
+// queuedReshape is one pending live reshape with its origin label
+// ("control" for the HTTP endpoint, "sighup" for a file reload).
+type queuedReshape struct {
+	r      Reshape
+	origin string
 }
 
 // New builds a daemon: allocates and seeds every user and their first
@@ -158,7 +180,9 @@ func New(sc *Scenario, opts Options) (*Daemon, error) {
 	if userScale <= 0 {
 		userScale = 1
 	}
-	d := &Daemon{sc: sc, opts: opts, horizon: horizon, perProto: map[trace.Protocol]int64{}}
+	d := &Daemon{sc: sc, opts: opts, horizon: horizon, scale: scale, perProto: map[trace.Protocol]int64{}}
+	d.emitWM = opts.Marks.Stage(obs.StageLoadEmit)
+	opts.Marks.SetPipeline(opts.PipelineID)
 
 	total := 0
 	for i := range sc.Sources {
@@ -311,10 +335,11 @@ func (d *Daemon) Run(ctx context.Context, w io.Writer) (Report, error) {
 	var connEnc *trace.ConnEncoder
 	var pktEnc *trace.PacketEncoder
 	var err error
+	eopts := trace.EncoderOptions{PipelineID: d.opts.PipelineID}
 	if d.sc.Kind == KindConn {
-		connEnc, err = trace.NewConnEncoder(w, d.sc.Name, d.horizon, d.opts.Binary)
+		connEnc, err = trace.NewConnEncoderWith(w, d.sc.Name, d.horizon, d.opts.Binary, eopts)
 	} else {
-		pktEnc, err = trace.NewPacketEncoder(w, d.sc.Name, d.horizon, d.opts.Binary)
+		pktEnc, err = trace.NewPacketEncoderWith(w, d.sc.Name, d.horizon, d.opts.Binary, eopts)
 	}
 	if err != nil {
 		return rep, err
@@ -345,8 +370,8 @@ loop:
 		}
 		// Live reshapes land at the daemon's current trace position.
 		if d.flag.Load() {
-			for _, r := range d.drainQueued() {
-				d.apply(lastT, r, "control")
+			for _, q := range d.drainQueued() {
+				d.apply(lastT, q.r, q.origin)
 			}
 			continue
 		}
@@ -464,11 +489,17 @@ func (d *Daemon) newPacer(ctx context.Context, now func() time.Time) func(t floa
 // It only reads immutable scenario data, so it is safe from the
 // control endpoint's goroutine.
 func (d *Daemon) ValidateReshape(r Reshape) error {
-	if r.Scale == 0 && r.Pattern == "" {
-		return fmt.Errorf("load: reshape needs a scale or a pattern")
+	if r.Scale == 0 && r.Rate == 0 && r.Pattern == "" {
+		return fmt.Errorf("load: reshape needs a scale, a rate or a pattern")
 	}
 	if r.Scale < 0 {
 		return fmt.Errorf("load: reshape scale must be positive, got %g", r.Scale)
+	}
+	if r.Rate < 0 {
+		return fmt.Errorf("load: reshape rate must be positive, got %g", r.Rate)
+	}
+	if r.Scale != 0 && r.Rate != 0 {
+		return fmt.Errorf("load: reshape takes a scale or a rate, not both")
 	}
 	if r.Source != "" {
 		found := false
@@ -493,14 +524,18 @@ func (d *Daemon) Reshape(r Reshape) error {
 	if err := d.ValidateReshape(r); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.queued = append(d.queued, r)
-	d.mu.Unlock()
-	d.flag.Store(true)
+	d.enqueue(r, "control")
 	return nil
 }
 
-func (d *Daemon) drainQueued() []Reshape {
+func (d *Daemon) enqueue(r Reshape, origin string) {
+	d.mu.Lock()
+	d.queued = append(d.queued, queuedReshape{r: r, origin: origin})
+	d.mu.Unlock()
+	d.flag.Store(true)
+}
+
+func (d *Daemon) drainQueued() []queuedReshape {
 	d.mu.Lock()
 	q := d.queued
 	d.queued = nil
@@ -509,15 +544,95 @@ func (d *Daemon) drainQueued() []Reshape {
 	return q
 }
 
+// Reload diffs a freshly parsed scenario (the original -scenario file,
+// re-read on SIGHUP) against the immutable one this daemon was built
+// from and enqueues the differences as live reshapes with origin
+// "sighup". Only rate and pattern changes are reloadable — the user
+// population, protocols, pattern parameters, horizon and phase
+// schedule are pinned at construction — and a spec that changes
+// anything else is rejected whole, leaving the run untouched. It only
+// reads immutable daemon state, so it is safe from a signal goroutine.
+func (d *Daemon) Reload(sc *Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if sc.Kind != d.sc.Kind {
+		return fmt.Errorf("load: reload: kind changed %q -> %q", d.sc.Kind, sc.Kind)
+	}
+	if sc.Horizon != d.sc.Horizon {
+		return fmt.Errorf("load: reload: horizon changed %g -> %g (restart to apply)", d.sc.Horizon, sc.Horizon)
+	}
+	if len(sc.Phases) != len(d.sc.Phases) {
+		return fmt.Errorf("load: reload: phase schedule changed (restart to apply)")
+	}
+	for i := range sc.Phases {
+		if sc.Phases[i] != d.sc.Phases[i] {
+			return fmt.Errorf("load: reload: phase %d changed (restart to apply)", i)
+		}
+	}
+	if len(sc.Sources) != len(d.sc.Sources) {
+		return fmt.Errorf("load: reload: source count changed %d -> %d", len(d.sc.Sources), len(sc.Sources))
+	}
+	old := make(map[string]SourceSpec, len(d.sc.Sources))
+	for _, s := range d.sc.Sources {
+		old[s.Name] = s
+	}
+	// Validate the whole diff before enqueueing any of it: a reload is
+	// atomic — applied entirely or rejected entirely.
+	var rs []Reshape
+	for _, s := range sc.Sources {
+		o, ok := old[s.Name]
+		if !ok {
+			return fmt.Errorf("load: reload: source %q not in the running scenario", s.Name)
+		}
+		fixed, fixedOld := s, o
+		fixed.Rate, fixed.Pattern = 0, ""
+		fixedOld.Rate, fixedOld.Pattern = 0, ""
+		if fixed != fixedOld {
+			return fmt.Errorf("load: reload: source %q: only rate and pattern may change (restart to apply)", s.Name)
+		}
+		var r Reshape
+		if s.Rate != o.Rate {
+			// The file's rate, under the same initial -scale the
+			// original rates got: absolute, so it converges on the new
+			// value no matter what live reshapes happened in between.
+			r.Rate = s.Rate * d.scale
+		}
+		if s.Pattern != o.Pattern {
+			r.Pattern = s.Pattern
+		}
+		if r == (Reshape{}) {
+			continue
+		}
+		r.Source = s.Name
+		if err := d.ValidateReshape(r); err != nil {
+			return err
+		}
+		rs = append(rs, r)
+	}
+	for _, r := range rs {
+		d.enqueue(r, "sighup")
+	}
+	if log := d.opts.Logger; log != nil {
+		log.Info("load reload accepted", "scenario", sc.Name, "reshapes", len(rs))
+	}
+	return nil
+}
+
 // apply executes one reshape at trace time at: scale the matching
 // sources' rates, residually rescale every affected user's pending
 // event, swap patterns where asked, rebuild the heap, and publish the
 // load_reshape event.
 func (d *Daemon) apply(at float64, r Reshape, origin string) {
-	scale := r.Scale
 	for _, s := range d.sources {
 		if r.Source != "" && s.spec.Name != r.Source {
 			continue
+		}
+		scale := r.Scale
+		if r.Rate > 0 && s.rate > 0 {
+			// Absolute rate: the residual rescale is whatever factor
+			// lands this source on it from wherever it currently is.
+			scale = r.Rate / s.rate
 		}
 		if scale > 0 {
 			s.rate *= scale
@@ -550,8 +665,14 @@ func (d *Daemon) apply(at float64, r Reshape, origin string) {
 	if r.Scale > 0 {
 		attrs["scale"] = strconv.FormatFloat(r.Scale, 'g', -1, 64)
 	}
+	if r.Rate > 0 {
+		attrs["rate"] = strconv.FormatFloat(r.Rate, 'g', -1, 64)
+	}
 	if r.Pattern != "" {
 		attrs["pattern"] = r.Pattern
+	}
+	if origin == "sighup" {
+		attrs["cause"] = "sighup"
 	}
 	d.opts.Bus.Publish(obs.EventLoadReshape, d.sc.Name, attrs)
 	if log := d.opts.Logger; log != nil {
@@ -596,6 +717,7 @@ func (d *Daemon) initMetrics(totalUsers int) {
 // deltas are derived from the report totals so the hot loop only
 // increments plain ints.
 func (d *Daemon) publishMetrics(traceT float64, wall time.Duration) {
+	d.emitWM.Stamp(traceT)
 	if d.opts.Metrics == nil {
 		return
 	}

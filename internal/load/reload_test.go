@@ -1,0 +1,180 @@
+package load
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+// A SIGHUP reload applies the file's rate and pattern changes as
+// absolute reshapes with origin "sighup" and a cause attr.
+func TestReloadAppliesFileChanges(t *testing.T) {
+	bus := obs.NewBus()
+	events, cancel := bus.Subscribe(64)
+	defer cancel()
+	reg := obs.NewRegistry()
+	d, err := New(baseScenario(), Options{Seed: 1, Metrics: reg, Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := baseScenario()
+	next.Sources[0].Rate = 10               // telnet: 5 -> 10
+	next.Sources[1].Pattern = PatternBursty // ftp: uniform -> bursty
+	if err := d.Reload(next); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := d.Run(context.Background(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reshapes != 2 {
+		t.Fatalf("reshapes = %d, want 2 (rate + pattern)", rep.Reshapes)
+	}
+	if got := reg.Gauge("load.rate.target").Value(); got != 12 {
+		t.Fatalf("target rate = %g, want 10+2=12 after reload", got)
+	}
+
+	sawRate, sawPattern := false, false
+	deadline := time.After(2 * time.Second)
+	for !(sawRate && sawPattern) {
+		select {
+		case ev := <-events:
+			if ev.Kind != obs.EventLoadReshape {
+				continue
+			}
+			if ev.Attrs["origin"] != "sighup" || ev.Attrs["cause"] != "sighup" {
+				t.Fatalf("reload event attrs = %v, want origin/cause sighup", ev.Attrs)
+			}
+			switch ev.Attrs["source"] {
+			case "telnet":
+				if ev.Attrs["rate"] != "10" {
+					t.Fatalf("telnet reload attrs = %v, want rate 10", ev.Attrs)
+				}
+				sawRate = true
+			case "ftp":
+				if ev.Attrs["pattern"] != PatternBursty {
+					t.Fatalf("ftp reload attrs = %v, want pattern bursty", ev.Attrs)
+				}
+				sawPattern = true
+			}
+		case <-deadline:
+			t.Fatalf("missing reload events (rate=%v pattern=%v)", sawRate, sawPattern)
+		}
+	}
+}
+
+// The file's rate is absolute: it lands on the new value even after
+// live reshapes scaled the source in between, and the initial -scale
+// multiplier still applies.
+func TestReloadRateIsAbsolute(t *testing.T) {
+	d, err := New(baseScenario(), Options{Seed: 1, Scale: 2, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reshape(Reshape{Source: "telnet", Scale: 3}); err != nil {
+		t.Fatal(err) // telnet now runs at 5*2*3 = 30/s
+	}
+	next := baseScenario()
+	next.Sources[0].Rate = 7 // under -scale 2 the effective target is 14
+	if err := d.Reload(next); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// ftp kept 2*2=4; telnet must sit at 14 regardless of the live x3.
+	if got := d.targetRate(); got != 18 {
+		t.Fatalf("target rate = %g, want 14+4=18", got)
+	}
+}
+
+// A reload that changes anything but rates or patterns is rejected
+// whole; nothing is enqueued.
+func TestReloadRejectsStructuralChanges(t *testing.T) {
+	cases := map[string]func(*Scenario){
+		"kind":    func(s *Scenario) { s.Kind = KindPacket },
+		"horizon": func(s *Scenario) { s.Horizon = 700 },
+		"users":   func(s *Scenario) { s.Sources[0].Users = 9 },
+		"proto":   func(s *Scenario) { s.Sources[0].Proto = "SMTP" },
+		"rename":  func(s *Scenario) { s.Sources[0].Name = "other" },
+		"add source": func(s *Scenario) {
+			s.Sources = append(s.Sources, SourceSpec{Name: "x", Proto: "WWW", Pattern: PatternPoisson, Users: 1, Rate: 1})
+		},
+		"param":         func(s *Scenario) { s.Sources[0].BurstFactor = 7 },
+		"phases":        func(s *Scenario) { s.Phases = []PhaseSpec{{At: 10, Scale: 2}} },
+		"structured":    func(s *Scenario) { s.Sources[0].Pattern = PatternFTPBurst },
+		"invalid rate":  func(s *Scenario) { s.Sources[0].Rate = -1 },
+		"invalid users": func(s *Scenario) { s.Sources[0].Users = 0 },
+	}
+	for name, mutate := range cases {
+		d, err := New(baseScenario(), Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := baseScenario()
+		mutate(next)
+		if err := d.Reload(next); err == nil {
+			t.Errorf("%s: reload accepted, want rejection", name)
+		}
+		if q := d.drainQueued(); len(q) != 0 {
+			t.Errorf("%s: rejected reload enqueued %d reshapes", name, len(q))
+		}
+	}
+}
+
+// An unchanged file is a no-op reload, not an error.
+func TestReloadNoChanges(t *testing.T) {
+	d, err := New(baseScenario(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reload(baseScenario()); err != nil {
+		t.Fatalf("identical reload rejected: %v", err)
+	}
+	if q := d.drainQueued(); len(q) != 0 {
+		t.Fatalf("identical reload enqueued %d reshapes", len(q))
+	}
+}
+
+func TestReshapeRateValidation(t *testing.T) {
+	d, err := New(baseScenario(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reshape(Reshape{Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := d.Reshape(Reshape{Rate: 2, Scale: 2}); err == nil {
+		t.Error("rate+scale accepted")
+	}
+	if err := d.Reshape(Reshape{Source: "telnet", Rate: 9}); err != nil {
+		t.Errorf("valid absolute-rate reshape rejected: %v", err)
+	}
+}
+
+// The daemon stamps the load_emit watermark and pipeline ID.
+func TestLoadEmitWatermark(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewWatermarks(reg, obs.StepClock(obs.TestEpoch, time.Second))
+	sc := baseScenario()
+	sc.Horizon = 50
+	d, err := New(sc, Options{Seed: 1, Metrics: reg, Marks: m, PipelineID: "p1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pipeline() != "p1" {
+		t.Fatalf("pipeline = %q, want p1", m.Pipeline())
+	}
+	if got := reg.Gauge(obs.StageLoadEmit + ".watermark_seconds").Value(); got != rep.TraceSeconds {
+		t.Fatalf("load_emit watermark = %g, want last emitted time %g", got, rep.TraceSeconds)
+	}
+}

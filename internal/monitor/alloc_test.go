@@ -1,0 +1,66 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+// populatedRegistry builds a registry with the footprint of a busy
+// tool: counters, gauges (including watermark stages) and histograms.
+func populatedRegistry() (*obs.Registry, *obs.Watermarks) {
+	reg := obs.NewRegistry()
+	clock := obs.StepClock(obs.TestEpoch, time.Millisecond)
+	for i := 0; i < 16; i++ {
+		reg.Counter(fmt.Sprintf("bench.counter_%02d", i)).Add(int64(i))
+		reg.Gauge(fmt.Sprintf("bench.gauge_%02d", i)).Set(float64(i))
+		reg.Histogram(fmt.Sprintf("bench.hist_%02d", i), nil).Observe(float64(i))
+	}
+	marks := obs.NewWatermarks(reg, clock)
+	for _, st := range []string{obs.StageIngest, obs.StageShardDrain, obs.StageWindowClose} {
+		marks.Stage(st).Stamp(10)
+	}
+	marks.SetPipeline("p1")
+	return reg, marks
+}
+
+// TestAllocHistoryScrape is the self-scrape allocation budget: once
+// every series has its ring and the sample buffer has grown, a scrape
+// (refresh hook, registry walk, ring pushes) must not allocate —
+// history at a 1s tick must not become a background allocation drip
+// in long-running daemons.
+func TestAllocHistoryScrape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is meaningless under -race")
+	}
+	reg, marks := populatedRegistry()
+	h := NewHistory(HistoryOptions{
+		Registry: reg,
+		Clock:    obs.StepClock(obs.TestEpoch, time.Second),
+		Refresh:  marks.Refresh,
+	})
+	defer h.Close()
+	h.Scrape()
+	h.Scrape() // warm: rings created, sample buffer grown
+	if got := testing.AllocsPerRun(200, h.Scrape); got != 0 {
+		t.Errorf("warm Scrape allocates %.1f, budget 0", got)
+	}
+}
+
+func BenchmarkHistoryScrape(b *testing.B) {
+	reg, marks := populatedRegistry()
+	h := NewHistory(HistoryOptions{
+		Registry: reg,
+		Clock:    obs.StepClock(obs.TestEpoch, time.Second),
+		Refresh:  marks.Refresh,
+	})
+	defer h.Close()
+	h.Scrape()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Scrape()
+	}
+}

@@ -1,0 +1,335 @@
+// In-process metrics history: a fixed-capacity per-series ring of
+// (t, value) samples the monitor scrapes from its own registry, so a
+// stall or regression is diagnosable after the fact without an
+// external scraper. Served as JSON at GET /metrics/history.
+//
+// Eviction is bounded and documented (DESIGN.md §16): each series
+// keeps the most recent Cap samples (older ones are overwritten in
+// ring order); at most MaxSeries distinct series are tracked — series
+// appearing after the budget is spent are dropped and counted in the
+// export's dropped_series field; the recent-event ring keeps the last
+// Events bus events. Memory is therefore O(MaxSeries × Cap) floats,
+// fixed for the life of the process.
+//
+// Determinism follows the obs contract: timestamps come from an
+// injectable clock (one reading per scrape), the export sorts series
+// by name and samples by time, so under a fixed clock and a fixed
+// scrape schedule the JSON is byte-identical run to run.
+
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+// HistoryOptions configures a History.
+type HistoryOptions struct {
+	// Registry is the scrape source (required).
+	Registry *obs.Registry
+	// Clock stamps samples; injectable for deterministic tests
+	// (nil: time.Now). One reading per Scrape.
+	Clock obs.Clock
+	// Cap is the per-series ring capacity (default 512 samples).
+	Cap int
+	// MaxSeries bounds the number of distinct series (default 2048).
+	MaxSeries int
+	// Refresh, when non-nil, runs at the start of every Scrape —
+	// the hook that recomputes derived gauges (watermark lag) on the
+	// same tick the history records, instead of from a free-running
+	// timer that would break /metrics byte-identity between reads.
+	Refresh func()
+	// Bus, when non-nil, feeds the recent-event ring served alongside
+	// the samples (wanmon snapshot's "recent events").
+	Bus *obs.Bus
+	// Events is the event-ring capacity (default 256).
+	Events int
+}
+
+// History is the self-scraped metrics history. A nil *History is
+// valid: Scrape and Close no-op, and the monitor simply does not
+// mount /metrics/history.
+type History struct {
+	opts HistoryOptions
+
+	mu      sync.RWMutex
+	series  map[string]*seriesRing
+	buf     []obs.Sample // scrape buffer, reused every tick
+	scrapes int64
+	dropped int64 // series lost to the MaxSeries bound
+
+	evMu     sync.Mutex
+	events   []obs.StreamEvent
+	evNext   int
+	evFull   bool
+	evCancel func()
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	tickDone chan struct{}
+	evDone   chan struct{}
+}
+
+// seriesRing is one series' fixed-capacity sample ring.
+type seriesRing struct {
+	t    []float64 // unix seconds
+	v    []float64
+	next int
+	full bool
+}
+
+func (r *seriesRing) push(t, v float64) {
+	r.t[r.next], r.v[r.next] = t, v
+	r.next++
+	if r.next == len(r.t) {
+		r.next, r.full = 0, true
+	}
+}
+
+// len returns the number of live samples.
+func (r *seriesRing) len() int {
+	if r.full {
+		return len(r.t)
+	}
+	return r.next
+}
+
+// at returns the i-th live sample in chronological order.
+func (r *seriesRing) at(i int) (t, v float64) {
+	if r.full {
+		i = (r.next + i) % len(r.t)
+	}
+	return r.t[i], r.v[i]
+}
+
+// NewHistory returns a history ready for Scrape. It subscribes to the
+// bus (when given) immediately so events preceding the first scrape
+// are retained.
+func NewHistory(opts HistoryOptions) *History {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.Cap <= 0 {
+		opts.Cap = 512
+	}
+	if opts.MaxSeries <= 0 {
+		opts.MaxSeries = 2048
+	}
+	if opts.Events <= 0 {
+		opts.Events = 256
+	}
+	h := &History{
+		opts:   opts,
+		series: make(map[string]*seriesRing),
+		stop:   make(chan struct{}),
+		evDone: make(chan struct{}),
+	}
+	if opts.Bus != nil {
+		h.events = make([]obs.StreamEvent, opts.Events)
+		// Subscribe with headroom beyond the ring so a publish burst
+		// reaches the ring instead of dropping at the bus buffer.
+		buf := 4 * opts.Events
+		if buf < 256 {
+			buf = 256
+		}
+		ch, cancel := opts.Bus.Subscribe(buf)
+		h.evCancel = cancel
+		go func() {
+			defer close(h.evDone)
+			for ev := range ch {
+				h.evMu.Lock()
+				h.events[h.evNext] = ev
+				h.evNext++
+				if h.evNext == len(h.events) {
+					h.evNext, h.evFull = 0, true
+				}
+				h.evMu.Unlock()
+			}
+		}()
+	} else {
+		close(h.evDone)
+	}
+	return h
+}
+
+// Scrape records one sample per scalar series (counters and gauges,
+// plus histogram .count/.sum derivatives) at the current clock
+// reading, running the Refresh hook first. The steady state is
+// allocation-free: the sample buffer and every ring are reused.
+func (h *History) Scrape() {
+	if h == nil {
+		return
+	}
+	if h.opts.Refresh != nil {
+		h.opts.Refresh()
+	}
+	now := float64(h.opts.Clock().UnixNano()) / 1e9
+	h.mu.Lock()
+	h.buf = h.opts.Registry.SamplesInto(h.buf[:0])
+	for _, s := range h.buf {
+		r := h.series[s.Name]
+		if r == nil {
+			if len(h.series) >= h.opts.MaxSeries {
+				h.dropped++
+				continue
+			}
+			r = &seriesRing{t: make([]float64, h.opts.Cap), v: make([]float64, h.opts.Cap)}
+			h.series[s.Name] = r
+		}
+		r.push(now, s.Value)
+	}
+	h.scrapes++
+	h.mu.Unlock()
+}
+
+// Start begins self-scraping every interval until Close. It returns h
+// for chaining; a nil h or non-positive interval is a no-op.
+func (h *History) Start(interval time.Duration) *History {
+	if h == nil || interval <= 0 {
+		if h != nil {
+			h.tickDone = nil
+		}
+		return h
+	}
+	h.tickDone = make(chan struct{})
+	go func() {
+		defer close(h.tickDone)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				h.Scrape()
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+	return h
+}
+
+// Close stops the scrape ticker and the event subscription.
+func (h *History) Close() {
+	if h == nil {
+		return
+	}
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		if h.evCancel != nil {
+			h.evCancel()
+		}
+	})
+	if h.tickDone != nil {
+		<-h.tickDone
+	}
+	<-h.evDone
+}
+
+// Scrapes returns how many scrapes have recorded (0 on nil).
+func (h *History) Scrapes() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.scrapes
+}
+
+// historySeries is one series in the JSON export. Samples are
+// [t_unix_seconds, value] pairs in chronological order.
+type historySeries struct {
+	Name    string       `json:"name"`
+	Samples [][2]float64 `json:"samples"`
+}
+
+// historyExport is the GET /metrics/history response body.
+type historyExport struct {
+	Scrapes       int64             `json:"scrapes"`
+	Cap           int               `json:"cap"`
+	DroppedSeries int64             `json:"dropped_series,omitempty"`
+	Series        []historySeries   `json:"series"`
+	Events        []obs.StreamEvent `json:"events,omitempty"`
+}
+
+// Export snapshots the history: series filtered to the given names
+// (nil: all), samples filtered to t > since, and the recent-event
+// ring. Series sort by name, samples stay chronological.
+func (h *History) Export(names []string, since float64) historyExport {
+	out := historyExport{Series: []historySeries{}}
+	if h == nil {
+		return out
+	}
+	var want map[string]bool
+	if len(names) > 0 {
+		want = make(map[string]bool, len(names))
+		for _, n := range names {
+			want[n] = true
+		}
+	}
+	h.mu.RLock()
+	out.Scrapes = h.scrapes
+	out.Cap = h.opts.Cap
+	out.DroppedSeries = h.dropped
+	for name, r := range h.series {
+		if want != nil && !want[name] {
+			continue
+		}
+		s := historySeries{Name: name, Samples: [][2]float64{}}
+		for i := 0; i < r.len(); i++ {
+			t, v := r.at(i)
+			if t > since {
+				s.Samples = append(s.Samples, [2]float64{t, v})
+			}
+		}
+		out.Series = append(out.Series, s)
+	}
+	h.mu.RUnlock()
+	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+
+	h.evMu.Lock()
+	if h.evFull {
+		out.Events = append(out.Events, h.events[h.evNext:]...)
+		out.Events = append(out.Events, h.events[:h.evNext]...)
+	} else {
+		out.Events = append(out.Events, h.events[:h.evNext]...)
+	}
+	h.evMu.Unlock()
+	return out
+}
+
+// handleHistory serves GET /metrics/history?series=a,b&since=<t>:
+// series filters to a comma-separated list of registry names, since
+// keeps samples strictly newer than a unix-seconds timestamp.
+func (h *History) handleHistory(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	if q := r.URL.Query().Get("series"); q != "" {
+		for _, n := range strings.Split(q, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	since := 0.0
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	raw, err := json.Marshal(h.Export(names, since))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(raw, '\n'))
+}

@@ -1,0 +1,245 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"wantraffic/internal/obs"
+)
+
+func TestHistoryScrapeAndExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("jobs.done")
+	g := reg.Gauge("queue.depth")
+	h := NewHistory(HistoryOptions{Registry: reg, Clock: obs.StepClock(obs.TestEpoch, time.Second), Cap: 8})
+	defer h.Close()
+
+	c.Add(1)
+	g.Set(3)
+	h.Scrape() // tick 0
+	c.Add(1)
+	g.Set(5)
+	h.Scrape() // tick 1
+
+	out := h.Export(nil, 0)
+	if out.Scrapes != 2 || out.Cap != 8 {
+		t.Fatalf("export meta %+v", out)
+	}
+	byName := map[string][][2]float64{}
+	for _, s := range out.Series {
+		byName[s.Name] = s.Samples
+	}
+	epoch := float64(obs.TestEpoch.UnixNano()) / 1e9
+	wantJobs := [][2]float64{{epoch, 1}, {epoch + 1, 2}}
+	if got := byName["jobs.done"]; len(got) != 2 || got[0] != wantJobs[0] || got[1] != wantJobs[1] {
+		t.Errorf("jobs.done samples %v, want %v", got, wantJobs)
+	}
+	if got := byName["queue.depth"]; len(got) != 2 || got[0][1] != 3 || got[1][1] != 5 {
+		t.Errorf("queue.depth samples %v", got)
+	}
+
+	// series filter and since filter
+	out = h.Export([]string{"queue.depth"}, epoch)
+	if len(out.Series) != 1 || out.Series[0].Name != "queue.depth" {
+		t.Fatalf("filtered series %+v", out.Series)
+	}
+	if got := out.Series[0].Samples; len(got) != 1 || got[0][1] != 5 {
+		t.Errorf("since filter kept %v, want only the tick-1 sample", got)
+	}
+}
+
+func TestHistoryRingEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v")
+	h := NewHistory(HistoryOptions{Registry: reg, Clock: obs.StepClock(obs.TestEpoch, time.Second), Cap: 4})
+	defer h.Close()
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		h.Scrape()
+	}
+	out := h.Export(nil, 0)
+	s := out.Series[0].Samples
+	if len(s) != 4 {
+		t.Fatalf("ring kept %d samples, want cap 4", len(s))
+	}
+	// Most recent 4 values, chronological.
+	for i, want := range []float64{6, 7, 8, 9} {
+		if s[i][1] != want {
+			t.Errorf("sample %d = %v, want value %g", i, s[i], want)
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i][0] <= s[i-1][0] {
+			t.Errorf("timestamps not increasing: %v", s)
+		}
+	}
+}
+
+func TestHistoryMaxSeriesBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("a").Set(1)
+	reg.Gauge("b").Set(2)
+	reg.Gauge("c").Set(3)
+	h := NewHistory(HistoryOptions{Registry: reg, Clock: obs.StepClock(obs.TestEpoch, time.Second), Cap: 4, MaxSeries: 2})
+	defer h.Close()
+	h.Scrape()
+	out := h.Export(nil, 0)
+	if len(out.Series) != 2 {
+		t.Fatalf("tracked %d series, want MaxSeries=2", len(out.Series))
+	}
+	if out.DroppedSeries != 1 {
+		t.Errorf("dropped_series = %d, want 1", out.DroppedSeries)
+	}
+}
+
+func TestHistoryRefreshHookRunsPerScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	n := 0
+	h := NewHistory(HistoryOptions{Registry: reg, Clock: obs.StepClock(obs.TestEpoch, time.Second), Refresh: func() { n++ }})
+	defer h.Close()
+	h.Scrape()
+	h.Scrape()
+	if n != 2 {
+		t.Fatalf("refresh hook ran %d times, want 2", n)
+	}
+}
+
+func TestHistoryDeterministicJSON(t *testing.T) {
+	build := func() []byte {
+		reg := obs.NewRegistry()
+		reg.Counter("x.total").Add(7)
+		reg.Gauge("y").Set(1.25)
+		h := NewHistory(HistoryOptions{Registry: reg, Clock: obs.StepClock(obs.TestEpoch, time.Second), Cap: 4})
+		defer h.Close()
+		h.Scrape()
+		h.Scrape()
+		raw, err := json.Marshal(h.Export(nil, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("history JSON not byte-identical under fixed clock:\n%s\n--\n%s", a, b)
+	}
+}
+
+func TestHistoryEventsRing(t *testing.T) {
+	clock := obs.StepClock(obs.TestEpoch, time.Millisecond)
+	bus := obs.NewBusClock(clock)
+	reg := obs.NewRegistry()
+	h := NewHistory(HistoryOptions{Registry: reg, Clock: clock, Events: 2, Bus: bus})
+	defer h.Close()
+	// Publish one at a time, waiting for the ring goroutine to drain,
+	// so the test asserts eviction order rather than racing the bus.
+	publish := func(i int) {
+		bus.Publish(obs.EventVerdict, "poisson", nil)
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			evs := h.Export(nil, 0).Events
+			if len(evs) > 0 && evs[len(evs)-1].Seq == int64(i) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("event %d never reached the ring: %+v", i, evs)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		publish(i)
+	}
+	evs := h.Export(nil, 0).Events
+	if len(evs) != 2 || evs[0].Seq != 2 || evs[1].Seq != 3 {
+		t.Fatalf("ring should keep the last 2 events, got %+v", evs)
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("ingest.watermark_seconds").Set(42)
+	h := NewHistory(HistoryOptions{Registry: reg, Clock: obs.StepClock(obs.TestEpoch, time.Second), Cap: 4})
+	defer h.Close()
+	h.Scrape()
+
+	srv, err := Start("127.0.0.1:0", Options{Tool: "test", Registry: reg, History: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/metrics/history?series=ingest.watermark_seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Scrapes int64 `json:"scrapes"`
+		Series  []struct {
+			Name    string       `json:"name"`
+			Samples [][2]float64 `json:"samples"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", raw, err)
+	}
+	if out.Scrapes != 1 || len(out.Series) != 1 || out.Series[0].Name != "ingest.watermark_seconds" {
+		t.Fatalf("unexpected export: %s", raw)
+	}
+	if v := out.Series[0].Samples[0][1]; v != 42 {
+		t.Fatalf("sample value %g, want 42", v)
+	}
+
+	// bad since → 400
+	resp, err = http.Get(srv.URL() + "/metrics/history?since=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHistoryNilSafe(t *testing.T) {
+	var h *History
+	h.Scrape()
+	h.Close()
+	h.Start(time.Second)
+	if h.Scrapes() != 0 {
+		t.Fatal("nil history must report zero scrapes")
+	}
+	out := h.Export(nil, 0)
+	if len(out.Series) != 0 {
+		t.Fatal("nil history must export empty")
+	}
+}
+
+func TestHistoryTicker(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(1)
+	h := NewHistory(HistoryOptions{Registry: reg, Cap: 64}).Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Scrapes() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never scraped 3 times")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.Close()
+	n := h.Scrapes()
+	time.Sleep(10 * time.Millisecond)
+	if h.Scrapes() != n {
+		t.Fatal("scrapes continued after Close")
+	}
+}

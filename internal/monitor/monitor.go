@@ -4,11 +4,12 @@
 //
 // Endpoints (contract in DESIGN.md §11):
 //
-//	/metrics        OpenMetrics text exposition of the obs.Registry
-//	/healthz        JSON liveness: tool, status, uptime
-//	/events         Server-Sent Events stream of obs.Bus StreamEvents
-//	/debug/pprof/*  net/http/pprof profiling handlers
-//	/quitquitquit   POST: ask the host tool to stop lingering
+//	/metrics         OpenMetrics text exposition of the obs.Registry
+//	/metrics/history JSON ring of self-scraped (t, value) samples
+//	/healthz         JSON liveness: tool, status, uptime
+//	/events          Server-Sent Events stream of obs.Bus StreamEvents
+//	/debug/pprof/*   net/http/pprof profiling handlers
+//	/quitquitquit    POST: ask the host tool to stop lingering
 //
 // The server observes, never participates: handlers only read the
 // registry and subscribe to the bus, so serving cannot change a run's
@@ -61,6 +62,10 @@ type Options struct {
 	// its upload/results API on the same listener as /metrics.
 	// Reserved monitor paths cannot be overridden.
 	Handlers map[string]http.Handler
+	// History, when non-nil, serves the in-process metrics history at
+	// GET /metrics/history. The host owns its scrape schedule and
+	// lifecycle; the server only exposes it.
+	History *History
 }
 
 // Server is a live telemetry endpoint bound to one listener. Start it
@@ -103,6 +108,9 @@ func Start(addr string, opts Options) (*Server, error) {
 		mux.Handle(path, h)
 	}
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if opts.History != nil {
+		mux.HandleFunc("/metrics/history", opts.History.handleHistory)
+	}
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/quitquitquit", s.handleQuit)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -81,6 +82,25 @@ func (g *Gauge) Add(d float64) {
 	}
 }
 
+// Max raises the gauge to v if v is larger than the current value
+// (atomic max via CAS) and leaves it alone otherwise. This is the
+// watermark primitive: lock-free, allocation-free, monotone under any
+// interleaving of concurrent callers. Set still overwrites.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on a nil gauge).
 func (g *Gauge) Value() float64 {
 	if g == nil {
@@ -97,6 +117,10 @@ type Histogram struct {
 	counts []atomic.Int64
 	sum    Gauge // atomic float64 accumulator
 	n      atomic.Int64
+	// countName/sumName are the derived scalar sample names
+	// ("<name>.count", "<name>.sum"), precomputed at registration so
+	// SamplesInto stays allocation-free on the history scrape tick.
+	countName, sumName string
 }
 
 // DurationBucketsMS is the default bucket layout for "_ms" duration
@@ -189,7 +213,8 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
-		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Int64, len(bounds)+1)}
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Int64, len(bounds)+1),
+			countName: name + ".count", sumName: name + ".sum"}
 		r.hists[name] = h
 	}
 	return h
@@ -215,6 +240,41 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Sample is one scalar reading of an instrument, as enumerated by
+// SamplesInto — the unit the monitor's metrics history records.
+type Sample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// SamplesInto appends one Sample per scalar series to buf and returns
+// the extended slice, sorted by name: every counter (as a float),
+// every gauge, and for each histogram its two scalar derivatives
+// "<name>.count" and "<name>.sum" (per-bucket history is deliberately
+// out of scope — the buckets are cumulative and reconstructible from
+// /metrics). Passing a reused buf keeps the steady state
+// allocation-free once capacity has grown to fit, which is what lets
+// the monitor self-scrape on every tick without heap churn.
+func (r *Registry) SamplesInto(buf []Sample) []Sample {
+	if r == nil {
+		return buf
+	}
+	r.mu.RLock()
+	for n, c := range r.counters {
+		buf = append(buf, Sample{Name: n, Value: float64(c.Value())})
+	}
+	for n, g := range r.gauges {
+		buf = append(buf, Sample{Name: n, Value: g.Value()})
+	}
+	for _, h := range r.hists {
+		buf = append(buf, Sample{Name: h.countName, Value: float64(h.Count())})
+		buf = append(buf, Sample{Name: h.sumName, Value: h.Sum()})
+	}
+	r.mu.RUnlock()
+	slices.SortFunc(buf, func(a, b Sample) int { return strings.Compare(a.Name, b.Name) })
+	return buf
 }
 
 // histSnapshot is the JSON form of one histogram.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-budget tests skip under -race: the detector instruments
+// every allocation and makes AllocsPerRun meaningless.
+const raceEnabled = false

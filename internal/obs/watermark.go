@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event-time watermarks (DESIGN.md §16): every stage of the live
+// pipeline stamps the largest trace timestamp it has fully processed,
+// so "how far behind is the observatory?" is answerable per stage and
+// end to end, not just inferred from throughput gauges.
+//
+// The canonical stage names, in pipeline order. Producers emit
+// load_emit; a consuming pipeline stamps ingest when a batch leaves
+// the scanner, shard_drain when a shard has folded it, window_close
+// when the observatory seals an estimator window; a coordinator
+// stamps coord_fold when it accepts a worker upload.
+const (
+	StageLoadEmit    = "load_emit"
+	StageIngest      = "ingest"
+	StageShardDrain  = "shard_drain"
+	StageWindowClose = "window_close"
+	StageCoordFold   = "coord_fold"
+)
+
+// Watermark is one stage's monotone event-time high-water mark. The
+// hot path is Advance: a single atomic float max on the backing
+// gauge — no locks, no allocations, no clock reads — so per-record
+// stamping costs a few nanoseconds. Stamp is the batch-boundary
+// variant that additionally records *when* (on the Watermarks clock)
+// the mark last moved, which is what freshness lag is measured from.
+// A nil *Watermark no-ops, mirroring the nil instrument contract.
+type Watermark struct {
+	mark  *Gauge       // <stage>.watermark_seconds: event-time high water
+	lag   *Gauge       // <stage>.lag_seconds: clock seconds since the mark moved
+	at    atomic.Int64 // clock nanos of the last advancing Stamp (0: never)
+	clock Clock
+}
+
+// Advance raises the event-time mark to t seconds if t is ahead.
+// Safe from any goroutine; allocation-free.
+func (w *Watermark) Advance(t float64) {
+	if w == nil {
+		return
+	}
+	w.mark.Max(t)
+}
+
+// Stamp raises the mark to t and, when t actually advanced it, records
+// the clock time of the advance for lag computation. Call it at batch
+// or window boundaries, not per record (it reads the clock).
+func (w *Watermark) Stamp(t float64) {
+	if w == nil {
+		return
+	}
+	if w.mark.Value() >= t {
+		return
+	}
+	w.mark.Max(t)
+	w.at.Store(w.clock().UnixNano())
+}
+
+// Value returns the current event-time mark in seconds (0 on nil).
+func (w *Watermark) Value() float64 {
+	if w == nil {
+		return 0
+	}
+	return w.mark.Value()
+}
+
+// Watermarks owns the per-stage watermarks of one process, backed by
+// gauges in a Registry ("<stage>.watermark_seconds", exported as
+// *_watermark_seconds, and "<stage>.lag_seconds"). Stage lookup takes
+// a mutex and is meant for setup; the returned *Watermark is what hot
+// paths hold. Refresh recomputes the lag gauges from the injectable
+// clock — it is driven by the monitor history's scrape tick (or tests)
+// rather than a free-running timer, so a settled registry stays
+// byte-identical between reads and everything is deterministic under
+// a fixed clock.
+type Watermarks struct {
+	reg   *Registry
+	clock Clock
+
+	mu       sync.RWMutex
+	stages   map[string]*Watermark
+	pipeline string
+	e2eMark  *Gauge // pipeline.<id>.watermark_seconds: min over stamped stages
+	e2eLag   *Gauge // pipeline.<id>.freshness_seconds: staleness of the laggiest stage
+}
+
+// NewWatermarks returns a watermark set backed by reg. A nil registry
+// returns nil, and every method of a nil *Watermarks (including Stage,
+// which then returns a nil *Watermark) no-ops, so instrumented code is
+// unconditional. A nil clock selects time.Now.
+func NewWatermarks(reg *Registry, clock Clock) *Watermarks {
+	if reg == nil {
+		return nil
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Watermarks{reg: reg, clock: clock, stages: make(map[string]*Watermark)}
+}
+
+// Stage returns the named stage's watermark, creating its gauges on
+// first use. Resolve once at setup and hold the result.
+func (m *Watermarks) Stage(name string) *Watermark {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	w := m.stages[name]
+	m.mu.RUnlock()
+	if w != nil {
+		return w
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w = m.stages[name]; w == nil {
+		w = &Watermark{
+			mark:  m.reg.Gauge(name + ".watermark_seconds"),
+			lag:   m.reg.Gauge(name + ".lag_seconds"),
+			clock: m.clock,
+		}
+		m.reg.SetHelp(name+".watermark_seconds", "event-time high-water mark of the "+name+" stage, trace seconds")
+		m.reg.SetHelp(name+".lag_seconds", "seconds since the "+name+" watermark last advanced")
+		m.stages[name] = w
+	}
+	return w
+}
+
+// SetPipeline names the pipeline this process participates in (the
+// propagated pipeline ID from the trace framing) and creates the
+// end-to-end freshness gauges for it. First non-empty ID wins.
+func (m *Watermarks) SetPipeline(id string) {
+	if m == nil || id == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pipeline != "" {
+		return
+	}
+	m.pipeline = id
+	m.e2eMark = m.reg.Gauge("pipeline." + id + ".watermark_seconds")
+	m.e2eLag = m.reg.Gauge("pipeline." + id + ".freshness_seconds")
+	m.reg.SetHelp("pipeline."+id+".watermark_seconds", "end-to-end watermark: event time fully processed by every stage")
+	m.reg.SetHelp("pipeline."+id+".freshness_seconds", "staleness of the laggiest stage: seconds since its watermark advanced")
+}
+
+// Pipeline returns the pipeline ID set via SetPipeline ("" if none).
+func (m *Watermarks) Pipeline() string {
+	if m == nil {
+		return ""
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pipeline
+}
+
+// Refresh recomputes every derived gauge from the clock: per-stage
+// lag_seconds (0 until the stage first stamps), and — when a pipeline
+// ID is set — the end-to-end watermark (the minimum mark across
+// stamped stages: event time the whole pipeline has fully absorbed)
+// and freshness (the staleness of the laggiest stage). One clock read
+// per call, so a fixed StepClock consumes exactly one tick.
+func (m *Watermarks) Refresh() {
+	if m == nil {
+		return
+	}
+	now := m.clock().UnixNano()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	minMark, maxLag := 0.0, 0.0
+	first := true
+	for _, w := range m.stages {
+		at := w.at.Load()
+		if at == 0 {
+			continue // never stamped: lag stays 0 rather than "since boot"
+		}
+		lag := float64(now-at) / float64(time.Second)
+		if lag < 0 {
+			lag = 0
+		}
+		w.lag.Set(lag)
+		if mark := w.mark.Value(); first || mark < minMark {
+			minMark = mark
+		}
+		if lag > maxLag {
+			maxLag = lag
+		}
+		first = false
+	}
+	if m.pipeline != "" && !first {
+		m.e2eMark.Set(minMark)
+		m.e2eLag.Set(maxLag)
+	}
+}
+
+// DerivePipelineID maps a (seed, name) pair onto a short stable
+// pipeline ID — what `wanload -pipeline-id auto` stamps into the trace
+// framing. Deterministic, so dilation and re-runs of the same scenario
+// agree on the ID and digests stay pinned.
+func DerivePipelineID(seed int64, name string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, name)
+	return fmt.Sprintf("p%08x", uint32(h.Sum64()^h.Sum64()>>32))
+}

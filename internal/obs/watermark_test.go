@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGaugeMaxMonotone(t *testing.T) {
+	var g Gauge
+	g.Max(3)
+	g.Max(1)
+	if v := g.Value(); v != 3 {
+		t.Fatalf("Max(1) after Max(3) = %g, want 3", v)
+	}
+	g.Max(7.5)
+	if v := g.Value(); v != 7.5 {
+		t.Fatalf("Max(7.5) = %g", v)
+	}
+	var nilG *Gauge
+	nilG.Max(1) // must not panic
+}
+
+func TestGaugeMaxConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Max(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := g.Value(); v != 7999 {
+		t.Fatalf("concurrent max = %g, want 7999", v)
+	}
+}
+
+func TestWatermarkStampAndRefresh(t *testing.T) {
+	reg := NewRegistry()
+	clock := StepClock(TestEpoch, time.Second)
+	m := NewWatermarks(reg, clock)
+	ing := m.Stage(StageIngest)
+
+	ing.Advance(5)  // hot path: no clock read
+	ing.Stamp(10)   // boundary: records the advance time (tick 0)
+	ing.Stamp(10)   // no advance: must not consume a tick or move `at`
+	ing.Advance(12) // later event time, no stamp
+
+	if v := ing.Value(); v != 12 {
+		t.Fatalf("watermark = %g, want 12", v)
+	}
+	m.Refresh() // tick 1 → 1s after the stamp
+	if lag := reg.Gauge(StageIngest + ".lag_seconds").Value(); lag != 1 {
+		t.Fatalf("lag = %g, want 1 (one StepClock tick after the stamp)", lag)
+	}
+	if v := reg.Gauge(StageIngest + ".watermark_seconds").Value(); v != 12 {
+		t.Fatalf("watermark gauge = %g, want 12", v)
+	}
+}
+
+func TestWatermarkLagZeroBeforeFirstStamp(t *testing.T) {
+	reg := NewRegistry()
+	m := NewWatermarks(reg, StepClock(TestEpoch, time.Second))
+	m.Stage(StageLoadEmit)
+	m.Refresh()
+	if lag := reg.Gauge(StageLoadEmit + ".lag_seconds").Value(); lag != 0 {
+		t.Fatalf("never-stamped stage lag = %g, want 0", lag)
+	}
+}
+
+func TestWatermarksPipelineFreshness(t *testing.T) {
+	reg := NewRegistry()
+	clock := StepClock(TestEpoch, time.Second)
+	m := NewWatermarks(reg, clock)
+	m.SetPipeline("p1")
+	m.SetPipeline("p2") // first non-empty ID wins
+	if got := m.Pipeline(); got != "p1" {
+		t.Fatalf("Pipeline() = %q, want p1", got)
+	}
+
+	m.Stage(StageIngest).Stamp(20)      // tick 0
+	m.Stage(StageWindowClose).Stamp(15) // tick 1
+	m.Refresh()                         // tick 2
+
+	if v := reg.Gauge("pipeline.p1.watermark_seconds").Value(); v != 15 {
+		t.Fatalf("end-to-end watermark = %g, want min(20,15)=15", v)
+	}
+	// Ingest stamped at tick 0 (lag 2s), window_close at tick 1 (lag 1s):
+	// freshness is the laggiest stage.
+	if v := reg.Gauge("pipeline.p1.freshness_seconds").Value(); v != 2 {
+		t.Fatalf("freshness = %g, want 2", v)
+	}
+}
+
+func TestWatermarksNilSafe(t *testing.T) {
+	var m *Watermarks
+	if m != NewWatermarks(nil, nil) {
+		t.Fatal("NewWatermarks(nil, ...) must return nil")
+	}
+	w := m.Stage(StageIngest)
+	w.Advance(1)
+	w.Stamp(2)
+	m.Refresh()
+	m.SetPipeline("x")
+	if m.Pipeline() != "" || w.Value() != 0 {
+		t.Fatal("nil watermarks must no-op")
+	}
+}
+
+func TestWatermarkExpositionDeterministic(t *testing.T) {
+	render := func() []byte {
+		reg := NewRegistry()
+		m := NewWatermarks(reg, StepClock(TestEpoch, time.Second))
+		m.SetPipeline("p42")
+		m.Stage(StageIngest).Stamp(30)
+		m.Stage(StageShardDrain).Stamp(28)
+		m.Refresh()
+		return reg.OpenMetrics()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("exposition not byte-identical under fixed clock:\n%s\n--\n%s", a, b)
+	}
+	for _, want := range []string{
+		"ingest_watermark_seconds ", "ingest_lag_seconds ",
+		"shard_drain_watermark_seconds ", "shard_drain_lag_seconds ",
+		"pipeline_p42_watermark_seconds ", "pipeline_p42_freshness_seconds ",
+	} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("exposition missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestDerivePipelineID(t *testing.T) {
+	a := DerivePipelineID(42, "LBL-3")
+	if a != DerivePipelineID(42, "LBL-3") {
+		t.Fatal("DerivePipelineID not deterministic")
+	}
+	if a == DerivePipelineID(43, "LBL-3") || a == DerivePipelineID(42, "LBL-4") {
+		t.Fatal("DerivePipelineID ignores its inputs")
+	}
+	if len(a) != 9 || a[0] != 'p' {
+		t.Fatalf("unexpected ID shape %q", a)
+	}
+	if a != SanitizeMetricName(a) {
+		t.Fatalf("ID %q not exposition-safe", a)
+	}
+}
+
+func TestSamplesInto(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Gauge("a.gauge").Set(1.5)
+	reg.Histogram("h.ms", nil).Observe(3)
+
+	buf := reg.SamplesInto(nil)
+	want := []Sample{
+		{Name: "a.gauge", Value: 1.5},
+		{Name: "b.count", Value: 2},
+		{Name: "h.ms.count", Value: 1},
+		{Name: "h.ms.sum", Value: 3},
+	}
+	if len(buf) != len(want) {
+		t.Fatalf("got %d samples %v, want %d", len(buf), buf, len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, buf[i], want[i])
+		}
+	}
+	// Reuse must not grow the slice when contents fit.
+	again := reg.SamplesInto(buf[:0])
+	if &again[0] != &buf[0] {
+		t.Error("SamplesInto reallocated a buffer that fit")
+	}
+}
+
+// TestAllocWatermarkHotPath is the zero-alloc budget for the per-batch
+// stamping the ingest pipeline does: an advancing Stamp (atomic max
+// plus one clock read), a no-advance Stamp (early return), and a full
+// Refresh over stamped stages must all be allocation-free.
+func TestAllocWatermarkHotPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is meaningless under -race")
+	}
+	m := NewWatermarks(NewRegistry(), StepClock(TestEpoch, time.Millisecond))
+	w := m.Stage(StageIngest)
+	m.Stage(StageShardDrain).Stamp(1)
+	m.SetPipeline("p1")
+	mark := 0.0
+	if got := testing.AllocsPerRun(1000, func() { mark++; w.Stamp(mark) }); got != 0 {
+		t.Errorf("advancing Stamp allocates %.1f, budget 0", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() { w.Stamp(0) }); got != 0 {
+		t.Errorf("no-advance Stamp allocates %.1f, budget 0", got)
+	}
+	if got := testing.AllocsPerRun(1000, m.Refresh); got != 0 {
+		t.Errorf("Refresh allocates %.1f, budget 0", got)
+	}
+}
+
+func BenchmarkWatermarkStamp(b *testing.B) {
+	m := NewWatermarks(NewRegistry(), StepClock(TestEpoch, time.Millisecond))
+	w := m.Stage(StageIngest)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Stamp(float64(i))
+	}
+}
+
+func BenchmarkWatermarkStampNoAdvance(b *testing.B) {
+	m := NewWatermarks(NewRegistry(), StepClock(TestEpoch, time.Millisecond))
+	w := m.Stage(StageIngest)
+	w.Stamp(1e18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Stamp(0)
+	}
+}
+
+func BenchmarkWatermarksRefresh(b *testing.B) {
+	m := NewWatermarks(NewRegistry(), StepClock(TestEpoch, time.Millisecond))
+	for _, st := range []string{StageLoadEmit, StageIngest, StageShardDrain, StageWindowClose, StageCoordFold} {
+		m.Stage(st).Stamp(10)
+	}
+	m.SetPipeline("p1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Refresh()
+	}
+}

@@ -57,6 +57,8 @@ type Observatory struct {
 	detDisp *PageHinkley
 	detTail *PageHinkley
 
+	closeWM *obs.Watermark // window_close stamp, resolved once in New
+
 	lastEst Estimate
 }
 
@@ -111,6 +113,10 @@ type Options struct {
 	// Metrics, when set, carries the observe.* gauges the monitor
 	// server exports. A nil registry no-ops.
 	Metrics *obs.Registry
+	// Marks, when set, stamps the window_close watermark with each
+	// sealed window's end time, so freshness lag covers the estimator
+	// stage too. A nil set no-ops.
+	Marks *obs.Watermarks
 	// Logger, when set, logs one structured record per event; the
 	// Context's span stamps trace/span IDs.
 	Logger  *slog.Logger
@@ -205,6 +211,7 @@ func New(opt Options) *Observatory {
 		detRate:  NewPageHinkley(opt.Delta, opt.Lambda, opt.Warmup, opt.Cooldown),
 		detDisp:  NewPageHinkley(opt.Delta, opt.Lambda, opt.Warmup, opt.Cooldown),
 		detTail:  NewPageHinkley(opt.Delta, opt.Lambda, opt.Warmup, opt.Cooldown),
+		closeWM:  opt.Marks.Stage(obs.StageWindowClose),
 	}
 	o.quant = stream.NewTumbling(opt.Window, func() stream.Accumulator { return stream.NewGK(opt.Eps) })
 	o.quant.OnClose = func(_ int64, inner stream.Accumulator) {
@@ -324,6 +331,7 @@ func (o *Observatory) closeWindow(wc int64) {
 	est := o.estimate(wc)
 	o.closed++
 	o.lastEst = est
+	o.closeWM.Stamp(est.TEnd)
 	o.emit(Event{
 		Kind: obs.EventVerdict, Window: wc, TEnd: est.TEnd,
 		Name: est.Verdict, Estimate: &est,

@@ -56,6 +56,18 @@ func Replay(r io.Reader, o *Observatory, opts ReplayOptions) (ReplayStats, error
 	}
 	st := ReplayStats{Kind: kind}
 	pace := newPacer(opts)
+	// The trace framing may carry a pipeline ID (wanload -pipeline-id);
+	// adopt it on the first record so the observatory's watermark set
+	// reports end-to-end freshness under the producer's identity. The
+	// scanner surfaces the ID once the framing preamble is consumed,
+	// which is guaranteed by the time the first record scans.
+	adopted := false
+	adopt := func(id string) {
+		if !adopted && id != "" {
+			o.opt.Marks.SetPipeline(id)
+		}
+		adopted = true
+	}
 	switch kind {
 	case trace.KindConn:
 		var sc *trace.ConnScanner
@@ -66,6 +78,7 @@ func Replay(r io.Reader, o *Observatory, opts ReplayOptions) (ReplayStats, error
 		}
 		for sc.Scan() {
 			c := sc.Conn()
+			adopt(sc.Header().PipelineID)
 			pace(c.Start)
 			o.ObserveConn(c)
 			st.Records++
@@ -80,6 +93,7 @@ func Replay(r io.Reader, o *Observatory, opts ReplayOptions) (ReplayStats, error
 		}
 		for sc.Scan() {
 			p := sc.Packet()
+			adopt(sc.Header().PipelineID)
 			pace(p.Time)
 			o.ObservePacket(p)
 			st.Records++

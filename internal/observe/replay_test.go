@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wantraffic/internal/fault"
+	"wantraffic/internal/obs"
 	"wantraffic/internal/trace"
 )
 
@@ -145,5 +146,54 @@ func TestReplayRejectsUnknownHeader(t *testing.T) {
 	o := New(testOptions(&evs))
 	if _, err := Replay(bytes.NewReader([]byte("not a trace\n")), o, ReplayOptions{}); err == nil {
 		t.Fatal("unknown header accepted")
+	}
+}
+
+// TestReplayAdoptsPipelineID: when the trace framing carries a
+// pipeline ID (wanload -pipeline-id through an encoder), Replay must
+// surface it to the observatory's watermark set so -follow mode
+// reports end-to-end freshness under the producer's identity — and
+// must leave the set untouched for unframed traces.
+func TestReplayAdoptsPipelineID(t *testing.T) {
+	conns := regimeSwapConns(47, 40, 250)
+	for _, binary := range []bool{false, true} {
+		var buf bytes.Buffer
+		enc, err := trace.NewConnEncoderWith(&buf, "swap", 250, binary, trace.EncoderOptions{PipelineID: "px42"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range conns {
+			if err := enc.Write(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		marks := obs.NewWatermarks(reg, obs.StepClock(obs.TestEpoch, time.Second))
+		var evs []Event
+		opt := testOptions(&evs)
+		opt.Marks = marks
+		o := New(opt)
+		if _, err := Replay(bytes.NewReader(buf.Bytes()), o, ReplayOptions{Flush: true}); err != nil {
+			t.Fatalf("binary=%v: %v", binary, err)
+		}
+		if got := marks.Pipeline(); got != "px42" {
+			t.Fatalf("binary=%v: adopted pipeline %q, want px42", binary, got)
+		}
+	}
+
+	// Unframed trace: no adoption, the set stays anonymous.
+	marks := obs.NewWatermarks(obs.NewRegistry(), obs.StepClock(obs.TestEpoch, time.Second))
+	var evs []Event
+	opt := testOptions(&evs)
+	opt.Marks = marks
+	o := New(opt)
+	if _, err := Replay(bytes.NewReader(swapTrace(t, false)), o, ReplayOptions{Flush: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := marks.Pipeline(); got != "" {
+		t.Fatalf("unframed trace adopted pipeline %q", got)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"wantraffic/internal/obs"
 	"wantraffic/internal/trace"
 )
 
@@ -93,6 +94,8 @@ func TestAllocSketchObserveBatch(t *testing.T) {
 // sharded pipeline — scanner, batch fan-out, shard fold — in the
 // steady state of a persistent session reading binary input. The
 // budget buys GK growth and goroutine startup, nothing per-record.
+// Watermark stamping rides inside the same budget: the per-batch
+// Stamp must not add a single allocation.
 func TestAllocPipelinePer10k(t *testing.T) {
 	tr := testConnTrace(10000)
 	var buf bytes.Buffer
@@ -100,7 +103,8 @@ func TestAllocPipelinePer10k(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	sess, err := NewSession(ConnSketch, PipelineOptions{Config: Config{Seed: 7}})
+	marks := obs.NewWatermarks(obs.NewRegistry(), nil)
+	sess, err := NewSession(ConnSketch, PipelineOptions{Config: Config{Seed: 7}, Marks: marks})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,11 @@ type PipelineOptions struct {
 	// (stream.queue.depth, stream.shards.inflight) and the merge-phase
 	// duration histogram (stream.merge_ms).
 	Metrics *obs.Registry
+	// Marks, when non-nil, stamps event-time watermarks at the stage
+	// boundaries this pipeline owns: ingest as each batch leaves the
+	// scanner, shard_drain as each shard folds one, plus the pipeline
+	// ID propagated in the trace header (first non-empty wins).
+	Marks *obs.Watermarks
 }
 
 func (o PipelineOptions) withDefaults() PipelineOptions {
@@ -292,6 +297,10 @@ func (s *Session) run(ctx context.Context, read func(emit func(*obsBatch)) (trac
 	ingested := popts.Metrics.Counter("stream.records.ingested")
 	queueDepth := popts.Metrics.Gauge("stream.queue.depth")
 	inflight := popts.Metrics.Gauge("stream.shards.inflight")
+	// Watermarks stamp per batch, not per record: one atomic max (and a
+	// clock read only when the mark advances) every ChunkSize records.
+	ingestWM := popts.Marks.Stage(obs.StageIngest)
+	drainWM := popts.Marks.Stage(obs.StageShardDrain)
 
 	var (
 		hdr     trace.Header
@@ -307,6 +316,7 @@ func (s *Session) run(ctx context.Context, read func(emit func(*obsBatch)) (trac
 		next := 0
 		hdr, dstats, readErr = read(func(b *obsBatch) {
 			n := int64(len(b.obs)) // before send: the worker truncates b on recycle
+			ingestWM.Stamp(b.obs[len(b.obs)-1].Time)
 			chans[next%popts.Shards] <- b
 			next++
 			s.chunks++
@@ -333,6 +343,7 @@ func (s *Session) run(ctx context.Context, read func(emit func(*obsBatch)) (trac
 			for _, o := range b.obs {
 				bytes += o.Value
 			}
+			drainWM.Stamp(b.obs[len(b.obs)-1].Time)
 			b.obs = b.obs[:0]
 			obsBatchPool.Put(b)
 		}
@@ -345,6 +356,7 @@ func (s *Session) run(ctx context.Context, read func(emit func(*obsBatch)) (trac
 		}
 	})
 	queueDepth.Set(0)
+	popts.Marks.SetPipeline(hdr.PipelineID)
 	return hdr, dstats, readErr
 }
 

@@ -30,6 +30,41 @@ var (
 // until a clean EOF at a record boundary instead of counting down.
 const StreamedCount = ^uint64(0)
 
+// streamedPipelineCount is the count-field sentinel for a streamed
+// trace that additionally carries a pipeline ID: a (uint16 length,
+// bytes) block follows the header, before the records. A distinct
+// sentinel — rather than overloading the name field — keeps arbitrary
+// names lossless and plain streamed traces byte-identical to before.
+const streamedPipelineCount = StreamedCount - 1
+
+// writePipelineBlock appends the pipeline-ID block the
+// streamedPipelineCount sentinel promises.
+func writePipelineBlock(w io.Writer, pipeline string) error {
+	if len(pipeline) > math.MaxUint16 {
+		return fmt.Errorf("trace: pipeline ID too long (%d bytes)", len(pipeline))
+	}
+	var lenBuf [2]byte
+	binary.LittleEndian.PutUint16(lenBuf[:], uint16(len(pipeline)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, pipeline)
+	return err
+}
+
+// readPipelineBlock consumes the block writePipelineBlock wrote.
+func readPipelineBlock(r io.Reader) (string, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", fmt.Errorf("trace: reading pipeline ID: %w", err)
+	}
+	id := make([]byte, binary.LittleEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(r, id); err != nil {
+		return "", fmt.Errorf("trace: reading pipeline ID: %w", err)
+	}
+	return string(id), nil
+}
+
 // WriteConnTraceBinary encodes a connection trace in the binary format.
 func WriteConnTraceBinary(w io.Writer, t *ConnTrace) error {
 	bw := bufio.NewWriter(w)
@@ -194,33 +229,39 @@ func writeHeader(w io.Writer, magic [4]byte, name string, horizon float64, count
 	return err
 }
 
-func readHeaderWith(r io.Reader, magic [4]byte, opts DecodeOptions) (name string, horizon float64, count uint64, err error) {
+func readHeaderWith(r io.Reader, magic [4]byte, opts DecodeOptions) (name string, horizon float64, count uint64, pipeline string, err error) {
 	var m [4]byte
 	if _, err = io.ReadFull(r, m[:]); err != nil {
-		return "", 0, 0, fmt.Errorf("trace: reading magic: %w", err)
+		return "", 0, 0, "", fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if m != magic {
-		return "", 0, 0, fmt.Errorf("trace: bad magic %q (want %q)", m[:], magic[:])
+		return "", 0, 0, "", fmt.Errorf("trace: bad magic %q (want %q)", m[:], magic[:])
 	}
 	var lenBuf [2]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return "", 0, 0, err
+		return "", 0, 0, "", err
 	}
 	nameBytes := make([]byte, binary.LittleEndian.Uint16(lenBuf[:]))
 	if _, err = io.ReadFull(r, nameBytes); err != nil {
-		return "", 0, 0, err
+		return "", 0, 0, "", err
 	}
 	var buf [8]byte
 	if _, err = io.ReadFull(r, buf[:]); err != nil {
-		return "", 0, 0, err
+		return "", 0, 0, "", err
 	}
 	horizon = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
 	if _, err = io.ReadFull(r, buf[:]); err != nil {
-		return "", 0, 0, err
+		return "", 0, 0, "", err
 	}
 	count = binary.LittleEndian.Uint64(buf[:])
-	if count != StreamedCount && count > uint64(opts.MaxRecords) {
-		return "", 0, 0, fmt.Errorf("trace: implausible record count %d (limit %d)", count, opts.MaxRecords)
+	if count == streamedPipelineCount {
+		if pipeline, err = readPipelineBlock(r); err != nil {
+			return "", 0, 0, "", err
+		}
+		count = StreamedCount
 	}
-	return string(nameBytes), horizon, count, nil
+	if count != StreamedCount && count > uint64(opts.MaxRecords) {
+		return "", 0, 0, "", fmt.Errorf("trace: implausible record count %d (limit %d)", count, opts.MaxRecords)
+	}
+	return string(nameBytes), horizon, count, pipeline, nil
 }

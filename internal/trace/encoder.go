@@ -18,6 +18,17 @@ import (
 //
 // Encoders are not safe for concurrent use; errors are sticky.
 
+// EncoderOptions carries the optional stream framing a live producer
+// can stamp beyond the basic header.
+type EncoderOptions struct {
+	// PipelineID, when non-empty, is propagated through the trace
+	// framing ("#pipeline <id>" after the text header; a
+	// unit-separator suffix on the binary name field) so every
+	// downstream consumer can attribute watermarks and freshness to
+	// this pipeline. Older decoders ignore both encodings.
+	PipelineID string
+}
+
 // ConnEncoder appends connection records to a stream, one Write at a
 // time.
 type ConnEncoder struct {
@@ -28,8 +39,13 @@ type ConnEncoder struct {
 // encoder for its records. With binary set the WCT1 framing is used,
 // with the count field set to StreamedCount.
 func NewConnEncoder(w io.Writer, name string, horizon float64, binary bool) (*ConnEncoder, error) {
+	return NewConnEncoderWith(w, name, horizon, binary, EncoderOptions{})
+}
+
+// NewConnEncoderWith is NewConnEncoder plus framing options.
+func NewConnEncoderWith(w io.Writer, name string, horizon float64, binary bool, opts EncoderOptions) (*ConnEncoder, error) {
 	e := &ConnEncoder{}
-	if err := e.enc.start(w, "#conntrace", connMagic, name, horizon, binary); err != nil {
+	if err := e.enc.start(w, "#conntrace", connMagic, name, horizon, binary, opts); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -76,8 +92,13 @@ type PacketEncoder struct {
 // NewPacketEncoder writes a packet-trace header to w and returns an
 // encoder for its records; see NewConnEncoder.
 func NewPacketEncoder(w io.Writer, name string, horizon float64, binary bool) (*PacketEncoder, error) {
+	return NewPacketEncoderWith(w, name, horizon, binary, EncoderOptions{})
+}
+
+// NewPacketEncoderWith is NewPacketEncoder plus framing options.
+func NewPacketEncoderWith(w io.Writer, name string, horizon float64, binary bool, opts EncoderOptions) (*PacketEncoder, error) {
 	e := &PacketEncoder{}
-	if err := e.enc.start(w, "#pkttrace", packetMagic, name, horizon, binary); err != nil {
+	if err := e.enc.start(w, "#pkttrace", packetMagic, name, horizon, binary, opts); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -123,11 +144,21 @@ type encoder struct {
 	scratch [128]byte
 }
 
-func (e *encoder) start(w io.Writer, textMagic string, magic [4]byte, name string, horizon float64, binary bool) error {
+func (e *encoder) start(w io.Writer, textMagic string, magic [4]byte, name string, horizon float64, binary bool, opts EncoderOptions) error {
 	e.bw = bufio.NewWriter(w)
 	e.binary = binary
 	if binary {
-		return writeHeader(e.bw, magic, name, horizon, StreamedCount)
+		count := uint64(StreamedCount)
+		if opts.PipelineID != "" {
+			count = streamedPipelineCount
+		}
+		if err := writeHeader(e.bw, magic, name, horizon, count); err != nil {
+			return err
+		}
+		if opts.PipelineID != "" {
+			return writePipelineBlock(e.bw, opts.PipelineID)
+		}
+		return nil
 	}
 	b := append(e.scratch[:0], textMagic...)
 	b = append(b, ' ')
@@ -135,6 +166,11 @@ func (e *encoder) start(w io.Writer, textMagic string, magic [4]byte, name strin
 	b = append(b, ' ')
 	b = strconv.AppendFloat(b, horizon, 'g', -1, 64)
 	b = append(b, '\n')
+	if opts.PipelineID != "" {
+		b = append(b, pipelineComment...)
+		b = append(b, opts.PipelineID...)
+		b = append(b, '\n')
+	}
 	_, err := e.bw.Write(b)
 	return err
 }

@@ -66,6 +66,12 @@ type Header struct {
 	// Streamed reports a binary header carrying the StreamedCount
 	// sentinel: records run until a clean EOF at a record boundary.
 	Streamed bool
+	// PipelineID is the propagated pipeline identity a live producer
+	// (wanload) stamped into the framing — a "#pipeline <id>" comment
+	// immediately after the text header, or a unit-separator suffix on
+	// the binary name field. Empty for traces without the framing;
+	// consumers use it to label end-to-end freshness gauges.
+	PipelineID string
 }
 
 // Sniff peeks at the buffered reader and classifies the trace without
@@ -347,6 +353,12 @@ func initTextScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 	}
 	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
 	line := 0
+	// The pipeline-ID comment is framed immediately after the header
+	// line, so start peeks exactly one line ahead; a non-pipeline line
+	// is stashed (one copy, once) and replayed by the first pull.
+	var pending []byte
+	havePending := false
+	var peekErr error
 	s.start = func() error {
 		if !sc.Scan() {
 			if err := sc.Err(); err != nil {
@@ -361,12 +373,63 @@ func initTextScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 			return err
 		}
 		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon}
+		if sc.Scan() {
+			line = 2
+			s.stats.LinesRead++
+			text := trimSpaceBytes(sc.Bytes())
+			if id, ok := parsePipelineComment(text); ok {
+				s.hdr.PipelineID = id
+			} else {
+				pending = append(pending[:0], text...)
+				havePending = true
+			}
+		} else if err := sc.Err(); err != nil {
+			// The peek's Scan discovered the error; a later Scan call
+			// would hand back the buffered partial line as a token, so
+			// the error must be delivered by the first pull instead of
+			// re-scanning.
+			peekErr = err
+		}
 		return nil
 	}
 	// fields is reused across records; parse consumes it before the
 	// next Scan invalidates the underlying token.
 	var fields [][]byte
+	// process decodes one trimmed record line; skip=true means the
+	// line was consumed without producing a record (lenient skip).
+	process := func(text []byte) (rec T, ok bool, err error, skip bool) {
+		if s.stats.RecordsKept >= opts.MaxRecords {
+			return rec, false, fmt.Errorf("trace: line %d: record limit %d exceeded", line, opts.MaxRecords), false
+		}
+		fields = splitFieldsInto(fields[:0], text)
+		rec, perr := parse(fields, line)
+		if perr != nil {
+			if opts.Lenient {
+				s.stats.skip(perr)
+				return rec, false, nil, true
+			}
+			return rec, false, perr, false
+		}
+		s.stats.RecordsKept++
+		return rec, true, nil, false
+	}
 	s.pull = func() (rec T, ok bool, err error) {
+		if peekErr != nil {
+			err := peekErr
+			if err == bufio.ErrTooLong {
+				err = fmt.Errorf("trace: line %d: exceeds %d-byte line limit", line+1, opts.MaxLineBytes)
+			}
+			return rec, false, err
+		}
+		if havePending {
+			havePending = false
+			if text := pending; len(text) > 0 && text[0] != '#' {
+				rec, ok, err, skip := process(text)
+				if !skip {
+					return rec, ok, err
+				}
+			}
+		}
 		for sc.Scan() {
 			line++
 			s.stats.LinesRead++
@@ -374,20 +437,11 @@ func initTextScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 			if len(text) == 0 || text[0] == '#' {
 				continue
 			}
-			if s.stats.RecordsKept >= opts.MaxRecords {
-				return rec, false, fmt.Errorf("trace: line %d: record limit %d exceeded", line, opts.MaxRecords)
+			rec, ok, err, skip := process(text)
+			if skip {
+				continue
 			}
-			fields = splitFieldsInto(fields[:0], text)
-			rec, perr := parse(fields, line)
-			if perr != nil {
-				if opts.Lenient {
-					s.stats.skip(perr)
-					continue
-				}
-				return rec, false, perr
-			}
-			s.stats.RecordsKept++
-			return rec, true, nil
+			return rec, ok, err
 		}
 		if err := sc.Err(); err != nil {
 			if err == bufio.ErrTooLong {
@@ -397,6 +451,24 @@ func initTextScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 		}
 		return rec, false, nil
 	}
+}
+
+// pipelineComment is the text-framing prefix of the propagated
+// pipeline ID: "#pipeline <id>", written by the streaming encoders
+// directly after the header line. It reads as an ordinary comment to
+// decoders that predate it.
+const pipelineComment = "#pipeline "
+
+// parsePipelineComment extracts the ID from a "#pipeline <id>" line.
+func parsePipelineComment(text []byte) (string, bool) {
+	if len(text) <= len(pipelineComment) || string(text[:len(pipelineComment)]) != pipelineComment {
+		return "", false
+	}
+	id := trimSpaceBytes(text[len(pipelineComment):])
+	if len(id) == 0 {
+		return "", false
+	}
+	return string(id), true
 }
 
 // NewConnBinaryScanner returns a streaming reader for a binary
@@ -441,7 +513,7 @@ func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 	var count, next uint64
 	streamed := false
 	s.start = func() error {
-		name, horizon, c, err := readHeaderWith(br, magic, opts)
+		name, horizon, c, pipeline, err := readHeaderWith(br, magic, opts)
 		if err != nil {
 			return err
 		}
@@ -450,11 +522,11 @@ func initBinaryScanner[T any](s *scanner[T], r io.Reader, opts DecodeOptions,
 			// The record budget becomes the resource limit rather than a
 			// promise; EOF anywhere under it is a clean end.
 			count = uint64(opts.MaxRecords)
-			s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Streamed: true}
+			s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Streamed: true, PipelineID: pipeline}
 			return nil
 		}
 		count = c
-		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Expected: c}
+		s.hdr = Header{Kind: kind, Name: name, Horizon: horizon, Binary: true, Expected: c, PipelineID: pipeline}
 		return nil
 	}
 	// atLimit distinguishes a clean EOF from overflow once a streamed
